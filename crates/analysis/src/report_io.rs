@@ -1,0 +1,151 @@
+//! Machine-readable result persistence.
+//!
+//! Every report type in this crate (and in `dsp-sim`) derives serde, so
+//! experiment outputs can be archived as JSON next to the CSV tables
+//! and diffed across runs.
+
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+/// Error raised while saving or loading a JSON report.
+#[derive(Debug)]
+pub enum ReportIoError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Serialization/deserialization failure.
+    Json(serde_json::Error),
+}
+
+impl fmt::Display for ReportIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReportIoError::Io(e) => write!(f, "report i/o failed: {e}"),
+            ReportIoError::Json(e) => write!(f, "report serialization failed: {e}"),
+        }
+    }
+}
+
+impl Error for ReportIoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ReportIoError::Io(e) => Some(e),
+            ReportIoError::Json(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for ReportIoError {
+    fn from(e: std::io::Error) -> Self {
+        ReportIoError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for ReportIoError {
+    fn from(e: serde_json::Error) -> Self {
+        ReportIoError::Json(e)
+    }
+}
+
+/// Saves any serializable report as pretty-printed JSON, creating
+/// parent directories as needed.
+///
+/// # Errors
+///
+/// Returns an error if directories cannot be created, the file cannot
+/// be written, or the value fails to serialize.
+///
+/// # Example
+///
+/// ```
+/// use dsp_analysis::{load_json, save_json, TradeoffPoint};
+///
+/// let point = TradeoffPoint {
+///     label: "demo".into(),
+///     misses: 10,
+///     request_messages: 25,
+///     indirections: 2,
+///     insufficient_first: 2,
+///     cache_to_cache: 5,
+///     predictor_storage_bits: 0,
+/// };
+/// let dir = std::env::temp_dir().join("dsp-report-io-doc");
+/// let path = dir.join("point.json");
+/// save_json(&path, &point)?;
+/// let back: TradeoffPoint = load_json(&path)?;
+/// assert_eq!(back, point);
+/// # std::fs::remove_dir_all(dir).ok();
+/// # Ok::<(), dsp_analysis::ReportIoError>(())
+/// ```
+pub fn save_json<T: Serialize>(path: &Path, value: &T) -> Result<(), ReportIoError> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let json = serde_json::to_string_pretty(value)?;
+    fs::write(path, json)?;
+    Ok(())
+}
+
+/// Loads a JSON report written by [`save_json`].
+///
+/// # Errors
+///
+/// Returns an error if the file cannot be read or does not parse as
+/// `T`.
+pub fn load_json<T: DeserializeOwned>(path: &Path) -> Result<T, ReportIoError> {
+    let text = fs::read_to_string(path)?;
+    Ok(serde_json::from_str(&text)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::characterize::CharacterizationReport;
+    use crate::{characterize, TradeoffPoint};
+    use dsp_trace::{Workload, WorkloadSpec};
+    use dsp_types::SystemConfig;
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("dsp-report-io-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn round_trip_characterization() {
+        let config = SystemConfig::isca03();
+        let spec = WorkloadSpec::preset(Workload::Ocean, &config).scaled(1.0 / 256.0);
+        let report = characterize(&spec, &config, 100, 2_000, 3);
+        let dir = tmpdir("char");
+        let path = dir.join("nested/report.json");
+        save_json(&path, &report).expect("save");
+        let back: CharacterizationReport = load_json(&path).expect("load");
+        assert_eq!(back.misses, report.misses);
+        assert_eq!(back.directory_indirections, report.directory_indirections);
+        assert_eq!(back.degree_misses, report.degree_misses);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let dir = tmpdir("garbage");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("bad.json");
+        std::fs::write(&path, "{not json").expect("write");
+        let err = load_json::<TradeoffPoint>(&path).unwrap_err();
+        assert!(matches!(err, ReportIoError::Json(_)));
+        assert!(err.source().is_some());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let err = load_json::<TradeoffPoint>(Path::new("/nonexistent/nope.json")).unwrap_err();
+        assert!(matches!(err, ReportIoError::Io(_)));
+        assert!(err.to_string().contains("report i/o failed"));
+    }
+}

@@ -1,0 +1,87 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! macroblock size, Sticky-Spatial neighbor span, table associativity,
+//! and predictor capacity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dsp_analysis::TradeoffEvaluator;
+use dsp_core::{Capacity, Indexing, PredictorConfig};
+use dsp_trace::{TraceRecord, Workload, WorkloadSpec};
+use dsp_types::SystemConfig;
+
+fn trace() -> Vec<TraceRecord> {
+    let config = SystemConfig::isca03();
+    WorkloadSpec::preset(Workload::Oltp, &config)
+        .scaled(1.0 / 256.0)
+        .generator(7)
+        .take(4_000)
+        .collect()
+}
+
+fn bench_macroblock_sizes(c: &mut Criterion) {
+    let config = SystemConfig::isca03();
+    let t = trace();
+    let eval = TradeoffEvaluator::new(&config).warmup(500);
+    let mut group = c.benchmark_group("ablation_macroblock");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(4));
+    for bytes in [64u64, 256, 1024, 4096] {
+        let ix = if bytes == 64 {
+            Indexing::DataBlock
+        } else {
+            Indexing::Macroblock { bytes }
+        };
+        let cfg = PredictorConfig::group()
+            .indexing(ix)
+            .entries(Capacity::ISCA03);
+        group.bench_function(BenchmarkId::from_parameter(bytes), |b| {
+            b.iter(|| std::hint::black_box(eval.run(t.iter().copied(), &cfg)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sticky_span(c: &mut Criterion) {
+    let config = SystemConfig::isca03();
+    let t = trace();
+    let eval = TradeoffEvaluator::new(&config).warmup(500);
+    let mut group = c.benchmark_group("ablation_sticky_span");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(4));
+    for span in [0usize, 1, 2] {
+        let cfg = PredictorConfig::sticky_spatial(span);
+        group.bench_function(BenchmarkId::from_parameter(span), |b| {
+            b.iter(|| std::hint::black_box(eval.run(t.iter().copied(), &cfg)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_capacity(c: &mut Criterion) {
+    let config = SystemConfig::isca03();
+    let t = trace();
+    let eval = TradeoffEvaluator::new(&config).warmup(500);
+    let mut group = c.benchmark_group("ablation_capacity");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(4));
+    for entries in [1024usize, 8192, 32_768] {
+        let cfg = PredictorConfig::group()
+            .indexing(Indexing::Macroblock { bytes: 1024 })
+            .entries(Capacity::Finite { entries, ways: 4 });
+        group.bench_function(BenchmarkId::from_parameter(entries), |b| {
+            b.iter(|| std::hint::black_box(eval.run(t.iter().copied(), &cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_macroblock_sizes,
+    bench_sticky_span,
+    bench_capacity
+);
+criterion_main!(benches);

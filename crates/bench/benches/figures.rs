@@ -1,0 +1,43 @@
+//! End-to-end pipelines for every paper table/figure at reduced scale.
+//!
+//! Each bench runs the exact driver the `repro` binary uses, so `cargo
+//! bench` exercises — and times — the full reproduction path of every
+//! artifact: table2 and figs 2-4 (characterization), figs 5/6
+//! (trace-driven tradeoff), figs 7/8 (execution-driven timing).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dsp_bench::{experiments, Scale};
+
+fn bench_scale() -> Scale {
+    Scale {
+        footprint: 1.0 / 256.0,
+        trace_warmup: 500,
+        trace_measured: 2_000,
+        sim_warmup: 20,
+        sim_measured: 100,
+        sim_runs: 1,
+    }
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let scale = bench_scale();
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    group.bench_function("table2", |b| b.iter(|| experiments::table2(&scale)));
+    group.bench_function("fig2", |b| b.iter(|| experiments::fig2(&scale)));
+    group.bench_function("fig3", |b| b.iter(|| experiments::fig3(&scale)));
+    group.bench_function("fig4", |b| b.iter(|| experiments::fig4(&scale)));
+    group.bench_function("fig5", |b| b.iter(|| experiments::fig5(&scale)));
+    group.bench_function("fig6a", |b| b.iter(|| experiments::fig6a(&scale)));
+    group.bench_function("fig6b", |b| b.iter(|| experiments::fig6b(&scale)));
+    group.bench_function("fig6c", |b| b.iter(|| experiments::fig6c(&scale)));
+    group.bench_function("fig7", |b| b.iter(|| experiments::fig7(&scale)));
+    group.bench_function("fig8", |b| b.iter(|| experiments::fig8(&scale)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Microbenchmarks of predictor lookup + training throughput, per
+//! policy and indexing scheme.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use dsp_core::{Capacity, Indexing, PredictQuery, PredictorConfig, TrainEvent};
+use dsp_types::{BlockAddr, DestSet, NodeId, Owner, Pc, ReqType, SystemConfig};
+
+fn query(i: u64) -> PredictQuery {
+    let block = BlockAddr::new(i % 4096);
+    let requester = NodeId::new((i % 16) as usize);
+    PredictQuery {
+        block,
+        pc: Pc::new(0x1000 + (i % 512) * 4),
+        requester,
+        req: if i.is_multiple_of(3) {
+            ReqType::GetExclusive
+        } else {
+            ReqType::GetShared
+        },
+        minimal: DestSet::single(requester).with(block.home(16)),
+    }
+}
+
+fn train_event(i: u64) -> TrainEvent {
+    if i.is_multiple_of(2) {
+        TrainEvent::DataResponse {
+            block: BlockAddr::new(i % 4096),
+            pc: Pc::new(0x1000 + (i % 512) * 4),
+            responder: if i.is_multiple_of(5) {
+                Owner::Memory
+            } else {
+                Owner::Node(NodeId::new(((i / 2) % 16) as usize))
+            },
+            req: ReqType::GetShared,
+            minimal_sufficient: i.is_multiple_of(7),
+        }
+    } else {
+        TrainEvent::OtherRequest {
+            block: BlockAddr::new(i % 4096),
+            requester: NodeId::new(((i / 3) % 16) as usize),
+            req: ReqType::GetExclusive,
+        }
+    }
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let sys = SystemConfig::isca03();
+    let configs = [
+        ("owner", PredictorConfig::owner()),
+        (
+            "broadcast-if-shared",
+            PredictorConfig::broadcast_if_shared(),
+        ),
+        ("group", PredictorConfig::group()),
+        ("owner-group", PredictorConfig::owner_group()),
+        ("sticky-spatial", PredictorConfig::sticky_spatial(1)),
+    ];
+    let mut group = c.benchmark_group("predict_train");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.throughput(Throughput::Elements(1));
+    for (name, config) in configs {
+        let mut p = config.build(&sys);
+        // Pre-train so predictions exercise real entries.
+        for i in 0..10_000u64 {
+            p.train(&train_event(i));
+        }
+        let mut i = 0u64;
+        group.bench_function(BenchmarkId::new("predict", name), |b| {
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                std::hint::black_box(p.predict(&query(i)))
+            })
+        });
+        let mut j = 0u64;
+        group.bench_function(BenchmarkId::new("train", name), |b| {
+            b.iter(|| {
+                j = j.wrapping_add(1);
+                p.train(&train_event(j));
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_indexing(c: &mut Criterion) {
+    let sys = SystemConfig::isca03();
+    let mut group = c.benchmark_group("indexing");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for (name, ix) in [
+        ("block", Indexing::DataBlock),
+        ("macroblock-1024", Indexing::Macroblock { bytes: 1024 }),
+        ("pc", Indexing::ProgramCounter),
+    ] {
+        let mut p = PredictorConfig::group()
+            .indexing(ix)
+            .entries(Capacity::ISCA03)
+            .build(&sys);
+        for i in 0..10_000u64 {
+            p.train(&train_event(i));
+        }
+        let mut i = 0u64;
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                std::hint::black_box(p.predict(&query(i)))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_indexing);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! End-to-end timing-simulator throughput per protocol.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use dsp_core::{Indexing, PredictorConfig};
+use dsp_sim::{ProtocolKind, SimConfig, System, TargetSystem};
+use dsp_trace::{Workload, WorkloadSpec};
+use dsp_types::SystemConfig;
+
+fn bench_protocols(c: &mut Criterion) {
+    let sys = SystemConfig::isca03();
+    let spec = WorkloadSpec::preset(Workload::Oltp, &sys).scaled(1.0 / 64.0);
+    let misses_per_node = 500usize;
+    let protocols = [
+        ("snooping", ProtocolKind::Snooping),
+        ("directory", ProtocolKind::Directory),
+        (
+            "multicast-owner-group",
+            ProtocolKind::Multicast(
+                PredictorConfig::owner_group().indexing(Indexing::Macroblock { bytes: 1024 }),
+            ),
+        ),
+        (
+            "multicast-minimal",
+            ProtocolKind::Multicast(PredictorConfig::always_minimal()),
+        ),
+    ];
+    let mut group = c.benchmark_group("protocol_sim");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.throughput(Throughput::Elements((misses_per_node * 16) as u64));
+    for (name, protocol) in protocols {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let sim = SimConfig::new(protocol).misses(0, misses_per_node).seed(11);
+                let report = System::new(&sys, TargetSystem::isca03_default(), &spec, sim).run();
+                std::hint::black_box(report.runtime_ns)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_crossbar(c: &mut Criterion) {
+    use dsp_interconnect::{Crossbar, InterconnectConfig, Message};
+    use dsp_types::{DestSet, MessageClass, NodeId};
+    let mut group = c.benchmark_group("crossbar");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("broadcast_send", |b| {
+        let mut xbar = Crossbar::new(InterconnectConfig::isca03(), 16);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 10;
+            let msg = Message {
+                src: NodeId::new((t % 16) as usize),
+                dests: DestSet::broadcast(16),
+                class: MessageClass::Request,
+            };
+            std::hint::black_box(xbar.send(t, &msg))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocols, bench_crossbar);
+criterion_main!(benches);

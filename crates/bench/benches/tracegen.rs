@@ -1,0 +1,52 @@
+//! Throughput of the synthetic workload generators.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use dsp_trace::{Workload, WorkloadSpec};
+use dsp_types::SystemConfig;
+
+fn bench_generators(c: &mut Criterion) {
+    let config = SystemConfig::isca03();
+    let mut group = c.benchmark_group("tracegen");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.throughput(Throughput::Elements(10_000));
+    for w in Workload::ALL {
+        let spec = WorkloadSpec::preset(w, &config).scaled(1.0 / 16.0);
+        group.bench_function(BenchmarkId::from_parameter(w.name()), |b| {
+            b.iter_with_setup(
+                || spec.generator(7),
+                |gen| {
+                    let n = gen.take(10_000).count();
+                    std::hint::black_box(n)
+                },
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_coherence_tracking(c: &mut Criterion) {
+    use dsp_coherence::CoherenceTracker;
+    let config = SystemConfig::isca03();
+    let spec = WorkloadSpec::preset(Workload::Oltp, &config).scaled(1.0 / 16.0);
+    let trace: Vec<_> = spec.generator(7).take(50_000).collect();
+    let mut group = c.benchmark_group("coherence");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("tracker_access", |b| {
+        b.iter_with_setup(
+            || CoherenceTracker::new(&config),
+            |mut tracker| {
+                for rec in &trace {
+                    std::hint::black_box(tracker.access(rec.requester, rec.request(), rec.block()));
+                }
+            },
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators, bench_coherence_tracking);
+criterion_main!(benches);

@@ -1,0 +1,145 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```bash
+//! repro <experiment> [--scale quick|standard|paper] [--out results/]
+//!
+//! experiments: table2 fig2 fig3 fig4 fig5 fig6a fig6b fig6c fig7 fig8
+//!              ablations all
+//! ```
+//!
+//! Each experiment prints an aligned text table and writes a CSV with
+//! the same rows under the output directory.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Instant;
+
+use dsp_analysis::TextTable;
+use dsp_bench::{experiments, Scale};
+
+const EXPERIMENTS: &[&str] = &[
+    "table2",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6a",
+    "fig6b",
+    "fig6c",
+    "fig7",
+    "fig8",
+    "ablations",
+    "extensions",
+    "scaling",
+    "claims",
+    "bandwidth",
+    "verify",
+];
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: repro <experiment> [--scale quick|standard|paper] [--out DIR]\n\
+         experiments: {} all",
+        EXPERIMENTS.join(" ")
+    );
+    ExitCode::FAILURE
+}
+
+fn run_one(name: &str, scale: &Scale) -> Option<TextTable> {
+    let table = match name {
+        "table2" => experiments::table2(scale),
+        "fig2" => experiments::fig2(scale),
+        "fig3" => experiments::fig3(scale),
+        "fig4" => experiments::fig4(scale),
+        "fig5" => experiments::fig5(scale),
+        "fig6a" => experiments::fig6a(scale),
+        "fig6b" => experiments::fig6b(scale),
+        "fig6c" => experiments::fig6c(scale),
+        "fig7" => experiments::fig7(scale),
+        "fig8" => experiments::fig8(scale),
+        "ablations" => experiments::ablations(scale),
+        "extensions" => experiments::extensions(scale),
+        "scaling" => experiments::scaling(scale),
+        "claims" => experiments::claims(scale),
+        "bandwidth" => experiments::bandwidth(scale),
+        "verify" => experiments::verify(scale),
+        _ => return None,
+    };
+    Some(table)
+}
+
+fn save(out_dir: &Path, name: &str, table: &TextTable) {
+    if let Err(e) = std::fs::create_dir_all(out_dir) {
+        eprintln!("warning: cannot create {}: {e}", out_dir.display());
+        return;
+    }
+    let path = out_dir.join(format!("{name}.csv"));
+    if let Err(e) = std::fs::write(&path, table.to_csv()) {
+        eprintln!("warning: cannot write {}: {e}", path.display());
+    } else {
+        println!("[saved {}]", path.display());
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut experiment: Option<String> = None;
+    let mut scale = Scale::standard();
+    let mut out_dir = PathBuf::from("results");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                let Some(name) = args.get(i) else {
+                    return usage();
+                };
+                match Scale::parse(name) {
+                    Some(s) => scale = s,
+                    None => {
+                        eprintln!("unknown scale '{name}'");
+                        return usage();
+                    }
+                }
+            }
+            "--out" => {
+                i += 1;
+                let Some(dir) = args.get(i) else {
+                    return usage();
+                };
+                out_dir = PathBuf::from(dir);
+            }
+            name if experiment.is_none() => experiment = Some(name.to_string()),
+            other => {
+                eprintln!("unexpected argument '{other}'");
+                return usage();
+            }
+        }
+        i += 1;
+    }
+    let Some(experiment) = experiment else {
+        return usage();
+    };
+    let names: Vec<&str> = if experiment == "all" {
+        EXPERIMENTS.to_vec()
+    } else if EXPERIMENTS.contains(&experiment.as_str()) {
+        vec![experiment.as_str()]
+    } else {
+        eprintln!("unknown experiment '{experiment}'");
+        return usage();
+    };
+    for name in names {
+        let started = Instant::now();
+        let Some(table) = run_one(name, &scale) else {
+            return usage();
+        };
+        println!("{table}");
+        println!(
+            "[{} finished in {:.1}s]\n",
+            name,
+            started.elapsed().as_secs_f64()
+        );
+        save(&out_dir, name, &table);
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,20 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! The heavy lifting lives in [`experiments`]: one driver per paper
+//! artifact (Table 2, Figures 2–8, plus ablations), each returning a
+//! [`dsp_analysis::TextTable`]. The `repro` binary fronts them with a
+//! CLI; the Criterion benches in `benches/` reuse the same drivers at
+//! reduced scale.
+//!
+//! ```bash
+//! cargo run --release -p dsp-bench --bin repro -- all --scale standard
+//! cargo run --release -p dsp-bench --bin repro -- fig5 --scale paper
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiments;
+mod scale;
+
+pub use scale::Scale;

@@ -1,0 +1,27 @@
+//! Set-associative cache models with per-line MOSI state.
+//!
+//! The timing simulator keeps a real (finite, set-associative, LRU)
+//! model of each node's L2 cache so that capacity-induced evictions and
+//! their writebacks happen where they would on hardware. The paper's
+//! target system (Table 4) uses 4 MB 4-way L2 caches with 64-byte
+//! blocks and 128 kB 4-way L1s; [`CacheConfig`] carries those presets.
+//!
+//! # Example
+//!
+//! ```
+//! use dsp_cache::{CacheConfig, SetAssocCache};
+//! use dsp_types::{BlockAddr, LineState};
+//!
+//! let mut l2 = SetAssocCache::new(CacheConfig::isca03_l2());
+//! assert!(l2.fill(BlockAddr::new(7), LineState::Shared).is_none());
+//! assert_eq!(l2.probe(BlockAddr::new(7)), Some(LineState::Shared));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod set_assoc;
+
+pub use config::CacheConfig;
+pub use set_assoc::{CacheStats, EvictedLine, SetAssocCache};

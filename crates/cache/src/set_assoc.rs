@@ -1,0 +1,300 @@
+//! The set-associative cache structure.
+
+use serde::{Deserialize, Serialize};
+
+use dsp_types::{BlockAddr, LineState};
+
+use crate::config::CacheConfig;
+
+/// A line pushed out by a fill.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EvictedLine {
+    /// The evicted block.
+    pub block: BlockAddr,
+    /// Its state at eviction (dirty states imply a writeback).
+    pub state: LineState,
+}
+
+/// Hit/miss/eviction counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// `touch` calls that hit.
+    pub hits: u64,
+    /// `touch` calls that missed.
+    pub misses: u64,
+    /// Lines evicted by fills.
+    pub evictions: u64,
+    /// Evictions of dirty (M/O) lines — writebacks.
+    pub writebacks: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Line {
+    tag: u64,
+    state: LineState,
+    last_use: u64,
+}
+
+/// A set-associative, LRU, write-back cache indexed by block address,
+/// tracking a MOSI [`LineState`] per line.
+///
+/// This structure does not move data; it tracks presence and coherence
+/// permission, which is what the timing simulator and the coherence
+/// substrate need.
+#[derive(Clone, Debug)]
+pub struct SetAssocCache {
+    config: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl SetAssocCache {
+    /// Creates an empty cache with the given geometry.
+    pub fn new(config: CacheConfig) -> Self {
+        SetAssocCache {
+            config,
+            sets: vec![Vec::new(); config.num_sets() as usize],
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Number of valid lines currently held.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Whether no valid lines are held.
+    pub fn is_empty(&self) -> bool {
+        self.sets.iter().all(Vec::is_empty)
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn locate(&self, block: BlockAddr) -> (usize, u64) {
+        let sets = self.config.num_sets();
+        ((block.number() % sets) as usize, block.number() / sets)
+    }
+
+    /// Non-updating presence check.
+    pub fn probe(&self, block: BlockAddr) -> Option<LineState> {
+        let (set, tag) = self.locate(block);
+        self.sets[set]
+            .iter()
+            .find(|l| l.tag == tag)
+            .map(|l| l.state)
+    }
+
+    /// LRU-updating lookup, counting a hit or miss.
+    pub fn touch(&mut self, block: BlockAddr) -> Option<LineState> {
+        let (set, tag) = self.locate(block);
+        self.tick += 1;
+        let tick = self.tick;
+        match self.sets[set].iter_mut().find(|l| l.tag == tag) {
+            Some(line) => {
+                line.last_use = tick;
+                self.stats.hits += 1;
+                Some(line.state)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or updates) `block` with `state`, returning the LRU
+    /// victim if the set was full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is `Invalid` — fill lines with a real state,
+    /// use [`SetAssocCache::invalidate`] to remove them.
+    pub fn fill(&mut self, block: BlockAddr, state: LineState) -> Option<EvictedLine> {
+        assert!(state != LineState::Invalid, "cannot fill an Invalid line");
+        let (set_idx, tag) = self.locate(block);
+        self.tick += 1;
+        let tick = self.tick;
+        let ways = self.config.ways();
+        let sets = self.config.num_sets();
+        let set = &mut self.sets[set_idx];
+        if let Some(line) = set.iter_mut().find(|l| l.tag == tag) {
+            line.state = state;
+            line.last_use = tick;
+            return None;
+        }
+        let victim = if set.len() >= ways {
+            let idx = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.last_use)
+                .map(|(i, _)| i)
+                .expect("full set is non-empty");
+            let line = set.swap_remove(idx);
+            self.stats.evictions += 1;
+            if line.state.is_owner() {
+                self.stats.writebacks += 1;
+            }
+            Some(EvictedLine {
+                block: BlockAddr::new(line.tag * sets + set_idx as u64),
+                state: line.state,
+            })
+        } else {
+            None
+        };
+        set.push(Line {
+            tag,
+            state,
+            last_use: tick,
+        });
+        victim
+    }
+
+    /// Changes the state of a present line (e.g. M→O on an external
+    /// read, S→M on an upgrade). Returns `false` if the block is absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is `Invalid` — use
+    /// [`SetAssocCache::invalidate`].
+    pub fn set_state(&mut self, block: BlockAddr, state: LineState) -> bool {
+        assert!(
+            state != LineState::Invalid,
+            "use invalidate() to drop lines"
+        );
+        let (set, tag) = self.locate(block);
+        match self.sets[set].iter_mut().find(|l| l.tag == tag) {
+            Some(line) => {
+                line.state = state;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drops `block` (external invalidation), returning its old state.
+    pub fn invalidate(&mut self, block: BlockAddr) -> Option<LineState> {
+        let (set, tag) = self.locate(block);
+        let set = &mut self.sets[set];
+        let idx = set.iter().position(|l| l.tag == tag)?;
+        Some(set.swap_remove(idx).state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SetAssocCache {
+        // 8 blocks, 2-way, 64B: 4 sets.
+        SetAssocCache::new(CacheConfig::new(512, 2, 64))
+    }
+
+    fn b(i: u64) -> BlockAddr {
+        BlockAddr::new(i)
+    }
+
+    #[test]
+    fn fill_then_probe() {
+        let mut c = small();
+        assert!(c.fill(b(1), LineState::Shared).is_none());
+        assert_eq!(c.probe(b(1)), Some(LineState::Shared));
+        assert_eq!(c.probe(b(2)), None);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn touch_counts_hits_and_misses() {
+        let mut c = small();
+        c.fill(b(1), LineState::Modified);
+        assert_eq!(c.touch(b(1)), Some(LineState::Modified));
+        assert_eq!(c.touch(b(2)), None);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut c = small();
+        // Blocks 0, 4, 8 all map to set 0 (4 sets).
+        c.fill(b(0), LineState::Shared);
+        c.fill(b(4), LineState::Shared);
+        c.touch(b(0)); // make 4 the LRU
+        let victim = c.fill(b(8), LineState::Shared).expect("set overflow");
+        assert_eq!(victim.block, b(4));
+        assert_eq!(c.probe(b(0)), Some(LineState::Shared));
+        assert_eq!(c.probe(b(4)), None);
+    }
+
+    #[test]
+    fn eviction_of_dirty_line_counts_writeback() {
+        let mut c = small();
+        c.fill(b(0), LineState::Modified);
+        c.fill(b(4), LineState::Shared);
+        c.touch(b(4));
+        let victim = c.fill(b(8), LineState::Shared).expect("evicts block 0");
+        assert_eq!(victim.state, LineState::Modified);
+        assert_eq!(c.stats().writebacks, 1);
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn refill_updates_state_without_eviction() {
+        let mut c = small();
+        c.fill(b(1), LineState::Shared);
+        assert!(c.fill(b(1), LineState::Modified).is_none());
+        assert_eq!(c.probe(b(1)), Some(LineState::Modified));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn set_state_and_invalidate() {
+        let mut c = small();
+        c.fill(b(1), LineState::Modified);
+        assert!(c.set_state(b(1), LineState::Owned));
+        assert_eq!(c.probe(b(1)), Some(LineState::Owned));
+        assert_eq!(c.invalidate(b(1)), Some(LineState::Owned));
+        assert_eq!(c.probe(b(1)), None);
+        assert!(!c.set_state(b(1), LineState::Shared));
+        assert_eq!(c.invalidate(b(1)), None);
+    }
+
+    #[test]
+    fn capacity_is_never_exceeded() {
+        let mut c = small();
+        for i in 0..100 {
+            c.fill(b(i), LineState::Shared);
+        }
+        assert!(c.len() <= 8);
+    }
+
+    #[test]
+    fn victim_block_address_reconstruction() {
+        let mut c = small();
+        // Set index = block % 4; tag = block / 4. Check a high block.
+        c.fill(b(1003), LineState::Shared);
+        c.fill(b(1007), LineState::Shared);
+        c.fill(b(1011), LineState::Shared);
+        // 1003 % 4 == 3, 1007 % 4 == 3, 1011 % 4 == 3: same set, 2 ways.
+        let evicted: Vec<_> = c.stats().evictions.to_string().chars().collect();
+        assert!(!evicted.is_empty());
+        assert_eq!(c.probe(b(1003)), None, "LRU of the set is gone");
+        assert_eq!(c.probe(b(1007)), Some(LineState::Shared));
+    }
+
+    #[test]
+    #[should_panic(expected = "Invalid")]
+    fn fill_rejects_invalid() {
+        let mut c = small();
+        c.fill(b(0), LineState::Invalid);
+    }
+}

@@ -1,0 +1,225 @@
+//! Miss classification.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use dsp_types::{BlockAddr, DestSet, NodeId, Owner, ReqType};
+
+/// Everything known about one L2 miss at the instant the interconnect
+/// orders it: the pre-transition coherence state plus the request.
+///
+/// Produced by [`crate::CoherenceTracker::access`]; consumed by the
+/// predictor evaluation (sufficiency checking, Figure 5/6), the sharing
+/// characterization (Figure 2), and the timing simulator (latency
+/// classes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MissInfo {
+    /// The missing block.
+    pub block: BlockAddr,
+    /// The node that missed.
+    pub requester: NodeId,
+    /// Shared (load) or Exclusive (store) request.
+    pub req: ReqType,
+    /// Home node of the block (its memory/directory slice).
+    pub home: NodeId,
+    /// Owner at ordering time (after the requester's own stale copy, if
+    /// any, has been reconciled away — a miss implies the requester no
+    /// longer holds usable permission).
+    pub owner_before: Owner,
+    /// Sharers at ordering time, excluding the requester.
+    pub sharers_before: DestSet,
+    /// Whether the requester still held a Shared copy (a store upgrade).
+    pub was_upgrade: bool,
+}
+
+impl MissInfo {
+    /// The *other* processors whose caches must observe this request:
+    /// the cache owner (if any), plus — for exclusive requests — every
+    /// sharer.
+    ///
+    /// The size of this set is the quantity histogrammed in the paper's
+    /// Figure 2; it is empty exactly when memory alone can satisfy the
+    /// miss.
+    pub fn required_observers(&self) -> DestSet {
+        let mut set = DestSet::empty();
+        if let Owner::Node(owner) = self.owner_before {
+            if owner != self.requester {
+                set.insert(owner);
+            }
+        }
+        if self.req.is_exclusive() {
+            set |= self.sharers_before;
+        }
+        set.without(self.requester)
+    }
+
+    /// Whether a directory protocol must forward this request to at
+    /// least one other processor (a "directory indirection", Table 2
+    /// rightmost column).
+    pub fn is_directory_indirection(&self) -> bool {
+        !self.required_observers().is_empty()
+    }
+
+    /// Whether the data response comes from another cache rather than
+    /// memory (a cache-to-cache / dirty / 3-hop miss).
+    pub fn is_cache_to_cache(&self) -> bool {
+        matches!(self.owner_before, Owner::Node(n) if n != self.requester)
+    }
+
+    /// The minimal destination set: requester plus home node. This is
+    /// what multicast snooping always includes, and what a predictor
+    /// falls back to on a miss in its table.
+    pub fn minimal_set(&self) -> DestSet {
+        DestSet::single(self.requester).with(self.home)
+    }
+
+    /// The smallest *sufficient* destination set: minimal set plus all
+    /// required observers.
+    pub fn sufficient_set(&self) -> DestSet {
+        self.minimal_set() | self.required_observers()
+    }
+
+    /// Multicast snooping's sufficiency rule: `predicted` (already
+    /// including the implicit requester + home) succeeds iff it covers
+    /// owner and, for writes, all sharers.
+    pub fn is_sufficient(&self, predicted: DestSet) -> bool {
+        predicted.is_superset(self.sufficient_set())
+    }
+
+    /// Coarse classification of this miss.
+    pub fn class(&self) -> MissClass {
+        if self.is_cache_to_cache() {
+            MissClass::CacheToCache
+        } else if self.is_directory_indirection() {
+            MissClass::InvalidationOnly
+        } else {
+            MissClass::MemorySourced
+        }
+    }
+}
+
+impl fmt::Display for MissInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} {} owner={} sharers={} required={}",
+            self.requester,
+            self.req,
+            self.block,
+            self.owner_before,
+            self.sharers_before,
+            self.required_observers()
+        )
+    }
+}
+
+/// Coarse miss classes, for characterization reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MissClass {
+    /// Memory alone satisfies the miss; no other cache involved.
+    MemorySourced,
+    /// Memory supplies data but sharers must be invalidated (exclusive
+    /// request on a memory-owned block with sharers).
+    InvalidationOnly,
+    /// Another cache owns the block and supplies the data.
+    CacheToCache,
+}
+
+impl fmt::Display for MissClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MissClass::MemorySourced => "memory",
+            MissClass::InvalidationOnly => "invalidation-only",
+            MissClass::CacheToCache => "cache-to-cache",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn info(req: ReqType, owner: Owner, sharers: DestSet) -> MissInfo {
+        MissInfo {
+            block: BlockAddr::new(7),
+            requester: n(0),
+            req,
+            home: n(3),
+            owner_before: owner,
+            sharers_before: sharers,
+            was_upgrade: false,
+        }
+    }
+
+    #[test]
+    fn memory_sourced_read_requires_no_observers() {
+        let i = info(ReqType::GetShared, Owner::Memory, DestSet::empty());
+        assert!(i.required_observers().is_empty());
+        assert!(!i.is_directory_indirection());
+        assert!(!i.is_cache_to_cache());
+        assert_eq!(i.class(), MissClass::MemorySourced);
+    }
+
+    #[test]
+    fn read_from_cache_owner_requires_owner() {
+        let i = info(ReqType::GetShared, Owner::Node(n(5)), DestSet::single(n(6)));
+        // Sharers do not need to observe a read; the owner does.
+        assert_eq!(i.required_observers(), DestSet::single(n(5)));
+        assert!(i.is_cache_to_cache());
+        assert_eq!(i.class(), MissClass::CacheToCache);
+    }
+
+    #[test]
+    fn write_requires_owner_and_sharers() {
+        let sharers = DestSet::from_iter([n(6), n(7)]);
+        let i = info(ReqType::GetExclusive, Owner::Node(n(5)), sharers);
+        assert_eq!(i.required_observers(), sharers.with(n(5)));
+        assert!(i.is_directory_indirection());
+    }
+
+    #[test]
+    fn upgrade_with_sharers_is_invalidation_only() {
+        let i = info(
+            ReqType::GetExclusive,
+            Owner::Memory,
+            DestSet::from_iter([n(2), n(9)]),
+        );
+        assert_eq!(i.class(), MissClass::InvalidationOnly);
+        assert_eq!(i.required_observers().len(), 2);
+        assert!(!i.is_cache_to_cache());
+        assert!(i.is_directory_indirection());
+    }
+
+    #[test]
+    fn requester_never_counts_as_observer() {
+        let i = info(
+            ReqType::GetExclusive,
+            Owner::Node(n(0)),
+            DestSet::single(n(0)),
+        );
+        assert!(i.required_observers().is_empty());
+    }
+
+    #[test]
+    fn minimal_and_sufficient_sets() {
+        let i = info(ReqType::GetShared, Owner::Node(n(5)), DestSet::empty());
+        assert_eq!(i.minimal_set(), DestSet::from_iter([n(0), n(3)]));
+        assert_eq!(i.sufficient_set(), DestSet::from_iter([n(0), n(3), n(5)]));
+        assert!(!i.is_sufficient(i.minimal_set()));
+        assert!(i.is_sufficient(i.sufficient_set()));
+        assert!(i.is_sufficient(DestSet::broadcast(16)));
+    }
+
+    #[test]
+    fn display_mentions_required() {
+        let i = info(ReqType::GetShared, Owner::Node(n(5)), DestSet::empty());
+        assert!(i.to_string().contains("required={P5}"));
+        assert_eq!(MissClass::CacheToCache.to_string(), "cache-to-cache");
+    }
+}

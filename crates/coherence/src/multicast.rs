@@ -1,0 +1,385 @@
+//! Multicast snooping semantics and per-protocol message accounting.
+//!
+//! Multicast snooping (Bilir et al.) sends each coherence request to a
+//! *predicted* destination set over a totally ordered interconnect. The
+//! home node's directory checks sufficiency; an insufficient request is
+//! reissued by the directory with a corrected destination set (the
+//! optimization of Sorin et al.), which in a race-free (trace-driven)
+//! setting always succeeds on the second attempt.
+//!
+//! ## Message counting conventions
+//!
+//! Every endpoint delivery of a request-class message counts as one
+//! message, matching the paper's "request messages per miss" axis
+//! (requests, forwards, and retries):
+//!
+//! * **Broadcast snooping**: the request reaches all `n - 1` other nodes.
+//! * **Directory**: one message to the home node, plus one forward /
+//!   invalidation per required observer.
+//! * **Multicast snooping**: the initial multicast reaches every node of
+//!   the (requester+home augmented) predicted set except the requester
+//!   itself; a reissue reaches the corrected set (owner, sharers, and the
+//!   requester, which must see its own retried request).
+//!
+//! With these conventions a *perfect* predictor uses exactly the
+//! directory protocol's message count — which is why the paper draws the
+//! directory bandwidth as the vertical dashed asymptote in Figures 5/6 —
+//! and an *always-broadcast* predictor uses exactly snooping's.
+
+use serde::{Deserialize, Serialize};
+
+use dsp_types::DestSet;
+
+use crate::miss::MissInfo;
+
+/// Coarse latency class of a serviced miss, mapped to concrete
+/// nanosecond paths by the timing simulator (paper Table 4 derivations:
+/// 180 ns memory, 112 ns direct cache-to-cache, 242 ns indirected).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LatencyClass {
+    /// Data from memory without indirection (~180 ns).
+    Memory,
+    /// Data from another cache, reached directly (~112 ns).
+    CacheDirect,
+    /// Data from another cache after a directory indirection or a
+    /// multicast reissue (~242 ns).
+    CacheIndirect,
+    /// Data from memory, but completion was delayed by a reissue (~242
+    /// ns class).
+    MemoryIndirect,
+}
+
+impl LatencyClass {
+    /// Whether this class suffered an indirection.
+    pub fn is_indirect(self) -> bool {
+        matches!(
+            self,
+            LatencyClass::CacheIndirect | LatencyClass::MemoryIndirect
+        )
+    }
+}
+
+/// Outcome of servicing one miss under some protocol: message cost and
+/// latency class. Produced by [`evaluate`], [`directory`], and
+/// [`snooping`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MulticastOutcome {
+    /// Whether the first destination set was sufficient (always true for
+    /// snooping; conventionally true for the directory protocol, whose
+    /// "prediction" is resolved by forwarding, not retrying).
+    pub sufficient_first: bool,
+    /// Number of request transmissions (1 = no reissue, 2 = one reissue).
+    pub attempts: u32,
+    /// Endpoint deliveries of request-class messages (request + forward
+    /// + retry), the unit of Figures 5 and 6.
+    pub request_messages: u64,
+    /// Latency class for the timing model.
+    pub latency: LatencyClass,
+    /// Whether this miss counts as an *indirection* in the figure-5
+    /// sense: a 3-hop (cache-sourced, forwarded) request under the
+    /// directory protocol, or a directory-retried request under
+    /// multicast snooping.
+    pub indirection: bool,
+}
+
+impl MulticastOutcome {
+    /// Request-class traffic in bytes (8 B per request-class message).
+    pub fn request_bytes(&self) -> u64 {
+        self.request_messages * 8
+    }
+}
+
+/// Evaluates multicast snooping for one miss, given the predictor's
+/// destination set (the requester and home are implicitly added, as the
+/// protocol requires).
+///
+/// # Example
+///
+/// ```
+/// use dsp_coherence::{multicast, CoherenceTracker};
+/// use dsp_types::{BlockAddr, DestSet, NodeId, ReqType, SystemConfig};
+///
+/// let mut t = CoherenceTracker::new(&SystemConfig::isca03());
+/// t.access(NodeId::new(1), ReqType::GetExclusive, BlockAddr::new(5));
+/// let info = t.classify(NodeId::new(2), ReqType::GetShared, BlockAddr::new(5));
+///
+/// // Minimal set misses the owner: reissue needed.
+/// let bad = multicast::evaluate(&info, info.minimal_set());
+/// assert!(!bad.sufficient_first);
+/// assert_eq!(bad.attempts, 2);
+/// assert!(bad.indirection);
+/// ```
+pub fn evaluate(info: &MissInfo, predicted: DestSet) -> MulticastOutcome {
+    let initial = predicted | info.minimal_set();
+    let sufficient_first = info.is_sufficient(initial);
+    // Deliveries of the initial multicast: everyone but the requester.
+    let mut request_messages = (initial.len() - 1) as u64;
+    let (attempts, latency) = if sufficient_first {
+        let latency = if info.is_cache_to_cache() {
+            LatencyClass::CacheDirect
+        } else {
+            LatencyClass::Memory
+        };
+        (1, latency)
+    } else {
+        // The home directory reissues with the corrected set: owner,
+        // sharers (for writes), and the requester. The home originates
+        // the reissue, so it is not an endpoint of it.
+        let reissue_set = info.sufficient_set().without(info.home);
+        request_messages += reissue_set.len() as u64;
+        let latency = if info.is_cache_to_cache() {
+            LatencyClass::CacheIndirect
+        } else {
+            LatencyClass::MemoryIndirect
+        };
+        (2, latency)
+    };
+    MulticastOutcome {
+        sufficient_first,
+        attempts,
+        request_messages,
+        latency,
+        indirection: !sufficient_first,
+    }
+}
+
+/// Evaluates the GS320-style directory protocol for one miss: one
+/// request to home plus one forward/invalidation per required observer;
+/// cache-sourced misses indirect (3 hops).
+pub fn directory(info: &MissInfo) -> MulticastOutcome {
+    let required = info.required_observers();
+    let latency = if info.is_cache_to_cache() {
+        LatencyClass::CacheIndirect
+    } else {
+        LatencyClass::Memory
+    };
+    MulticastOutcome {
+        sufficient_first: true,
+        attempts: 1,
+        request_messages: 1 + required.len() as u64,
+        latency,
+        indirection: info.is_directory_indirection(),
+    }
+}
+
+/// Evaluates a *predictive directory* protocol (in the style of Acacio
+/// et al., the hybrid the paper's introduction cites): the request goes
+/// to the home **and** to a predicted set; if the current owner was in
+/// the predicted set it replies directly, converting the 3-hop
+/// indirection into a 2-hop transfer. Invalidation fan-out is unchanged
+/// (the home still forwards invalidations to sharers on writes).
+///
+/// Message accounting: the initial request reaches home plus the extra
+/// predicted nodes; the home's forwards cover whichever required
+/// observers the prediction missed.
+pub fn directory_predicted(info: &MissInfo, predicted: DestSet) -> MulticastOutcome {
+    let initial = predicted.with(info.home).without(info.requester);
+    let required = info.required_observers();
+    let missed = required - initial;
+    let request_messages = initial.len() as u64 + missed.len() as u64;
+    let owner_hit = match info.owner_before {
+        dsp_types::Owner::Node(owner) => initial.contains(owner),
+        dsp_types::Owner::Memory => true,
+    };
+    let latency = if info.is_cache_to_cache() {
+        if owner_hit {
+            LatencyClass::CacheDirect
+        } else {
+            LatencyClass::CacheIndirect
+        }
+    } else {
+        LatencyClass::Memory
+    };
+    MulticastOutcome {
+        sufficient_first: owner_hit,
+        attempts: 1,
+        request_messages,
+        latency,
+        indirection: info.is_cache_to_cache() && !owner_hit,
+    }
+}
+
+/// Evaluates broadcast snooping for one miss on an `n`-node system:
+/// every request reaches all other nodes and never indirects.
+pub fn snooping(info: &MissInfo, num_nodes: usize) -> MulticastOutcome {
+    let latency = if info.is_cache_to_cache() {
+        LatencyClass::CacheDirect
+    } else {
+        LatencyClass::Memory
+    };
+    MulticastOutcome {
+        sufficient_first: true,
+        attempts: 1,
+        request_messages: (num_nodes - 1) as u64,
+        latency,
+        indirection: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsp_types::{BlockAddr, NodeId, Owner, ReqType};
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn info(req: ReqType, owner: Owner, sharers: DestSet) -> MissInfo {
+        MissInfo {
+            block: BlockAddr::new(160), // home = P10 on 16 nodes
+            requester: n(0),
+            req,
+            home: BlockAddr::new(160).home(16),
+            owner_before: owner,
+            sharers_before: sharers,
+            was_upgrade: false,
+        }
+    }
+
+    #[test]
+    fn sufficient_multicast_counts_initial_only() {
+        let i = info(ReqType::GetShared, Owner::Node(n(5)), DestSet::empty());
+        let predicted = i.minimal_set().with(n(5));
+        let out = evaluate(&i, predicted);
+        assert!(out.sufficient_first);
+        assert_eq!(out.attempts, 1);
+        // Deliveries: home + P5 (requester excluded).
+        assert_eq!(out.request_messages, 2);
+        assert_eq!(out.latency, LatencyClass::CacheDirect);
+        assert!(!out.indirection);
+        assert_eq!(out.request_bytes(), 16);
+    }
+
+    #[test]
+    fn insufficient_multicast_pays_reissue() {
+        let i = info(ReqType::GetShared, Owner::Node(n(5)), DestSet::empty());
+        let out = evaluate(&i, DestSet::empty()); // minimal set is implicit
+        assert!(!out.sufficient_first);
+        assert_eq!(out.attempts, 2);
+        // Initial: home (1). Reissue: owner P5 + requester P0 (2).
+        assert_eq!(out.request_messages, 3);
+        assert_eq!(out.latency, LatencyClass::CacheIndirect);
+        assert!(out.indirection);
+    }
+
+    #[test]
+    fn memory_sourced_minimal_is_always_sufficient() {
+        let i = info(ReqType::GetShared, Owner::Memory, DestSet::empty());
+        let out = evaluate(&i, DestSet::empty());
+        assert!(out.sufficient_first);
+        assert_eq!(out.request_messages, 1); // just the home
+        assert_eq!(out.latency, LatencyClass::Memory);
+    }
+
+    #[test]
+    fn write_needs_all_sharers() {
+        let sharers = DestSet::from_iter([n(2), n(3)]);
+        let i = info(ReqType::GetExclusive, Owner::Memory, sharers);
+        // Predicting only one sharer is insufficient.
+        let partial = i.minimal_set().with(n(2));
+        let out = evaluate(&i, partial);
+        assert!(!out.sufficient_first);
+        assert_eq!(out.latency, LatencyClass::MemoryIndirect);
+        // Predicting both is sufficient.
+        let full = partial.with(n(3));
+        let out = evaluate(&i, full);
+        assert!(out.sufficient_first);
+        assert_eq!(out.attempts, 1);
+    }
+
+    #[test]
+    fn broadcast_prediction_never_retries() {
+        let sharers = DestSet::from_iter([n(2), n(3), n(9)]);
+        let i = info(ReqType::GetExclusive, Owner::Node(n(7)), sharers);
+        let out = evaluate(&i, DestSet::broadcast(16));
+        assert!(out.sufficient_first);
+        assert_eq!(out.request_messages, 15);
+    }
+
+    #[test]
+    fn directory_message_count_is_one_plus_observers() {
+        let sharers = DestSet::from_iter([n(2), n(3)]);
+        let i = info(ReqType::GetExclusive, Owner::Node(n(7)), sharers);
+        let out = directory(&i);
+        assert_eq!(out.request_messages, 4); // home + owner + 2 sharers
+        assert_eq!(out.latency, LatencyClass::CacheIndirect);
+        assert!(out.indirection);
+    }
+
+    #[test]
+    fn directory_memory_sourced_is_two_hop() {
+        let i = info(ReqType::GetShared, Owner::Memory, DestSet::empty());
+        let out = directory(&i);
+        assert_eq!(out.request_messages, 1);
+        assert_eq!(out.latency, LatencyClass::Memory);
+        assert!(!out.indirection);
+    }
+
+    #[test]
+    fn snooping_always_broadcasts_never_indirects() {
+        let i = info(ReqType::GetShared, Owner::Node(n(5)), DestSet::empty());
+        let out = snooping(&i, 16);
+        assert_eq!(out.request_messages, 15);
+        assert_eq!(out.latency, LatencyClass::CacheDirect);
+        assert!(!out.indirection);
+    }
+
+    #[test]
+    fn perfect_prediction_matches_directory_bandwidth() {
+        // The property behind the dashed line in Figure 5.
+        let sharers = DestSet::from_iter([n(2), n(3)]);
+        for (req, owner) in [
+            (ReqType::GetShared, Owner::Node(n(7))),
+            (ReqType::GetExclusive, Owner::Node(n(7))),
+            (ReqType::GetShared, Owner::Memory),
+            (ReqType::GetExclusive, Owner::Memory),
+        ] {
+            let i = info(req, owner, sharers);
+            let perfect = evaluate(&i, i.sufficient_set());
+            let dir = directory(&i);
+            assert_eq!(
+                perfect.request_messages, dir.request_messages,
+                "{req} {owner:?}"
+            );
+            assert!(perfect.sufficient_first);
+        }
+    }
+
+    #[test]
+    fn predictive_directory_converts_3hop_to_2hop() {
+        let i = info(ReqType::GetShared, Owner::Node(n(5)), DestSet::empty());
+        // Prediction covers the owner: direct transfer, no indirection.
+        let hit = directory_predicted(&i, DestSet::single(n(5)));
+        assert_eq!(hit.latency, LatencyClass::CacheDirect);
+        assert!(!hit.indirection);
+        // Prediction misses: home forwards, classic 3-hop.
+        let miss = directory_predicted(&i, DestSet::single(n(9)));
+        assert_eq!(miss.latency, LatencyClass::CacheIndirect);
+        assert!(miss.indirection);
+        // The miss pays both the wasted prediction and the forward.
+        assert!(miss.request_messages > hit.request_messages - 1);
+    }
+
+    #[test]
+    fn predictive_directory_memory_sourced_is_never_indirect() {
+        let i = info(
+            ReqType::GetExclusive,
+            Owner::Memory,
+            DestSet::from_iter([n(2), n(3)]),
+        );
+        let out = directory_predicted(&i, DestSet::empty());
+        assert!(!out.indirection);
+        assert_eq!(out.latency, LatencyClass::Memory);
+        // home + the two missed invalidations.
+        assert_eq!(out.request_messages, 3);
+    }
+
+    #[test]
+    fn latency_class_indirect_flags() {
+        assert!(LatencyClass::CacheIndirect.is_indirect());
+        assert!(LatencyClass::MemoryIndirect.is_indirect());
+        assert!(!LatencyClass::Memory.is_indirect());
+        assert!(!LatencyClass::CacheDirect.is_indirect());
+    }
+}

@@ -1,0 +1,107 @@
+//! Prediction queries and training events.
+
+use serde::{Deserialize, Serialize};
+
+use dsp_types::{BlockAddr, DestSet, NodeId, Owner, Pc, ReqType};
+
+/// One prediction request from the cache controller: everything the
+/// predictor may index or condition on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PredictQuery {
+    /// The missing block.
+    pub block: BlockAddr,
+    /// PC of the missing load/store (used by PC indexing).
+    pub pc: Pc,
+    /// The requesting node (the node this predictor belongs to).
+    pub requester: NodeId,
+    /// Shared or Exclusive request.
+    pub req: ReqType,
+    /// The minimal destination set ({requester, home}); every prediction
+    /// includes it.
+    pub minimal: DestSet,
+}
+
+/// Training information delivered to a node's predictor (paper §3.2).
+///
+/// Two cues train the predictors: *external coherence requests* (which
+/// carry the requester's identity, and only reach nodes inside the
+/// request's destination set) and *coherence responses* (data-response
+/// messages extended with the sender's identity). The Sticky-Spatial
+/// baseline additionally observes directory *reissues*.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrainEvent {
+    /// A data response for this node's own outstanding request arrived.
+    DataResponse {
+        /// The block the response is for.
+        block: BlockAddr,
+        /// PC of the original missing instruction (the controller
+        /// remembers it until the response arrives).
+        pc: Pc,
+        /// Who supplied the data: memory or another cache.
+        responder: Owner,
+        /// The request type that completed.
+        req: ReqType,
+        /// Whether the minimal destination set would have sufficed for
+        /// this miss. Policies allocate a new entry only when it would
+        /// not (paper §3.1), keeping capacity for sharing-active blocks.
+        minimal_sufficient: bool,
+    },
+    /// Another node's coherence request was observed (it included this
+    /// node in its destination set).
+    OtherRequest {
+        /// The requested block.
+        block: BlockAddr,
+        /// The external requester.
+        requester: NodeId,
+        /// Shared or Exclusive.
+        req: ReqType,
+    },
+    /// A directory reissue (retry with corrected destination set) was
+    /// observed; only the Sticky-Spatial policy trains on these.
+    Reissue {
+        /// The block being retried.
+        block: BlockAddr,
+        /// The corrected (sufficient) destination set of the reissue.
+        corrected: DestSet,
+    },
+}
+
+impl TrainEvent {
+    /// The block this event concerns.
+    pub fn block(&self) -> BlockAddr {
+        match *self {
+            TrainEvent::DataResponse { block, .. }
+            | TrainEvent::OtherRequest { block, .. }
+            | TrainEvent::Reissue { block, .. } => block,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_block_accessor() {
+        let block = BlockAddr::new(17);
+        let e1 = TrainEvent::DataResponse {
+            block,
+            pc: Pc::new(0),
+            responder: Owner::Memory,
+            req: ReqType::GetShared,
+            minimal_sufficient: true,
+        };
+        let e2 = TrainEvent::OtherRequest {
+            block,
+            requester: NodeId::new(2),
+            req: ReqType::GetShared,
+        };
+        let e3 = TrainEvent::Reissue {
+            block,
+            corrected: DestSet::empty(),
+        };
+        assert_eq!(e1.block(), block);
+        assert_eq!(e2.block(), block);
+        assert_eq!(e3.block(), block);
+    }
+}

@@ -1,0 +1,123 @@
+//! Predictor indexing alternatives (paper §3.4).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use dsp_types::{BlockAddr, Pc, BLOCK_BYTES};
+
+/// How a predictor maps a miss to a table key.
+///
+/// * `DataBlock` — the 64-byte block address (the paper's default).
+/// * `Macroblock` — a coarser aligned region (256 B or 1024 B in the
+///   paper), aggregating spatially related blocks into one entry; this
+///   both captures spatial locality and increases effective reach.
+/// * `ProgramCounter` — the static instruction that missed; exploits the
+///   small number of static instructions causing most cache-to-cache
+///   misses (Figure 4c) at the cost of plumbing the PC to the
+///   controller.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Indexing {
+    /// Index by 64-byte block address.
+    DataBlock,
+    /// Index by macroblock address of the given power-of-two size.
+    Macroblock {
+        /// Macroblock size in bytes (e.g. 256 or 1024).
+        bytes: u64,
+    },
+    /// Index by the program counter of the missing instruction.
+    ProgramCounter,
+}
+
+impl Indexing {
+    /// The table key for a miss on `block` caused by the instruction at
+    /// `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a macroblock size is not a power of two at least the
+    /// block size (64 B).
+    #[inline]
+    pub fn key(self, block: BlockAddr, pc: Pc) -> u64 {
+        match self {
+            Indexing::DataBlock => block.number(),
+            Indexing::Macroblock { bytes } => block.macroblock(bytes).number(),
+            // Instructions are 4-byte aligned on the paper's SPARC
+            // target; drop the alignment bits.
+            Indexing::ProgramCounter => pc.raw() >> 2,
+        }
+    }
+
+    /// Short label used in figure legends (e.g. `"1024B macroblock"`).
+    pub fn label(self) -> String {
+        match self {
+            Indexing::DataBlock => format!("{BLOCK_BYTES}B block"),
+            Indexing::Macroblock { bytes } => format!("{bytes}B macroblock"),
+            Indexing::ProgramCounter => "PC".to_string(),
+        }
+    }
+}
+
+impl Default for Indexing {
+    /// The paper's default: data-block indexing.
+    fn default() -> Self {
+        Indexing::DataBlock
+    }
+}
+
+impl fmt::Display for Indexing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_block_key_is_block_number() {
+        assert_eq!(Indexing::DataBlock.key(BlockAddr::new(77), Pc::new(0)), 77);
+    }
+
+    #[test]
+    fn macroblock_key_groups_neighbors() {
+        let ix = Indexing::Macroblock { bytes: 1024 };
+        // 16 blocks per 1024B macroblock.
+        assert_eq!(
+            ix.key(BlockAddr::new(0), Pc::new(0)),
+            ix.key(BlockAddr::new(15), Pc::new(0))
+        );
+        assert_ne!(
+            ix.key(BlockAddr::new(15), Pc::new(0)),
+            ix.key(BlockAddr::new(16), Pc::new(0))
+        );
+    }
+
+    #[test]
+    fn pc_key_ignores_block() {
+        let ix = Indexing::ProgramCounter;
+        assert_eq!(
+            ix.key(BlockAddr::new(1), Pc::new(0x400)),
+            ix.key(BlockAddr::new(999), Pc::new(0x400))
+        );
+        assert_eq!(ix.key(BlockAddr::new(0), Pc::new(0x400)), 0x100);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Indexing::DataBlock.label(), "64B block");
+        assert_eq!(
+            Indexing::Macroblock { bytes: 256 }.label(),
+            "256B macroblock"
+        );
+        assert_eq!(Indexing::ProgramCounter.to_string(), "PC");
+        assert_eq!(Indexing::default(), Indexing::DataBlock);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_macroblock_size_panics() {
+        let _ = Indexing::Macroblock { bytes: 48 }.key(BlockAddr::new(0), Pc::new(0));
+    }
+}

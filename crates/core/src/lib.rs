@@ -1,0 +1,101 @@
+//! Destination-set predictors — the primary contribution of the paper.
+//!
+//! A destination-set predictor sits in each L2 cache controller and, on
+//! every miss, guesses which nodes must observe the resulting coherence
+//! request. The predictor is accessed in parallel with the cache; on a
+//! predictor miss it falls back to the *minimal* destination set
+//! (requester + home node). Entries are allocated only when the minimal
+//! set proved insufficient, concentrating capacity on blocks that
+//! actually exhibit sharing (paper §3.1).
+//!
+//! This crate implements the paper's Table 3 policies plus the prior-work
+//! baseline and the two protocol endpoints:
+//!
+//! * [`policies::OwnerPredictor`] — predicts the last observed owner;
+//!   bandwidth-conscious.
+//! * [`policies::BroadcastIfSharedPredictor`] — broadcasts for data that
+//!   appears shared; latency-conscious.
+//! * [`policies::GroupPredictor`] — per-node 2-bit counters with a 5-bit
+//!   rollover "train-down" mechanism; balanced.
+//! * [`policies::OwnerGroupPredictor`] — Group for writes, Owner for
+//!   reads; stable-sharing-pattern hybrid.
+//! * [`policies::StickySpatialPredictor`] — Bilir et al.'s original
+//!   multicast-snooping predictor (untagged, direct-mapped, trains up
+//!   only), reproduced for Figure 6(c).
+//! * [`policies::AlwaysBroadcastPredictor`] /
+//!   [`policies::AlwaysMinimalPredictor`] — the snooping and directory
+//!   endpoints of the design space.
+//!
+//! Predictors are indexed by 64-byte data-block address, by macroblock
+//! address (256 B / 1024 B), or by the program counter of the missing
+//! instruction ([`Indexing`]), and are either unbounded or tagged
+//! set-associative ([`Capacity`]).
+//!
+//! # Example
+//!
+//! ```
+//! use dsp_core::{Capacity, Indexing, PredictorConfig, PredictQuery, TrainEvent};
+//! use dsp_types::{BlockAddr, DestSet, NodeId, Owner, Pc, ReqType, SystemConfig};
+//!
+//! let config = SystemConfig::isca03();
+//! let mut predictor = PredictorConfig::group()
+//!     .indexing(Indexing::Macroblock { bytes: 1024 })
+//!     .entries(Capacity::Finite { entries: 8192, ways: 4 })
+//!     .build(&config);
+//!
+//! let block = BlockAddr::new(99);
+//! let query = PredictQuery {
+//!     block,
+//!     pc: Pc::new(0x400),
+//!     requester: NodeId::new(0),
+//!     req: ReqType::GetShared,
+//!     minimal: DestSet::single(NodeId::new(0)).with(block.home(16)),
+//! };
+//! // Untrained: falls back to the minimal set.
+//! assert_eq!(predictor.predict(&query), query.minimal);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod counters;
+mod events;
+mod index;
+pub mod policies;
+mod table;
+
+pub use config::{PolicyKind, PredictorConfig};
+pub use counters::{RolloverCounter, SatCounter2};
+pub use events::{PredictQuery, TrainEvent};
+pub use index::Indexing;
+pub use table::{Capacity, PredictorTable, TableStats};
+
+use dsp_types::DestSet;
+
+/// A destination-set predictor, as seen by a cache controller.
+///
+/// Implementations must return predictions that are supersets of the
+/// query's minimal set (the protocol always includes requester + home);
+/// the property tests in this crate enforce it for every policy.
+pub trait DestSetPredictor: std::fmt::Debug + Send {
+    /// Predicts the destination set for a miss.
+    fn predict(&mut self, query: &PredictQuery) -> DestSet;
+
+    /// Applies one piece of training information (a data response for an
+    /// own request, an observed external request, or an observed
+    /// directory reissue).
+    fn train(&mut self, event: &TrainEvent);
+
+    /// Short human-readable policy name (e.g. `"Group"`).
+    fn name(&self) -> String;
+
+    /// Storage cost of one entry in bits, excluding tags (paper Table 3
+    /// "Entry Size" row).
+    fn entry_payload_bits(&self) -> u64;
+
+    /// Total storage of the predictor in bits, including tags for finite
+    /// configurations (0 for unbounded idealizations and the stateless
+    /// endpoints).
+    fn storage_bits(&self) -> u64;
+}

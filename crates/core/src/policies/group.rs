@@ -1,0 +1,273 @@
+//! The Group policy (paper Table 3, column 3).
+
+use dsp_types::{DestSet, NodeId, Owner, ReqType, SystemConfig};
+
+use crate::counters::{RolloverCounter, SatCounter2};
+use crate::events::{PredictQuery, TrainEvent};
+use crate::index::Indexing;
+use crate::table::{Capacity, PredictorTable, TableStats};
+use crate::DestSetPredictor;
+
+/// One entry: N 2-bit saturating counters plus a 5-bit rollover counter.
+#[derive(Clone, Debug, Default)]
+struct GroupEntry {
+    counters: Vec<SatCounter2>,
+    rollover: RolloverCounter<5>,
+}
+
+impl GroupEntry {
+    fn ensure(&mut self, n: usize) {
+        if self.counters.len() < n {
+            self.counters.resize(n, SatCounter2::default());
+        }
+    }
+
+    /// Counts one observation of `node` and applies the train-down rule:
+    /// every rollover of the 5-bit counter decrements all per-node
+    /// counters, aging out inactive processors.
+    fn observe(&mut self, node: NodeId, n: usize) {
+        self.ensure(n);
+        self.counters[node.index()].increment();
+        if self.rollover.increment() {
+            for c in &mut self.counters {
+                c.decrement();
+            }
+        }
+    }
+}
+
+/// Predicts the *recent sharing group* of a block: all nodes whose 2-bit
+/// counter exceeds 1.
+///
+/// Targets systems where groups of processors (fewer than all) share
+/// blocks and bandwidth is neither extremely limited nor plentiful —
+/// e.g. large machines running partitioned or phase-structured work.
+/// The rollover counter implements the paper's explicit "train down"
+/// mechanism, which the original Sticky-Spatial predictor lacks.
+#[derive(Debug)]
+pub struct GroupPredictor {
+    indexing: Indexing,
+    table: PredictorTable<GroupEntry>,
+    num_nodes: usize,
+}
+
+impl GroupPredictor {
+    /// Creates a Group predictor.
+    pub fn new(indexing: Indexing, capacity: Capacity, config: &SystemConfig) -> Self {
+        GroupPredictor {
+            indexing,
+            table: PredictorTable::new(capacity),
+            num_nodes: config.num_nodes(),
+        }
+    }
+
+    /// Table statistics.
+    pub fn table_stats(&self) -> TableStats {
+        self.table.stats()
+    }
+}
+
+impl DestSetPredictor for GroupPredictor {
+    fn predict(&mut self, query: &PredictQuery) -> DestSet {
+        let key = self.indexing.key(query.block, query.pc);
+        match self.table.lookup(key) {
+            Some(entry) => {
+                let mut set = query.minimal;
+                for (i, counter) in entry.counters.iter().enumerate() {
+                    if counter.is_confident() {
+                        set.insert(NodeId::new(i));
+                    }
+                }
+                set
+            }
+            None => query.minimal,
+        }
+    }
+
+    fn train(&mut self, event: &TrainEvent) {
+        let n = self.num_nodes;
+        match *event {
+            TrainEvent::DataResponse {
+                block,
+                pc,
+                responder,
+                minimal_sufficient,
+                ..
+            } => {
+                if let Owner::Node(responder) = responder {
+                    let key = self.indexing.key(block, pc);
+                    self.table
+                        .train(key, !minimal_sufficient, |e| e.observe(responder, n));
+                }
+            }
+            TrainEvent::OtherRequest {
+                block,
+                requester,
+                req,
+            } => {
+                if req == ReqType::GetExclusive {
+                    if let Indexing::ProgramCounter = self.indexing {
+                        return;
+                    }
+                    let key = self.indexing.key(block, dsp_types::Pc::new(0));
+                    self.table.train(key, false, |e| e.observe(requester, n));
+                }
+            }
+            TrainEvent::Reissue { .. } => {}
+        }
+    }
+
+    fn name(&self) -> String {
+        "Group".to_string()
+    }
+
+    fn entry_payload_bits(&self) -> u64 {
+        // "2N bits + 5 bits + tag".
+        2 * self.num_nodes as u64 + 5
+    }
+
+    fn storage_bits(&self) -> u64 {
+        match self.table.capacity() {
+            Capacity::Unbounded => self.table.len() as u64 * self.entry_payload_bits(),
+            Capacity::Finite { entries, .. } => {
+                entries as u64 * (self.entry_payload_bits() + self.table.tag_bits())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsp_types::{BlockAddr, Pc};
+
+    fn config() -> SystemConfig {
+        SystemConfig::isca03()
+    }
+
+    fn predictor() -> GroupPredictor {
+        GroupPredictor::new(Indexing::DataBlock, Capacity::Unbounded, &config())
+    }
+
+    fn query(block: u64) -> PredictQuery {
+        PredictQuery {
+            block: BlockAddr::new(block),
+            pc: Pc::new(0),
+            requester: NodeId::new(0),
+            req: ReqType::GetExclusive,
+            minimal: DestSet::single(NodeId::new(0)).with(BlockAddr::new(block).home(16)),
+        }
+    }
+
+    fn response_from(block: u64, node: usize) -> TrainEvent {
+        TrainEvent::DataResponse {
+            block: BlockAddr::new(block),
+            pc: Pc::new(0),
+            responder: Owner::Node(NodeId::new(node)),
+            req: ReqType::GetShared,
+            minimal_sufficient: false,
+        }
+    }
+
+    fn external(block: u64, node: usize) -> TrainEvent {
+        TrainEvent::OtherRequest {
+            block: BlockAddr::new(block),
+            requester: NodeId::new(node),
+            req: ReqType::GetExclusive,
+        }
+    }
+
+    #[test]
+    fn members_join_after_two_observations() {
+        let mut p = predictor();
+        p.train(&response_from(3, 5));
+        assert!(!p.predict(&query(3)).contains(NodeId::new(5)));
+        p.train(&response_from(3, 5));
+        assert!(p.predict(&query(3)).contains(NodeId::new(5)));
+    }
+
+    #[test]
+    fn tracks_multiple_members() {
+        let mut p = predictor();
+        for node in [5, 7, 9] {
+            p.train(&response_from(3, 5)); // allocation path via node 5
+            p.train(&external(3, node));
+            p.train(&external(3, node));
+        }
+        let set = p.predict(&query(3));
+        for node in [5, 7, 9] {
+            assert!(set.contains(NodeId::new(node)), "missing P{node} in {set}");
+        }
+    }
+
+    #[test]
+    fn rollover_trains_down_inactive_members() {
+        let mut p = predictor();
+        // Node 5 active early.
+        p.train(&response_from(3, 5));
+        p.train(&response_from(3, 5));
+        assert!(p.predict(&query(3)).contains(NodeId::new(5)));
+        // Then node 7 dominates for > 2 rollover periods (5-bit = 32).
+        for _ in 0..70 {
+            p.train(&external(3, 7));
+        }
+        let set = p.predict(&query(3));
+        assert!(set.contains(NodeId::new(7)));
+        assert!(
+            !set.contains(NodeId::new(5)),
+            "inactive node should be trained down by rollover: {set}"
+        );
+    }
+
+    #[test]
+    fn memory_responses_do_not_allocate() {
+        let mut p = predictor();
+        p.train(&TrainEvent::DataResponse {
+            block: BlockAddr::new(3),
+            pc: Pc::new(0),
+            responder: Owner::Memory,
+            req: ReqType::GetShared,
+            minimal_sufficient: true,
+        });
+        assert_eq!(p.table_stats().allocations, 0);
+    }
+
+    #[test]
+    fn shared_external_requests_ignored() {
+        let mut p = predictor();
+        p.train(&response_from(3, 5));
+        p.train(&TrainEvent::OtherRequest {
+            block: BlockAddr::new(3),
+            requester: NodeId::new(9),
+            req: ReqType::GetShared,
+        });
+        assert!(!p.predict(&query(3)).contains(NodeId::new(9)));
+    }
+
+    #[test]
+    fn prediction_superset_of_minimal() {
+        let mut p = GroupPredictor::new(
+            Indexing::Macroblock { bytes: 1024 },
+            Capacity::ISCA03,
+            &config(),
+        );
+        p.train(&response_from(3, 5));
+        p.train(&response_from(3, 5));
+        let q = query(3);
+        assert!(p.predict(&q).is_superset(q.minimal));
+    }
+
+    #[test]
+    fn entry_size_matches_table3() {
+        let p = predictor();
+        // 16 nodes: 2*16 + 5 = 37 bits ("approximately 8 bytes" with tag).
+        assert_eq!(p.entry_payload_bits(), 37);
+        let finite = GroupPredictor::new(Indexing::DataBlock, Capacity::ISCA03, &config());
+        let bytes_per_entry = finite.storage_bits() as f64 / 8192.0 / 8.0;
+        assert!(
+            (6.0..10.0).contains(&bytes_per_entry),
+            "{bytes_per_entry} B/entry"
+        );
+        assert_eq!(p.name(), "Group");
+    }
+}

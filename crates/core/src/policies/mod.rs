@@ -1,0 +1,20 @@
+//! The prediction policies of paper Table 3, the Sticky-Spatial prior
+//! work baseline, and the two protocol endpoints.
+
+mod broadcast_if_shared;
+mod endpoints;
+mod group;
+mod owner;
+mod owner_group;
+mod random;
+mod sticky_spatial;
+mod two_level_owner;
+
+pub use broadcast_if_shared::BroadcastIfSharedPredictor;
+pub use endpoints::{AlwaysBroadcastPredictor, AlwaysMinimalPredictor};
+pub use group::GroupPredictor;
+pub use owner::OwnerPredictor;
+pub use owner_group::OwnerGroupPredictor;
+pub use random::RandomPredictor;
+pub use sticky_spatial::StickySpatialPredictor;
+pub use two_level_owner::TwoLevelOwnerPredictor;

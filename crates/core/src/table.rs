@@ -1,0 +1,340 @@
+//! Tagged, set-associative (or unbounded) predictor storage.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Capacity of a predictor table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Capacity {
+    /// One entry per distinct key, never evicted — the idealized
+    /// configuration the paper's sensitivity analysis compares against.
+    Unbounded,
+    /// A tagged, set-associative table with LRU replacement.
+    Finite {
+        /// Total entries (the paper evaluates 8 192 and 32 768).
+        entries: usize,
+        /// Associativity; `entries` must be divisible by it.
+        ways: usize,
+    },
+}
+
+impl Capacity {
+    /// The paper's headline configuration: 8 192 entries, 4-way.
+    pub const ISCA03: Capacity = Capacity::Finite {
+        entries: 8192,
+        ways: 4,
+    };
+}
+
+/// Hit/allocation statistics of a [`PredictorTable`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableStats {
+    /// Lookup calls.
+    pub lookups: u64,
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Entries allocated.
+    pub allocations: u64,
+    /// Entries evicted to make room (finite tables only).
+    pub evictions: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Way<E> {
+    tag: u64,
+    last_use: u64,
+    entry: E,
+}
+
+/// Key-indexed storage for predictor entries.
+///
+/// Finite tables are tagged and set-associative with LRU replacement —
+/// "Predictors are tagged, set-associative, and (by default) indexed by
+/// data block address" (§3.1). Unbounded tables model the idealized
+/// infinite predictor of the sensitivity study.
+///
+/// Allocation is explicit: [`PredictorTable::train`] only creates an
+/// entry when the caller asks it to, implementing the paper's
+/// allocate-on-insufficient-minimal-set policy at the policy layer.
+#[derive(Clone, Debug)]
+pub struct PredictorTable<E> {
+    capacity: Capacity,
+    unbounded: HashMap<u64, E>,
+    sets: Vec<Vec<Way<E>>>,
+    num_sets: usize,
+    ways: usize,
+    tick: u64,
+    stats: TableStats,
+}
+
+impl<E: Clone + Default> PredictorTable<E> {
+    /// Creates a table with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a finite capacity has zero entries/ways or `entries` is
+    /// not divisible by `ways`.
+    pub fn new(capacity: Capacity) -> Self {
+        let (num_sets, ways) = match capacity {
+            Capacity::Unbounded => (0, 0),
+            Capacity::Finite { entries, ways } => {
+                assert!(
+                    entries > 0 && ways > 0,
+                    "finite tables need entries and ways"
+                );
+                assert!(
+                    entries % ways == 0,
+                    "entries ({entries}) must be divisible by ways ({ways})"
+                );
+                (entries / ways, ways)
+            }
+        };
+        PredictorTable {
+            capacity,
+            unbounded: HashMap::new(),
+            sets: if num_sets > 0 {
+                vec![Vec::new(); num_sets]
+            } else {
+                Vec::new()
+            },
+            num_sets,
+            ways,
+            tick: 0,
+            stats: TableStats::default(),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> Capacity {
+        self.capacity
+    }
+
+    /// Lookup for prediction: returns the live entry for `key`, if any,
+    /// refreshing its LRU position.
+    pub fn lookup(&mut self, key: u64) -> Option<&E> {
+        self.stats.lookups += 1;
+        self.tick += 1;
+        match self.capacity {
+            Capacity::Unbounded => {
+                let hit = self.unbounded.get(&key);
+                if hit.is_some() {
+                    self.stats.hits += 1;
+                }
+                hit
+            }
+            Capacity::Finite { .. } => {
+                let (set_idx, tag) = self.locate(key);
+                let tick = self.tick;
+                let set = &mut self.sets[set_idx];
+                if let Some(way) = set.iter_mut().find(|w| w.tag == tag) {
+                    way.last_use = tick;
+                    self.stats.hits += 1;
+                    Some(&way.entry)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Training access: applies `update` to the entry for `key`.
+    ///
+    /// If the entry is absent it is created (default-initialized) only
+    /// when `allocate` is true; otherwise the event is dropped. Returns
+    /// whether an entry was updated.
+    pub fn train<F: FnOnce(&mut E)>(&mut self, key: u64, allocate: bool, update: F) -> bool {
+        self.tick += 1;
+        match self.capacity {
+            Capacity::Unbounded => {
+                if allocate {
+                    self.stats.allocations += u64::from(!self.unbounded.contains_key(&key));
+                    update(self.unbounded.entry(key).or_default());
+                    true
+                } else if let Some(entry) = self.unbounded.get_mut(&key) {
+                    update(entry);
+                    true
+                } else {
+                    false
+                }
+            }
+            Capacity::Finite { .. } => {
+                let (set_idx, tag) = self.locate(key);
+                let tick = self.tick;
+                let ways = self.ways;
+                let set = &mut self.sets[set_idx];
+                if let Some(way) = set.iter_mut().find(|w| w.tag == tag) {
+                    way.last_use = tick;
+                    update(&mut way.entry);
+                    return true;
+                }
+                if !allocate {
+                    return false;
+                }
+                self.stats.allocations += 1;
+                if set.len() >= ways {
+                    // Evict the least recently used way.
+                    let victim = set
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, w)| w.last_use)
+                        .map(|(i, _)| i)
+                        .expect("set is non-empty");
+                    set.swap_remove(victim);
+                    self.stats.evictions += 1;
+                }
+                let mut entry = E::default();
+                update(&mut entry);
+                set.push(Way {
+                    tag,
+                    last_use: tick,
+                    entry,
+                });
+                true
+            }
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        match self.capacity {
+            Capacity::Unbounded => self.unbounded.len(),
+            Capacity::Finite { .. } => self.sets.iter().map(Vec::len).sum(),
+        }
+    }
+
+    /// Whether the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> TableStats {
+        self.stats
+    }
+
+    /// Tag bits stored per entry for this configuration (0 when
+    /// unbounded). Keys are treated as 42-bit values (a 48-bit physical
+    /// address space of 64-byte blocks).
+    pub fn tag_bits(&self) -> u64 {
+        match self.capacity {
+            Capacity::Unbounded => 0,
+            Capacity::Finite { .. } => 42u64.saturating_sub(self.num_sets.trailing_zeros() as u64),
+        }
+    }
+
+    fn locate(&self, key: u64) -> (usize, u64) {
+        let set_idx = (key % self.num_sets as u64) as usize;
+        let tag = key / self.num_sets as u64;
+        (set_idx, tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Table = PredictorTable<u32>;
+
+    #[test]
+    fn unbounded_never_evicts() {
+        let mut t = Table::new(Capacity::Unbounded);
+        for k in 0..10_000 {
+            t.train(k, true, |e| *e = k as u32);
+        }
+        assert_eq!(t.len(), 10_000);
+        assert_eq!(t.stats().evictions, 0);
+        assert_eq!(t.lookup(1234), Some(&1234));
+    }
+
+    #[test]
+    fn finite_capacity_bounded() {
+        let mut t = Table::new(Capacity::Finite {
+            entries: 64,
+            ways: 4,
+        });
+        for k in 0..1000 {
+            t.train(k, true, |e| *e = k as u32);
+        }
+        assert!(t.len() <= 64);
+        assert!(t.stats().evictions > 0);
+    }
+
+    #[test]
+    fn no_allocation_without_flag() {
+        let mut t = Table::new(Capacity::Finite {
+            entries: 64,
+            ways: 4,
+        });
+        assert!(!t.train(5, false, |e| *e = 1));
+        assert!(t.is_empty());
+        assert!(t.train(5, true, |e| *e = 1));
+        assert!(
+            t.train(5, false, |e| *e = 2),
+            "existing entries train without allocate"
+        );
+        assert_eq!(t.lookup(5), Some(&2));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        // 1 set, 2 ways: keys map to the same set by construction.
+        let mut t = Table::new(Capacity::Finite {
+            entries: 2,
+            ways: 2,
+        });
+        t.train(0, true, |e| *e = 10);
+        t.train(1, true, |e| *e = 11);
+        // Touch key 0 so key 1 is LRU.
+        assert_eq!(t.lookup(0), Some(&10));
+        t.train(2, true, |e| *e = 12);
+        assert_eq!(t.lookup(0), Some(&10), "recently used survives");
+        assert_eq!(t.lookup(1), None, "LRU evicted");
+        assert_eq!(t.lookup(2), Some(&12));
+    }
+
+    #[test]
+    fn tags_disambiguate_same_set() {
+        let mut t = Table::new(Capacity::Finite {
+            entries: 8,
+            ways: 4,
+        });
+        // Keys 3 and 3 + num_sets (=2) share a set but differ in tag.
+        t.train(3, true, |e| *e = 3);
+        t.train(5, true, |e| *e = 5);
+        assert_eq!(t.lookup(3), Some(&3));
+        assert_eq!(t.lookup(5), Some(&5));
+    }
+
+    #[test]
+    fn stats_track_hits() {
+        let mut t = Table::new(Capacity::Unbounded);
+        t.train(1, true, |e| *e = 1);
+        let _ = t.lookup(1);
+        let _ = t.lookup(2);
+        let s = t.stats();
+        assert_eq!(s.lookups, 2);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.allocations, 1);
+    }
+
+    #[test]
+    fn tag_bits_reasonable() {
+        let t = Table::new(Capacity::Finite {
+            entries: 8192,
+            ways: 4,
+        });
+        // 2048 sets -> 11 index bits -> 31 tag bits of a 42-bit key.
+        assert_eq!(t.tag_bits(), 31);
+        assert_eq!(Table::new(Capacity::Unbounded).tag_bits(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn rejects_indivisible_geometry() {
+        let _ = Table::new(Capacity::Finite {
+            entries: 10,
+            ways: 4,
+        });
+    }
+}

@@ -1,0 +1,257 @@
+//! Property-based tests over the predictor framework.
+//!
+//! Invariants checked for every policy under arbitrary interleavings of
+//! queries and training events:
+//!
+//! 1. Predictions are always supersets of the minimal destination set.
+//! 2. Predictions never name nodes outside the system.
+//! 3. Finite tables never exceed their configured capacity.
+//! 4. Predictors are deterministic: the same history yields the same
+//!    prediction.
+
+use proptest::prelude::*;
+
+use dsp_core::{Capacity, DestSetPredictor, Indexing, PredictQuery, PredictorConfig, TrainEvent};
+use dsp_types::{BlockAddr, DestSet, NodeId, Owner, Pc, ReqType, SystemConfig};
+
+const NODES: usize = 16;
+
+fn all_configs() -> Vec<PredictorConfig> {
+    let caps = [
+        Capacity::Unbounded,
+        Capacity::Finite {
+            entries: 64,
+            ways: 4,
+        },
+    ];
+    let idx = [
+        Indexing::DataBlock,
+        Indexing::Macroblock { bytes: 256 },
+        Indexing::Macroblock { bytes: 1024 },
+        Indexing::ProgramCounter,
+    ];
+    let mut configs = Vec::new();
+    for cap in caps {
+        for ix in idx {
+            configs.push(PredictorConfig::owner().indexing(ix).entries(cap));
+            configs.push(
+                PredictorConfig::broadcast_if_shared()
+                    .indexing(ix)
+                    .entries(cap),
+            );
+            configs.push(PredictorConfig::group().indexing(ix).entries(cap));
+            configs.push(PredictorConfig::owner_group().indexing(ix).entries(cap));
+            configs.push(PredictorConfig::two_level_owner().indexing(ix).entries(cap));
+        }
+    }
+    configs.push(PredictorConfig::sticky_spatial(1));
+    configs.push(
+        PredictorConfig::sticky_spatial(2).entries(Capacity::Finite {
+            entries: 64,
+            ways: 1,
+        }),
+    );
+    configs.push(PredictorConfig::always_broadcast());
+    configs.push(PredictorConfig::always_minimal());
+    configs.push(PredictorConfig::random(12345));
+    configs
+}
+
+#[derive(Clone, Debug)]
+enum Step {
+    Query {
+        block: u64,
+        pc: u64,
+        requester: usize,
+        exclusive: bool,
+    },
+    Response {
+        block: u64,
+        pc: u64,
+        responder: Option<usize>,
+        exclusive: bool,
+        sufficient: bool,
+    },
+    External {
+        block: u64,
+        requester: usize,
+        exclusive: bool,
+    },
+    Reissue {
+        block: u64,
+        mask: u16,
+    },
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0u64..128, 0u64..64, 0usize..NODES, any::<bool>()).prop_map(
+            |(block, pc, requester, exclusive)| Step::Query {
+                block,
+                pc: 0x1000 + pc * 4,
+                requester,
+                exclusive
+            }
+        ),
+        (
+            0u64..128,
+            0u64..64,
+            proptest::option::of(0usize..NODES),
+            any::<bool>(),
+            any::<bool>()
+        )
+            .prop_map(
+                |(block, pc, responder, exclusive, sufficient)| Step::Response {
+                    block,
+                    pc: 0x1000 + pc * 4,
+                    responder,
+                    exclusive,
+                    sufficient
+                }
+            ),
+        (0u64..128, 0usize..NODES, any::<bool>()).prop_map(|(block, requester, exclusive)| {
+            Step::External {
+                block,
+                requester,
+                exclusive,
+            }
+        }),
+        (0u64..128, any::<u16>()).prop_map(|(block, mask)| Step::Reissue { block, mask }),
+    ]
+}
+
+fn run_steps(predictor: &mut dyn DestSetPredictor, steps: &[Step]) -> Vec<DestSet> {
+    let mut predictions = Vec::new();
+    for step in steps {
+        match *step {
+            Step::Query {
+                block,
+                pc,
+                requester,
+                exclusive,
+            } => {
+                let block = BlockAddr::new(block);
+                let requester = NodeId::new(requester);
+                let minimal = DestSet::single(requester).with(block.home(NODES));
+                let q = PredictQuery {
+                    block,
+                    pc: Pc::new(pc),
+                    requester,
+                    req: if exclusive {
+                        ReqType::GetExclusive
+                    } else {
+                        ReqType::GetShared
+                    },
+                    minimal,
+                };
+                let prediction = predictor.predict(&q);
+                assert!(
+                    prediction.is_superset(minimal),
+                    "{}: prediction {prediction} lost minimal {minimal}",
+                    predictor.name()
+                );
+                assert!(
+                    prediction.is_subset(DestSet::broadcast(NODES)),
+                    "{}: prediction {prediction} names nodes outside the system",
+                    predictor.name()
+                );
+                predictions.push(prediction);
+            }
+            Step::Response {
+                block,
+                pc,
+                responder,
+                exclusive,
+                sufficient,
+            } => {
+                predictor.train(&TrainEvent::DataResponse {
+                    block: BlockAddr::new(block),
+                    pc: Pc::new(pc),
+                    responder: match responder {
+                        None => Owner::Memory,
+                        Some(n) => Owner::Node(NodeId::new(n)),
+                    },
+                    req: if exclusive {
+                        ReqType::GetExclusive
+                    } else {
+                        ReqType::GetShared
+                    },
+                    minimal_sufficient: sufficient,
+                });
+            }
+            Step::External {
+                block,
+                requester,
+                exclusive,
+            } => {
+                predictor.train(&TrainEvent::OtherRequest {
+                    block: BlockAddr::new(block),
+                    requester: NodeId::new(requester),
+                    req: if exclusive {
+                        ReqType::GetExclusive
+                    } else {
+                        ReqType::GetShared
+                    },
+                });
+            }
+            Step::Reissue { block, mask } => {
+                predictor.train(&TrainEvent::Reissue {
+                    block: BlockAddr::new(block),
+                    corrected: DestSet::from_bits(mask as u64),
+                });
+            }
+        }
+    }
+    predictions
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn predictions_are_superset_of_minimal_and_within_system(
+        steps in proptest::collection::vec(step_strategy(), 1..200)
+    ) {
+        let sys = SystemConfig::isca03();
+        for config in all_configs() {
+            let mut p = config.build(&sys);
+            run_steps(p.as_mut(), &steps);
+        }
+    }
+
+    #[test]
+    fn predictors_are_deterministic(
+        steps in proptest::collection::vec(step_strategy(), 1..100)
+    ) {
+        let sys = SystemConfig::isca03();
+        for config in [
+            PredictorConfig::owner(),
+            PredictorConfig::group(),
+            PredictorConfig::owner_group(),
+            PredictorConfig::broadcast_if_shared(),
+            PredictorConfig::sticky_spatial(1),
+        ] {
+            let mut a = config.build(&sys);
+            let mut b = config.build(&sys);
+            let pa = run_steps(a.as_mut(), &steps);
+            let pb = run_steps(b.as_mut(), &steps);
+            prop_assert_eq!(pa, pb, "{} not deterministic", config.label());
+        }
+    }
+
+    #[test]
+    fn storage_accounting_is_monotonic_for_unbounded(
+        steps in proptest::collection::vec(step_strategy(), 1..100)
+    ) {
+        let sys = SystemConfig::isca03();
+        let config = PredictorConfig::group().entries(Capacity::Unbounded);
+        let mut p = config.build(&sys);
+        let mut last = p.storage_bits();
+        for chunk in steps.chunks(10) {
+            run_steps(p.as_mut(), chunk);
+            let now = p.storage_bits();
+            prop_assert!(now >= last, "unbounded storage shrank: {last} -> {now}");
+            last = now;
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! The crossbar switch model.
+
+use serde::{Deserialize, Serialize};
+
+use dsp_types::{DestSet, MessageClass, NodeId};
+
+use crate::stats::TrafficStats;
+
+/// Link and switch timing parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct InterconnectConfig {
+    /// Full-duplex per-node link bandwidth, bytes per nanosecond
+    /// (10 GB/s = 10 B/ns in Table 4).
+    pub link_bytes_per_ns: f64,
+    /// End-to-end traversal latency in ns (50 in Table 4), split evenly
+    /// between the source→switch and switch→destination halves.
+    pub traversal_ns: u64,
+}
+
+impl InterconnectConfig {
+    /// Paper Table 4: 10 GB/s links, 50 ns traversal.
+    pub fn isca03() -> Self {
+        InterconnectConfig {
+            link_bytes_per_ns: 10.0,
+            traversal_ns: 50,
+        }
+    }
+}
+
+impl Default for InterconnectConfig {
+    fn default() -> Self {
+        InterconnectConfig::isca03()
+    }
+}
+
+/// One message to inject: source, destination set, and class (the class
+/// determines the wire size).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Message {
+    /// Injecting node.
+    pub src: NodeId,
+    /// Endpoint destinations (may include or exclude the source; the
+    /// crossbar delivers exactly what is asked).
+    pub dests: DestSet,
+    /// Message class, fixing its size and accounting bucket.
+    pub class: MessageClass,
+}
+
+/// The outcome of injecting a message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Delivery {
+    /// When the message passed the switch's ordering point. All
+    /// messages are totally ordered by this time (ties broken by
+    /// injection sequence, which the simulator preserves).
+    pub order_time: u64,
+    /// Arrival time at each destination, in destination index order.
+    pub arrivals: Vec<(NodeId, u64)>,
+}
+
+/// A single totally-ordered crossbar connecting `n` nodes.
+///
+/// Contention model: each node has one outgoing and one incoming link;
+/// a message occupies its source link for `size / bandwidth` ns (queuing
+/// behind earlier messages), passes the ordering point after half the
+/// traversal, then occupies each destination's incoming link in turn.
+/// Multicasts pay source serialization once but per-destination delivery
+/// — the endpoint-bandwidth cost structure that motivates destination-set
+/// prediction.
+#[derive(Clone, Debug)]
+pub struct Crossbar {
+    config: InterconnectConfig,
+    src_free_at: Vec<u64>,
+    dst_free_at: Vec<u64>,
+    last_order_time: u64,
+    stats: TrafficStats,
+}
+
+impl Crossbar {
+    /// Creates a crossbar for `num_nodes` nodes.
+    pub fn new(config: InterconnectConfig, num_nodes: usize) -> Self {
+        assert!(num_nodes > 0, "need at least one node");
+        assert!(config.link_bytes_per_ns > 0.0, "bandwidth must be positive");
+        Crossbar {
+            config,
+            src_free_at: vec![0; num_nodes],
+            dst_free_at: vec![0; num_nodes],
+            last_order_time: 0,
+            stats: TrafficStats::default(),
+        }
+    }
+
+    /// The configured timing parameters.
+    pub fn config(&self) -> InterconnectConfig {
+        self.config
+    }
+
+    /// Serialization delay of `class`-sized messages on one link, in ns
+    /// (rounded up, minimum 1).
+    pub fn serialization_ns(&self, class: MessageClass) -> u64 {
+        ((class.bytes() as f64 / self.config.link_bytes_per_ns).ceil() as u64).max(1)
+    }
+
+    /// Injects `msg` at time `now`; returns the ordering time and
+    /// per-destination arrival times, updating link occupancy and
+    /// traffic statistics.
+    pub fn send(&mut self, now: u64, msg: &Message) -> Delivery {
+        let ser = self.serialization_ns(msg.class);
+        let half = self.config.traversal_ns / 2;
+        // Source link: queue behind earlier injections from this node.
+        let start = now.max(self.src_free_at[msg.src.index()]);
+        self.src_free_at[msg.src.index()] = start + ser;
+        // Ordering point: monotonically non-decreasing across the switch.
+        let order_time = (start + ser + half).max(self.last_order_time);
+        self.last_order_time = order_time;
+        // Destination links.
+        let mut arrivals = Vec::with_capacity(msg.dests.len());
+        for dest in msg.dests {
+            let d_start = order_time.max(self.dst_free_at[dest.index()]);
+            self.dst_free_at[dest.index()] = d_start + ser;
+            arrivals.push((dest, d_start + ser + half));
+        }
+        self.stats.record(msg.class, arrivals.len() as u64);
+        Delivery {
+            order_time,
+            arrivals,
+        }
+    }
+
+    /// Accumulated traffic statistics.
+    pub fn stats(&self) -> TrafficStats {
+        self.stats
+    }
+
+    /// Clears the traffic statistics (e.g. after warmup) without
+    /// resetting link occupancy.
+    pub fn reset_stats(&mut self) {
+        self.stats = TrafficStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xbar() -> Crossbar {
+        Crossbar::new(InterconnectConfig::isca03(), 16)
+    }
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn uncontended_latency_is_traversal_plus_serialization() {
+        let mut x = xbar();
+        let msg = Message {
+            src: n(0),
+            dests: DestSet::single(n(5)),
+            class: MessageClass::Request,
+        };
+        let d = x.send(0, &msg);
+        // 8B at 10B/ns -> 1ns serialization; 25 + 25 traversal halves.
+        // src: 0..1, order at 26, dst: 26..27, arrive 27 + 25 = 52.
+        assert_eq!(d.order_time, 26);
+        assert_eq!(d.arrivals, vec![(n(5), 52)]);
+    }
+
+    #[test]
+    fn data_responses_serialize_longer() {
+        let mut x = xbar();
+        let req = x.send(
+            0,
+            &Message {
+                src: n(0),
+                dests: DestSet::single(n(1)),
+                class: MessageClass::Request,
+            },
+        );
+        let mut x2 = xbar();
+        let data = x2.send(
+            0,
+            &Message {
+                src: n(0),
+                dests: DestSet::single(n(1)),
+                class: MessageClass::DataResponse,
+            },
+        );
+        assert!(
+            data.arrivals[0].1 > req.arrivals[0].1,
+            "72B serializes slower than 8B"
+        );
+    }
+
+    #[test]
+    fn source_link_queues_back_to_back_sends() {
+        let mut x = xbar();
+        let msg = Message {
+            src: n(0),
+            dests: DestSet::single(n(1)),
+            class: MessageClass::DataResponse, // 8ns serialization
+        };
+        let first = x.send(0, &msg);
+        let second = x.send(0, &msg);
+        assert!(
+            second.order_time >= first.order_time + 8,
+            "second send queues"
+        );
+    }
+
+    #[test]
+    fn destination_link_contention_staggers_arrivals() {
+        let mut x = xbar();
+        // Two different sources target the same destination at once.
+        let a = x.send(
+            0,
+            &Message {
+                src: n(0),
+                dests: DestSet::single(n(9)),
+                class: MessageClass::DataResponse,
+            },
+        );
+        let b = x.send(
+            0,
+            &Message {
+                src: n(1),
+                dests: DestSet::single(n(9)),
+                class: MessageClass::DataResponse,
+            },
+        );
+        assert!(
+            b.arrivals[0].1 >= a.arrivals[0].1 + 8,
+            "incoming link serializes"
+        );
+    }
+
+    #[test]
+    fn order_times_are_totally_ordered() {
+        let mut x = xbar();
+        let mut last = 0;
+        for i in 0..50 {
+            let d = x.send(
+                i * 3,
+                &Message {
+                    src: n((i % 16) as usize),
+                    dests: DestSet::broadcast(16),
+                    class: MessageClass::Request,
+                },
+            );
+            assert!(d.order_time >= last, "ordering point must be monotone");
+            last = d.order_time;
+        }
+    }
+
+    #[test]
+    fn multicast_delivers_to_every_destination() {
+        let mut x = xbar();
+        let dests = DestSet::from_iter([n(1), n(4), n(9)]);
+        let d = x.send(
+            100,
+            &Message {
+                src: n(0),
+                dests,
+                class: MessageClass::Request,
+            },
+        );
+        assert_eq!(d.arrivals.len(), 3);
+        let stats = x.stats();
+        assert_eq!(stats.class(MessageClass::Request).deliveries, 3);
+        assert_eq!(stats.class(MessageClass::Request).messages, 1);
+    }
+
+    #[test]
+    fn empty_destination_set_is_a_no_op_delivery() {
+        let mut x = xbar();
+        let d = x.send(
+            5,
+            &Message {
+                src: n(0),
+                dests: DestSet::empty(),
+                class: MessageClass::Control,
+            },
+        );
+        assert!(d.arrivals.is_empty());
+        assert_eq!(x.stats().class(MessageClass::Control).deliveries, 0);
+        assert_eq!(x.stats().class(MessageClass::Control).messages, 1);
+    }
+
+    #[test]
+    fn reset_stats_keeps_link_state() {
+        let mut x = xbar();
+        let msg = Message {
+            src: n(0),
+            dests: DestSet::single(n(1)),
+            class: MessageClass::Request,
+        };
+        x.send(0, &msg);
+        x.reset_stats();
+        assert_eq!(x.stats().total_messages(), 0);
+        let d = x.send(0, &msg);
+        assert!(d.order_time > 26, "link occupancy survived the stats reset");
+    }
+
+    #[test]
+    fn broadcast_costs_n_deliveries() {
+        let mut x = xbar();
+        x.send(
+            0,
+            &Message {
+                src: n(0),
+                dests: DestSet::broadcast(16).without(n(0)),
+                class: MessageClass::Request,
+            },
+        );
+        assert_eq!(x.stats().request_deliveries(), 15);
+    }
+}

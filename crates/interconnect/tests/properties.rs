@@ -1,0 +1,151 @@
+//! Property-based tests of the crossbar timing model.
+
+use proptest::prelude::*;
+
+use dsp_interconnect::{Crossbar, InterconnectConfig, Message};
+use dsp_types::{DestSet, MessageClass, NodeId};
+
+const NODES: usize = 16;
+
+#[derive(Clone, Debug)]
+struct Send {
+    src: usize,
+    dest_mask: u16,
+    class_idx: u8,
+    gap: u64,
+}
+
+fn class_of(idx: u8) -> MessageClass {
+    match idx % 6 {
+        0 => MessageClass::Request,
+        1 => MessageClass::Forward,
+        2 => MessageClass::Retry,
+        3 => MessageClass::DataResponse,
+        4 => MessageClass::Control,
+        _ => MessageClass::Writeback,
+    }
+}
+
+fn sends() -> impl Strategy<Value = Vec<Send>> {
+    proptest::collection::vec(
+        (0usize..NODES, any::<u16>(), any::<u8>(), 0u64..100).prop_map(
+            |(src, dest_mask, class_idx, gap)| Send {
+                src,
+                dest_mask,
+                class_idx,
+                gap,
+            },
+        ),
+        1..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Ordering-point times are monotone in send order (total order),
+    /// and every arrival happens strictly after the ordering point.
+    #[test]
+    fn total_order_and_causality(ops in sends()) {
+        let mut xbar = Crossbar::new(InterconnectConfig::isca03(), NODES);
+        let mut now = 0u64;
+        let mut last_order = 0u64;
+        for op in &ops {
+            now += op.gap;
+            let msg = Message {
+                src: NodeId::new(op.src),
+                dests: DestSet::from_bits(op.dest_mask as u64),
+                class: class_of(op.class_idx),
+            };
+            let d = xbar.send(now, &msg);
+            prop_assert!(d.order_time >= last_order, "ordering point went backwards");
+            prop_assert!(d.order_time > now, "ordering cannot precede injection");
+            last_order = d.order_time;
+            for (_, t) in &d.arrivals {
+                prop_assert!(*t > d.order_time, "arrival before ordering");
+            }
+        }
+    }
+
+    /// A node's incoming link delivers at most one message per
+    /// serialization window: consecutive arrivals at the same node are
+    /// spaced by at least the smaller message's serialization time.
+    #[test]
+    fn per_link_delivery_spacing(ops in sends()) {
+        let mut xbar = Crossbar::new(InterconnectConfig::isca03(), NODES);
+        let mut now = 0u64;
+        let mut arrivals_per_node: Vec<Vec<(u64, u64)>> = vec![Vec::new(); NODES];
+        for op in &ops {
+            now += op.gap;
+            let class = class_of(op.class_idx);
+            let ser = xbar.serialization_ns(class);
+            let msg = Message {
+                src: NodeId::new(op.src),
+                dests: DestSet::from_bits(op.dest_mask as u64),
+                class,
+            };
+            for (node, t) in xbar.send(now, &msg).arrivals {
+                arrivals_per_node[node.index()].push((t, ser));
+            }
+        }
+        for node in arrivals_per_node {
+            let mut sorted = node.clone();
+            sorted.sort_unstable();
+            for pair in sorted.windows(2) {
+                let ((t1, _), (t2, s2)) = (pair[0], pair[1]);
+                // The later arrival needed its own serialization slot.
+                prop_assert!(t2 >= t1 + s2.min(pair[0].1), "link overcommitted: {t1} then {t2}");
+            }
+        }
+    }
+
+    /// Traffic accounting matches what was sent: deliveries equal the
+    /// destination-set sizes and bytes equal deliveries times the class
+    /// size.
+    #[test]
+    fn traffic_accounting_is_exact(ops in sends()) {
+        let mut xbar = Crossbar::new(InterconnectConfig::isca03(), NODES);
+        let mut expect_deliveries = 0u64;
+        let mut expect_bytes = 0u64;
+        let mut now = 0;
+        for op in &ops {
+            now += op.gap;
+            let class = class_of(op.class_idx);
+            let dests = DestSet::from_bits(op.dest_mask as u64);
+            expect_deliveries += dests.len() as u64;
+            expect_bytes += dests.len() as u64 * class.bytes();
+            xbar.send(now, &Message { src: NodeId::new(op.src), dests, class });
+        }
+        let stats = xbar.stats();
+        let total_deliveries: u64 = [
+            MessageClass::Request,
+            MessageClass::Forward,
+            MessageClass::Retry,
+            MessageClass::DataResponse,
+            MessageClass::Control,
+            MessageClass::Writeback,
+        ]
+        .iter()
+        .map(|c| stats.class(*c).deliveries)
+        .sum();
+        prop_assert_eq!(total_deliveries, expect_deliveries);
+        prop_assert_eq!(stats.total_bytes(), expect_bytes);
+        prop_assert_eq!(stats.total_messages(), ops.len() as u64);
+    }
+
+    /// Uncontended single messages always arrive within serialization +
+    /// traversal of their injection.
+    #[test]
+    fn uncontended_latency_bound(src in 0usize..NODES, dst in 0usize..NODES, class_idx in 0u8..6) {
+        let mut xbar = Crossbar::new(InterconnectConfig::isca03(), NODES);
+        let class = class_of(class_idx);
+        let msg = Message {
+            src: NodeId::new(src),
+            dests: DestSet::single(NodeId::new(dst)),
+            class,
+        };
+        let d = xbar.send(1_000, &msg);
+        let bound = 1_000 + 2 * xbar.serialization_ns(class) + 50;
+        prop_assert!(d.arrivals[0].1 <= bound, "{} > {bound}", d.arrivals[0].1);
+    }
+}

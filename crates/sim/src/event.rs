@@ -1,0 +1,159 @@
+//! The discrete-event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Events driving the simulation. `req` indexes the pending-request
+/// table; `node` is a node index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A node is ready to issue its next miss (subject to its window).
+    CpuIssue {
+        /// Node index.
+        node: usize,
+    },
+    /// The L2 detected the miss; the request enters the interconnect.
+    Inject {
+        /// Pending-request index.
+        req: usize,
+    },
+    /// A request (attempt `attempt`) passed the ordering point.
+    Ordered {
+        /// Pending-request index.
+        req: usize,
+        /// 1 = initial multicast, 2 = first reissue, 3 = broadcast.
+        attempt: u8,
+    },
+    /// A request-class message arrived at a node (predictor training).
+    RequestArrive {
+        /// Pending-request index.
+        req: usize,
+        /// Receiving node.
+        node: usize,
+        /// Whether this was a directory reissue.
+        retry: bool,
+    },
+    /// The home directory is ready to forward / respond / reissue.
+    HomeReady {
+        /// Pending-request index.
+        req: usize,
+        /// Attempt being processed.
+        attempt: u8,
+    },
+    /// The cache owner is ready to inject the data response.
+    OwnerReady {
+        /// Pending-request index.
+        req: usize,
+        /// The owner node injecting the response.
+        owner: usize,
+    },
+    /// The data (or upgrade ack) arrived at the requester.
+    Complete {
+        /// Pending-request index.
+        req: usize,
+    },
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Queued {
+    time: u64,
+    seq: u64,
+    event: Event,
+}
+
+impl Ord for Queued {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse for earliest-first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Queued {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A time-ordered event queue with FIFO tie-breaking.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Queued>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules `event` at absolute time `time`.
+    pub fn push(&mut self, time: u64, event: Event) {
+        self.seq += 1;
+        self.heap.push(Queued {
+            time,
+            seq: self.seq,
+            event,
+        });
+    }
+
+    /// Pops the earliest event (FIFO among equal times).
+    pub fn pop(&mut self) -> Option<(u64, Event)> {
+        self.heap.pop().map(|q| (q.time, q.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, Event::CpuIssue { node: 3 });
+        q.push(10, Event::CpuIssue { node: 1 });
+        q.push(20, Event::CpuIssue { node: 2 });
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        q.push(5, Event::CpuIssue { node: 0 });
+        q.push(5, Event::CpuIssue { node: 1 });
+        q.push(5, Event::CpuIssue { node: 2 });
+        let order: Vec<usize> = std::iter::from_fn(|| {
+            q.pop().map(|(_, e)| match e {
+                Event::CpuIssue { node } => node,
+                _ => unreachable!(),
+            })
+        })
+        .collect();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(1, Event::Complete { req: 0 });
+        assert_eq!(q.len(), 1);
+        let _ = q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+}

@@ -1,0 +1,130 @@
+//! The trace record schema.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use dsp_types::{AccessKind, Address, BlockAddr, NodeId, Pc, ReqType};
+
+/// One L2-cache-miss coherence event, exactly the schema of the paper's
+/// Simics traces: "trace records contain the data address, program
+/// counter (PC) address, requester, and request type" (§2.1).
+///
+/// # Example
+///
+/// ```
+/// use dsp_trace::TraceRecord;
+/// use dsp_types::{AccessKind, Address, NodeId, Pc, ReqType};
+///
+/// let rec = TraceRecord::new(NodeId::new(3), AccessKind::Store, Address::new(0x4040), Pc::new(0x1000));
+/// assert_eq!(rec.request(), ReqType::GetExclusive);
+/// assert_eq!(rec.block().number(), 0x101);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// The node whose L2 missed.
+    pub requester: NodeId,
+    /// Load or store.
+    pub kind: AccessKind,
+    /// Data (byte) address of the access.
+    pub addr: Address,
+    /// Program counter of the missing instruction.
+    pub pc: Pc,
+}
+
+impl TraceRecord {
+    /// Creates a record.
+    pub fn new(requester: NodeId, kind: AccessKind, addr: Address, pc: Pc) -> Self {
+        TraceRecord {
+            requester,
+            kind,
+            addr,
+            pc,
+        }
+    }
+
+    /// The coherence request type this miss issues (MOSI): loads request
+    /// Shared, stores request Exclusive.
+    #[inline]
+    pub fn request(&self) -> ReqType {
+        self.kind.request()
+    }
+
+    /// The 64-byte block containing the data address.
+    #[inline]
+    pub fn block(&self) -> BlockAddr {
+        self.addr.block()
+    }
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} {} {}",
+            self.requester,
+            self.request(),
+            self.addr,
+            self.pc
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_type_follows_kind() {
+        let load = TraceRecord::new(
+            NodeId::new(0),
+            AccessKind::Load,
+            Address::new(64),
+            Pc::new(4),
+        );
+        let store = TraceRecord::new(
+            NodeId::new(0),
+            AccessKind::Store,
+            Address::new(64),
+            Pc::new(4),
+        );
+        assert_eq!(load.request(), ReqType::GetShared);
+        assert_eq!(store.request(), ReqType::GetExclusive);
+    }
+
+    #[test]
+    fn block_view() {
+        let rec = TraceRecord::new(
+            NodeId::new(1),
+            AccessKind::Load,
+            Address::new(0x1040),
+            Pc::new(0),
+        );
+        assert_eq!(rec.block().number(), 0x41);
+    }
+
+    #[test]
+    fn display_contains_fields() {
+        let rec = TraceRecord::new(
+            NodeId::new(2),
+            AccessKind::Store,
+            Address::new(0x80),
+            Pc::new(0x10),
+        );
+        let s = rec.to_string();
+        assert!(s.contains("P2") && s.contains("GETX") && s.contains("0x80"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let rec = TraceRecord::new(
+            NodeId::new(5),
+            AccessKind::Load,
+            Address::new(0xabc0),
+            Pc::new(0x42),
+        );
+        let json = serde_json::to_string(&rec).expect("serialize");
+        let back: TraceRecord = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(rec, back);
+    }
+}

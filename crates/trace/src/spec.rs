@@ -1,0 +1,356 @@
+//! Workload specifications: the knobs of the synthetic generators.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use dsp_types::SystemConfig;
+
+use crate::generator::TraceGenerator;
+use crate::presets;
+
+/// The six benchmark workloads of the paper (Table 1).
+///
+/// * `Apache` — static web content serving (Apache 2.0.39).
+/// * `BarnesHut` — SPLASH-2 N-body simulation, 64 k bodies.
+/// * `Ocean` — SPLASH-2 ocean simulation, 514×514 grid.
+/// * `Oltp` — DB2 running a TPC-C-like online transaction workload.
+/// * `Slashcode` — dynamic web serving (Slashcode 2.0 + MySQL).
+/// * `SpecJbb` — SPECjbb2000 server-side Java middleware.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Workload {
+    /// Static web content serving (Apache).
+    Apache,
+    /// SPLASH-2 Barnes-Hut, 64k bodies.
+    BarnesHut,
+    /// SPLASH-2 Ocean, 514 x 514 grid.
+    Ocean,
+    /// Online transaction processing: DB2 with a TPC-C-like workload.
+    Oltp,
+    /// Dynamic web content serving: Slashcode over MySQL.
+    Slashcode,
+    /// SPECjbb2000 server-side Java.
+    SpecJbb,
+}
+
+impl Workload {
+    /// All six workloads, in the paper's (alphabetical) order.
+    pub const ALL: [Workload; 6] = [
+        Workload::Apache,
+        Workload::BarnesHut,
+        Workload::Ocean,
+        Workload::Oltp,
+        Workload::Slashcode,
+        Workload::SpecJbb,
+    ];
+
+    /// Human-readable name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::Apache => "Apache",
+            Workload::BarnesHut => "Barnes-Hut",
+            Workload::Ocean => "Ocean",
+            Workload::Oltp => "OLTP",
+            Workload::Slashcode => "Slashcode",
+            Workload::SpecJbb => "SPECjbb",
+        }
+    }
+}
+
+impl fmt::Display for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The sharing class of a pool of blocks.
+///
+/// Commercial-workload miss streams are well described as mixtures of a
+/// small number of access idioms (Gupta & Weber's invalidation-pattern
+/// taxonomy; the paper's §2). Each class reproduces one idiom.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum SharingClass {
+    /// Blocks touched by exactly one processor (stack, thread-local heap).
+    /// Misses are capacity misses sourced by memory.
+    Private,
+    /// The long tail of the footprint: blocks touched once or twice,
+    /// walked sequentially. Sourced by memory; gives the workload its
+    /// large "memory touched" figure.
+    ColdFootprint,
+    /// Read-only shared data (code, configuration): many readers, no
+    /// writers, sourced by memory.
+    ReadShared,
+    /// Migratory data (locks, counters, updated records): processors take
+    /// turns performing a load-miss followed by a store (read-modify-
+    /// write), so ownership migrates around the sharing group.
+    Migratory,
+    /// Producer–consumer buffers: one processor writes a macroblock, the
+    /// group members then read it, and the producer role rotates.
+    ProducerConsumer,
+    /// Read-write shared data touched by the whole group with a given
+    /// store fraction; stores invalidate accumulated sharers.
+    ReadWriteShared,
+}
+
+impl fmt::Display for SharingClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SharingClass::Private => "private",
+            SharingClass::ColdFootprint => "cold-footprint",
+            SharingClass::ReadShared => "read-shared",
+            SharingClass::Migratory => "migratory",
+            SharingClass::ProducerConsumer => "producer-consumer",
+            SharingClass::ReadWriteShared => "read-write-shared",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One pool of blocks sharing a [`SharingClass`] and its parameters.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ClassSpec {
+    /// The access idiom of this pool.
+    pub class: SharingClass,
+    /// Relative fraction of all misses that hit this pool (the presets
+    /// normalize these to sum to 1).
+    pub miss_weight: f64,
+    /// Pool size in macroblocks (16 blocks each at paper defaults).
+    pub macroblocks: usize,
+    /// Number of distinct processors in each block's sharing group.
+    pub group_size: usize,
+    /// Fraction of accesses that are stores (where the class does not
+    /// dictate the mix structurally).
+    pub write_frac: f64,
+    /// Zipf exponent of temporal locality across the pool's macroblocks
+    /// (0 = uniform, ~1 = hot).
+    pub zipf_exponent: f64,
+    /// Number of static instructions (PCs) that miss into this pool.
+    pub pcs: usize,
+}
+
+/// A complete synthetic workload: a weighted mixture of class pools plus
+/// whole-trace parameters.
+///
+/// # Example
+///
+/// ```
+/// use dsp_trace::{Workload, WorkloadSpec};
+/// use dsp_types::SystemConfig;
+///
+/// let spec = WorkloadSpec::preset(Workload::Oltp, &SystemConfig::isca03());
+/// assert_eq!(spec.num_nodes(), 16);
+/// assert!(spec.footprint_bytes() > 100 << 20);
+/// let small = spec.scaled(1.0 / 64.0);
+/// assert!(small.footprint_bytes() < 4 << 20);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    name: String,
+    num_nodes: usize,
+    blocks_per_macroblock: u64,
+    misses_per_kilo_instr: f64,
+    classes: Vec<ClassSpec>,
+}
+
+impl WorkloadSpec {
+    /// Builds a spec from parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is empty, any weight is negative or all are
+    /// zero, any pool is empty, or a group size is zero or exceeds the
+    /// node count.
+    pub fn new(
+        name: impl Into<String>,
+        num_nodes: usize,
+        blocks_per_macroblock: u64,
+        misses_per_kilo_instr: f64,
+        classes: Vec<ClassSpec>,
+    ) -> Self {
+        assert!(
+            !classes.is_empty(),
+            "a workload needs at least one class pool"
+        );
+        assert!(
+            blocks_per_macroblock >= 1,
+            "macroblocks must hold at least one block"
+        );
+        let mut total_weight = 0.0;
+        for c in &classes {
+            assert!(c.miss_weight >= 0.0, "negative miss weight");
+            assert!(c.macroblocks > 0, "empty class pool");
+            assert!(
+                c.group_size >= 1 && c.group_size <= num_nodes,
+                "group size {} out of range for {num_nodes} nodes",
+                c.group_size
+            );
+            assert!(
+                (0.0..=1.0).contains(&c.write_frac),
+                "write fraction out of [0,1]"
+            );
+            assert!(c.pcs >= 1, "each class needs at least one PC");
+            total_weight += c.miss_weight;
+        }
+        assert!(total_weight > 0.0, "all miss weights are zero");
+        WorkloadSpec {
+            name: name.into(),
+            num_nodes,
+            blocks_per_macroblock,
+            misses_per_kilo_instr,
+            classes,
+        }
+    }
+
+    /// The calibrated preset for one of the paper's six workloads.
+    pub fn preset(workload: Workload, config: &SystemConfig) -> Self {
+        presets::preset(workload, config)
+    }
+
+    /// Workload name (for reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of processors issuing misses.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Cache blocks per macroblock (16 at paper defaults).
+    pub fn blocks_per_macroblock(&self) -> u64 {
+        self.blocks_per_macroblock
+    }
+
+    /// L2 misses per 1000 instructions (Table 2), used by the timing
+    /// simulator to space misses with computation.
+    pub fn misses_per_kilo_instr(&self) -> f64 {
+        self.misses_per_kilo_instr
+    }
+
+    /// Mean number of instructions between consecutive misses of one
+    /// processor.
+    pub fn mean_gap_instructions(&self) -> f64 {
+        1000.0 / self.misses_per_kilo_instr
+    }
+
+    /// The class pools.
+    pub fn classes(&self) -> &[ClassSpec] {
+        &self.classes
+    }
+
+    /// Total pool size in macroblocks.
+    pub fn total_macroblocks(&self) -> usize {
+        self.classes.iter().map(|c| c.macroblocks).sum()
+    }
+
+    /// Total footprint in bytes (64-byte blocks).
+    pub fn footprint_bytes(&self) -> u64 {
+        self.total_macroblocks() as u64 * self.blocks_per_macroblock * 64
+    }
+
+    /// Returns a copy with every pool (and PC count) scaled by `factor`,
+    /// for fast test and CI runs. Pool sizes are floored at 2
+    /// macroblocks and 1 PC. Weights, group sizes, and mix are
+    /// unchanged, so sharing *behavior* is preserved; only footprint
+    /// shrinks.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(factor > 0.0, "scale factor must be positive");
+        let classes = self
+            .classes
+            .iter()
+            .map(|c| ClassSpec {
+                macroblocks: ((c.macroblocks as f64 * factor).round() as usize).max(2),
+                pcs: ((c.pcs as f64 * factor).round() as usize).max(1),
+                ..c.clone()
+            })
+            .collect();
+        WorkloadSpec {
+            name: self.name.clone(),
+            num_nodes: self.num_nodes,
+            blocks_per_macroblock: self.blocks_per_macroblock,
+            misses_per_kilo_instr: self.misses_per_kilo_instr,
+            classes,
+        }
+    }
+
+    /// Creates a deterministic, infinite miss-stream generator.
+    pub fn generator(&self, seed: u64) -> TraceGenerator {
+        TraceGenerator::new(self.clone(), seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_class() -> Vec<ClassSpec> {
+        vec![ClassSpec {
+            class: SharingClass::Migratory,
+            miss_weight: 1.0,
+            macroblocks: 16,
+            group_size: 4,
+            write_frac: 0.5,
+            zipf_exponent: 0.8,
+            pcs: 10,
+        }]
+    }
+
+    #[test]
+    fn spec_accessors() {
+        let spec = WorkloadSpec::new("test", 16, 16, 5.0, one_class());
+        assert_eq!(spec.name(), "test");
+        assert_eq!(spec.num_nodes(), 16);
+        assert_eq!(spec.total_macroblocks(), 16);
+        assert_eq!(spec.footprint_bytes(), 16 * 16 * 64);
+        assert!((spec.mean_gap_instructions() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaling_shrinks_pools_not_weights() {
+        let spec = WorkloadSpec::new("test", 16, 16, 5.0, one_class());
+        let small = spec.scaled(0.25);
+        assert_eq!(small.total_macroblocks(), 4);
+        assert_eq!(small.classes()[0].miss_weight, 1.0);
+        assert_eq!(small.classes()[0].group_size, 4);
+    }
+
+    #[test]
+    fn scaling_floors_at_two_macroblocks() {
+        let spec = WorkloadSpec::new("test", 16, 16, 5.0, one_class());
+        let tiny = spec.scaled(1e-6);
+        assert_eq!(tiny.total_macroblocks(), 2);
+        assert_eq!(tiny.classes()[0].pcs, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one class")]
+    fn rejects_empty_classes() {
+        let _ = WorkloadSpec::new("bad", 16, 16, 5.0, vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "group size")]
+    fn rejects_oversized_group() {
+        let mut classes = one_class();
+        classes[0].group_size = 17;
+        let _ = WorkloadSpec::new("bad", 16, 16, 5.0, classes);
+    }
+
+    #[test]
+    fn all_workloads_have_presets() {
+        let config = SystemConfig::isca03();
+        for w in Workload::ALL {
+            let spec = WorkloadSpec::preset(w, &config);
+            assert_eq!(spec.num_nodes(), 16, "{w}");
+            assert!(!spec.classes().is_empty(), "{w}");
+        }
+    }
+
+    #[test]
+    fn workload_names() {
+        assert_eq!(Workload::Oltp.to_string(), "OLTP");
+        assert_eq!(Workload::BarnesHut.name(), "Barnes-Hut");
+        assert_eq!(Workload::ALL.len(), 6);
+    }
+}

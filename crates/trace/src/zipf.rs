@@ -1,0 +1,156 @@
+//! Zipf-distributed sampling for temporal locality.
+
+use rand::Rng;
+
+/// Samples ranks `0..n` with probability proportional to
+/// `1 / (rank + 1)^exponent`.
+///
+/// A Zipf distribution over block (or macroblock) ranks reproduces the
+/// temporal locality the paper reports in Figure 4: a small number of hot
+/// blocks accounts for most cache-to-cache misses. The sampler
+/// precomputes the cumulative distribution and samples with a binary
+/// search, so sampling is O(log n).
+///
+/// # Example
+///
+/// ```
+/// use dsp_trace::ZipfSampler;
+/// use rand::SeedableRng;
+///
+/// let zipf = ZipfSampler::new(1000, 1.0);
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+/// let r = zipf.sample(&mut rng);
+/// assert!(r < 1000);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `n` ranks with the given exponent.
+    ///
+    /// An exponent of `0.0` degenerates to a uniform distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or the exponent is negative or not finite.
+    pub fn new(n: usize, exponent: f64) -> Self {
+        assert!(n > 0, "ZipfSampler needs at least one rank");
+        assert!(
+            exponent >= 0.0 && exponent.is_finite(),
+            "exponent must be finite and >= 0"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for rank in 0..n {
+            acc += 1.0 / ((rank + 1) as f64).powf(exponent);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Number of ranks.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler has exactly one rank (never empty).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Draws one rank in `0..len()`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Probability mass of the given rank.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        if rank >= self.cdf.len() {
+            return 0.0;
+        }
+        if rank == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank] - self.cdf[rank - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_in_range() {
+        let zipf = ZipfSampler::new(50, 1.2);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert!(zipf.sample(&mut rng) < 50);
+        }
+    }
+
+    #[test]
+    fn rank_zero_is_hottest() {
+        let zipf = ZipfSampler::new(100, 1.0);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..50_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > counts[99]);
+    }
+
+    #[test]
+    fn zero_exponent_is_roughly_uniform() {
+        let zipf = ZipfSampler::new(10, 0.0);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut counts = vec![0usize; 10];
+        for _ in 0..100_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            // Each bucket should get about 10k; allow generous slack.
+            assert!((8_000..12_000).contains(&c), "bucket count {c} out of band");
+        }
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let zipf = ZipfSampler::new(64, 0.9);
+        let total: f64 = (0..64).map(|r| zipf.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(zipf.pmf(64), 0.0);
+    }
+
+    #[test]
+    fn single_rank_always_zero() {
+        let zipf = ZipfSampler::new(1, 1.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(zipf.sample(&mut rng), 0);
+        assert_eq!(zipf.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        let _ = ZipfSampler::new(0, 1.0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests of the synthetic workload generators.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use dsp_trace::{ClassSpec, SharingClass, Workload, WorkloadSpec};
+use dsp_types::{AccessKind, NodeId, SystemConfig};
+
+fn class_strategy() -> impl Strategy<Value = ClassSpec> {
+    (
+        prop_oneof![
+            Just(SharingClass::Private),
+            Just(SharingClass::ColdFootprint),
+            Just(SharingClass::ReadShared),
+            Just(SharingClass::Migratory),
+            Just(SharingClass::ProducerConsumer),
+            Just(SharingClass::ReadWriteShared),
+        ],
+        0.1f64..10.0, // miss weight
+        2usize..40,   // macroblocks
+        1usize..=16,  // group size
+        0.0f64..=0.9, // write fraction
+        0.0f64..=1.2, // zipf exponent
+        1usize..100,  // pcs
+    )
+        .prop_map(
+            |(class, miss_weight, macroblocks, group_size, write_frac, zipf, pcs)| ClassSpec {
+                class,
+                miss_weight,
+                macroblocks,
+                group_size,
+                write_frac,
+                zipf_exponent: zipf,
+                pcs,
+            },
+        )
+}
+
+fn spec_strategy() -> impl Strategy<Value = WorkloadSpec> {
+    proptest::collection::vec(class_strategy(), 1..5)
+        .prop_map(|classes| WorkloadSpec::new("prop", 16, 16, 3.0, classes))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every generated record stays inside the spec's pools, nodes, and
+    /// PC regions.
+    #[test]
+    fn records_stay_in_bounds(spec in spec_strategy(), seed in 0u64..1000) {
+        let n_classes = spec.classes().len() as u64;
+        for rec in spec.generator(seed).take(2_000) {
+            prop_assert!(rec.requester.index() < 16);
+            let pool = rec.block().number() >> 34;
+            prop_assert!(pool >= 1 && pool <= n_classes, "block outside pools");
+            prop_assert!(rec.pc.raw() >= 0x0040_0000);
+        }
+    }
+
+    /// Generators are pure functions of (spec, seed).
+    #[test]
+    fn generation_is_deterministic(spec in spec_strategy(), seed in 0u64..1000) {
+        let a: Vec<_> = spec.generator(seed).take(500).collect();
+        let b: Vec<_> = spec.generator(seed).take(500).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Sharing never exceeds the configured group size at macroblock
+    /// granularity (private/cold classes are the degenerate group of 1).
+    #[test]
+    fn sharing_respects_group_bounds(spec in spec_strategy(), seed in 0u64..100) {
+        let mut seen: HashMap<(u64, u64), std::collections::HashSet<usize>> = HashMap::new();
+        for rec in spec.generator(seed).take(3_000) {
+            let pool = rec.block().number() >> 34;
+            let mb = rec.block().number() >> 4;
+            seen.entry((pool, mb)).or_default().insert(rec.requester.index());
+        }
+        for ((pool, _), nodes) in seen {
+            let class = &spec.classes()[(pool - 1) as usize];
+            prop_assert!(
+                nodes.len() <= class.group_size,
+                "{} macroblock touched by {} nodes (group {})",
+                class.class,
+                nodes.len(),
+                class.group_size
+            );
+        }
+    }
+
+    /// The generator's own holder map matches an independent replay of
+    /// its emissions.
+    #[test]
+    fn holder_map_is_consistent_with_stream(seed in 0u64..50) {
+        let config = SystemConfig::isca03();
+        let spec = WorkloadSpec::preset(Workload::Oltp, &config).scaled(1.0 / 512.0);
+        let mut gen = spec.generator(seed);
+        let mut replay = dsp_trace::HolderMap::new();
+        for _ in 0..2_000 {
+            let rec = gen.next().expect("infinite");
+            replay.apply(rec.requester, rec.kind, rec.block());
+        }
+        // Spot-check the blocks the replay knows about.
+        for rec in spec.generator(seed).take(2_000) {
+            let a = gen.holders().get(rec.block());
+            let b = replay.get(rec.block());
+            prop_assert_eq!(a, b, "divergent holders for {}", rec.block());
+        }
+    }
+
+    /// Migratory read-modify-write pairing: within one macroblock unit,
+    /// a store always comes from the node that performed the unit's
+    /// most recent load.
+    #[test]
+    fn migratory_store_follows_own_load(seed in 0u64..100, group in 2usize..=16) {
+        let spec = WorkloadSpec::new(
+            "mig",
+            16,
+            16,
+            3.0,
+            vec![ClassSpec {
+                class: SharingClass::Migratory,
+                miss_weight: 1.0,
+                macroblocks: 6,
+                group_size: group,
+                write_frac: 0.5,
+                zipf_exponent: 0.8,
+                pcs: 8,
+            }],
+        );
+        let mut last_load: HashMap<u64, NodeId> = HashMap::new();
+        for rec in spec.generator(seed).take(3_000) {
+            let unit = rec.block().number() >> 4;
+            match rec.kind {
+                AccessKind::Load => {
+                    last_load.insert(unit, rec.requester);
+                }
+                AccessKind::Store => {
+                    prop_assert_eq!(
+                        last_load.get(&unit).copied(),
+                        Some(rec.requester),
+                        "store by a node that did not load unit {}",
+                        unit
+                    );
+                }
+            }
+        }
+    }
+
+    /// Scaling preserves weights and group structure exactly.
+    #[test]
+    fn scaled_specs_preserve_mix(spec in spec_strategy(), factor in 0.05f64..4.0) {
+        let scaled = spec.scaled(factor);
+        prop_assert_eq!(spec.classes().len(), scaled.classes().len());
+        for (a, b) in spec.classes().iter().zip(scaled.classes()) {
+            prop_assert_eq!(a.miss_weight, b.miss_weight);
+            prop_assert_eq!(a.group_size, b.group_size);
+            prop_assert_eq!(a.class, b.class);
+        }
+    }
+}

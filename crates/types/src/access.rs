@@ -1,0 +1,176 @@
+//! Memory access and coherence request kinds.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The kind of processor memory access that missed in the cache.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// A load (read) access.
+    Load,
+    /// A store (write) access.
+    Store,
+}
+
+impl AccessKind {
+    /// The coherence request this access issues on an L2 miss under a
+    /// MOSI write-invalidate protocol.
+    #[inline]
+    pub const fn request(self) -> ReqType {
+        match self {
+            AccessKind::Load => ReqType::GetShared,
+            AccessKind::Store => ReqType::GetExclusive,
+        }
+    }
+
+    /// Whether this is a store.
+    #[inline]
+    pub const fn is_store(self) -> bool {
+        matches!(self, AccessKind::Store)
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Load => write!(f, "load"),
+            AccessKind::Store => write!(f, "store"),
+        }
+    }
+}
+
+/// Coherence request types of the MOSI write-invalidate protocols.
+///
+/// A request for shared (read) must find the current owner; a request for
+/// exclusive (write) must find the owner and invalidate all sharers.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum ReqType {
+    /// Request a read-only (Shared) copy — `GETS`.
+    GetShared,
+    /// Request a writable (Modified) copy — `GETX`. Covers both plain
+    /// write misses and upgrades from Shared.
+    GetExclusive,
+}
+
+impl ReqType {
+    /// Whether this request needs exclusive (write) permission.
+    #[inline]
+    pub const fn is_exclusive(self) -> bool {
+        matches!(self, ReqType::GetExclusive)
+    }
+}
+
+impl fmt::Display for ReqType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReqType::GetShared => write!(f, "GETS"),
+            ReqType::GetExclusive => write!(f, "GETX"),
+        }
+    }
+}
+
+/// Classes of interconnect messages, used for traffic accounting.
+///
+/// The paper's trace-driven metric counts *request* bandwidth (requests,
+/// forwards, and retries); the runtime metric counts all bytes including
+/// data responses.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum MessageClass {
+    /// An initial coherence request (unicast, multicast, or broadcast).
+    Request,
+    /// A request forwarded by the directory to the owner and/or sharers.
+    Forward,
+    /// A multicast-snooping reissue after an insufficient destination set.
+    Retry,
+    /// A data response carrying the 64-byte block (72 bytes on the wire).
+    DataResponse,
+    /// A dataless control/acknowledgement message.
+    Control,
+    /// A writeback of a dirty block to memory.
+    Writeback,
+}
+
+impl MessageClass {
+    /// Size on the wire, in bytes: 8 B for control-like messages and
+    /// 72 B (64 B data + 8 B header) for messages carrying a block.
+    #[inline]
+    pub const fn bytes(self) -> u64 {
+        match self {
+            MessageClass::DataResponse | MessageClass::Writeback => 72,
+            _ => 8,
+        }
+    }
+
+    /// Whether this class counts toward the paper's *request bandwidth*
+    /// metric (requests, forwards, and retries).
+    #[inline]
+    pub const fn is_request_class(self) -> bool {
+        matches!(
+            self,
+            MessageClass::Request | MessageClass::Forward | MessageClass::Retry
+        )
+    }
+}
+
+impl fmt::Display for MessageClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MessageClass::Request => "request",
+            MessageClass::Forward => "forward",
+            MessageClass::Retry => "retry",
+            MessageClass::DataResponse => "data",
+            MessageClass::Control => "control",
+            MessageClass::Writeback => "writeback",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loads_request_shared_stores_exclusive() {
+        assert_eq!(AccessKind::Load.request(), ReqType::GetShared);
+        assert_eq!(AccessKind::Store.request(), ReqType::GetExclusive);
+        assert!(!AccessKind::Load.is_store());
+        assert!(AccessKind::Store.is_store());
+    }
+
+    #[test]
+    fn exclusive_flag() {
+        assert!(ReqType::GetExclusive.is_exclusive());
+        assert!(!ReqType::GetShared.is_exclusive());
+    }
+
+    #[test]
+    fn message_sizes_match_paper() {
+        // "All request, forwarded request, and retried request messages
+        // are 8 bytes, and data responses are 72 bytes."
+        assert_eq!(MessageClass::Request.bytes(), 8);
+        assert_eq!(MessageClass::Forward.bytes(), 8);
+        assert_eq!(MessageClass::Retry.bytes(), 8);
+        assert_eq!(MessageClass::Control.bytes(), 8);
+        assert_eq!(MessageClass::DataResponse.bytes(), 72);
+        assert_eq!(MessageClass::Writeback.bytes(), 72);
+    }
+
+    #[test]
+    fn request_class_membership() {
+        assert!(MessageClass::Request.is_request_class());
+        assert!(MessageClass::Forward.is_request_class());
+        assert!(MessageClass::Retry.is_request_class());
+        assert!(!MessageClass::DataResponse.is_request_class());
+        assert!(!MessageClass::Control.is_request_class());
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(ReqType::GetShared.to_string(), "GETS");
+        assert_eq!(ReqType::GetExclusive.to_string(), "GETX");
+        assert_eq!(AccessKind::Load.to_string(), "load");
+        assert_eq!(MessageClass::Retry.to_string(), "retry");
+    }
+}

@@ -1,0 +1,275 @@
+//! Physical addresses and their block / macroblock views.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Cache block (line) size in bytes used throughout the paper: 64 B.
+pub const BLOCK_BYTES: u64 = 64;
+
+/// `log2(BLOCK_BYTES)`.
+pub const BLOCK_SHIFT: u32 = 6;
+
+/// A byte-granularity physical address.
+///
+/// # Example
+///
+/// ```
+/// use dsp_types::Address;
+///
+/// let a = Address::new(0x1234);
+/// assert_eq!(a.block().base().raw(), 0x1200);
+/// assert_eq!(a.macroblock(1024).base_address().raw(), 0x1000);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Address(u64);
+
+impl Address {
+    /// Creates an address from a raw byte address.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Address(raw)
+    }
+
+    /// The raw byte address.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The 64-byte cache block containing this address.
+    #[inline]
+    pub const fn block(self) -> BlockAddr {
+        BlockAddr(self.0 >> BLOCK_SHIFT)
+    }
+
+    /// The macroblock of `macroblock_bytes` containing this address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `macroblock_bytes` is not a power of two or is smaller
+    /// than the cache block size.
+    #[inline]
+    pub fn macroblock(self, macroblock_bytes: u64) -> MacroblockAddr {
+        self.block().macroblock(macroblock_bytes)
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+impl From<u64> for Address {
+    fn from(raw: u64) -> Self {
+        Address(raw)
+    }
+}
+
+/// A 64-byte-aligned cache block address (i.e. a block *number*).
+///
+/// Stored as the byte address shifted right by [`BLOCK_SHIFT`]; coherence
+/// state and predictor indexing operate at this granularity.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct BlockAddr(u64);
+
+impl BlockAddr {
+    /// Creates a block address from a block *number* (byte address >> 6).
+    #[inline]
+    pub const fn new(block_number: u64) -> Self {
+        BlockAddr(block_number)
+    }
+
+    /// The block number.
+    #[inline]
+    pub const fn number(self) -> u64 {
+        self.0
+    }
+
+    /// The byte address of the first byte of the block.
+    #[inline]
+    pub const fn base(self) -> Address {
+        Address(self.0 << BLOCK_SHIFT)
+    }
+
+    /// The macroblock of `macroblock_bytes` containing this block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `macroblock_bytes` is not a power of two or is smaller
+    /// than [`BLOCK_BYTES`].
+    #[inline]
+    pub fn macroblock(self, macroblock_bytes: u64) -> MacroblockAddr {
+        assert!(
+            macroblock_bytes.is_power_of_two() && macroblock_bytes >= BLOCK_BYTES,
+            "macroblock size {macroblock_bytes} must be a power of two >= {BLOCK_BYTES}"
+        );
+        let shift = macroblock_bytes.trailing_zeros() - BLOCK_SHIFT;
+        MacroblockAddr {
+            number: self.0 >> shift,
+            bytes: macroblock_bytes,
+        }
+    }
+
+    /// The home node of this block in an `n`-node system.
+    ///
+    /// Memory is interleaved across nodes at macroblock (1 KiB)
+    /// granularity, matching the per-node memory-controller organization
+    /// of the target system.
+    #[inline]
+    pub fn home(self, num_nodes: usize) -> crate::NodeId {
+        crate::NodeId::new(((self.0 >> 4) % num_nodes as u64) as usize)
+    }
+}
+
+impl fmt::Display for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B0x{:x}", self.0)
+    }
+}
+
+/// A macroblock address: an aligned power-of-two region of cache blocks.
+///
+/// The paper aggregates predictor state at 256 B and 1024 B macroblock
+/// granularity to exploit spatial locality in the cache-to-cache miss
+/// stream.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct MacroblockAddr {
+    number: u64,
+    bytes: u64,
+}
+
+impl MacroblockAddr {
+    /// The macroblock number.
+    #[inline]
+    pub const fn number(self) -> u64 {
+        self.number
+    }
+
+    /// The macroblock size in bytes.
+    #[inline]
+    pub const fn bytes(self) -> u64 {
+        self.bytes
+    }
+
+    /// The byte address of the first byte of the macroblock.
+    #[inline]
+    pub const fn base_address(self) -> Address {
+        Address(self.number * self.bytes)
+    }
+}
+
+impl fmt::Display for MacroblockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "M{}B0x{:x}", self.bytes, self.number)
+    }
+}
+
+/// The program counter of the load/store instruction that missed.
+///
+/// Used by the optional PC-indexed predictors (paper §3.4): the processor
+/// exports the PC of the missing instruction to the cache controller.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Pc(u64);
+
+impl Pc {
+    /// Creates a PC from a raw instruction address.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Pc(raw)
+    }
+
+    /// The raw instruction address.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Pc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pc:0x{:x}", self.0)
+    }
+}
+
+impl From<u64> for Pc {
+    fn from(raw: u64) -> Self {
+        Pc(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_of_address_drops_offset_bits() {
+        assert_eq!(Address::new(0).block(), BlockAddr::new(0));
+        assert_eq!(Address::new(63).block(), BlockAddr::new(0));
+        assert_eq!(Address::new(64).block(), BlockAddr::new(1));
+        assert_eq!(Address::new(0x1234).block().base().raw(), 0x1200);
+    }
+
+    #[test]
+    fn macroblock_of_block() {
+        // 1024-byte macroblocks = 16 blocks each.
+        let mb = BlockAddr::new(17).macroblock(1024);
+        assert_eq!(mb.number(), 1);
+        assert_eq!(mb.bytes(), 1024);
+        assert_eq!(mb.base_address().raw(), 1024);
+    }
+
+    #[test]
+    fn macroblock_same_as_block_when_64b() {
+        let mb = BlockAddr::new(42).macroblock(64);
+        assert_eq!(mb.number(), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn macroblock_rejects_non_power_of_two() {
+        let _ = BlockAddr::new(0).macroblock(768);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn macroblock_rejects_sub_block_size() {
+        let _ = BlockAddr::new(0).macroblock(32);
+    }
+
+    #[test]
+    fn home_is_stable_and_in_range() {
+        for b in 0..1000u64 {
+            let h = BlockAddr::new(b).home(16);
+            assert!(h.index() < 16);
+            assert_eq!(h, BlockAddr::new(b).home(16));
+        }
+    }
+
+    #[test]
+    fn home_interleaves_at_macroblock_granularity() {
+        // Blocks within the same 1 KiB macroblock share a home.
+        let h0 = BlockAddr::new(0).home(16);
+        for b in 0..16u64 {
+            assert_eq!(BlockAddr::new(b).home(16), h0);
+        }
+        assert_ne!(BlockAddr::new(16).home(16), h0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Address::new(0xff).to_string(), "0xff");
+        assert_eq!(BlockAddr::new(0x10).to_string(), "B0x10");
+        assert_eq!(Pc::new(0x400).to_string(), "pc:0x400");
+    }
+
+    #[test]
+    fn conversions_from_u64() {
+        assert_eq!(Address::from(7u64).raw(), 7);
+        assert_eq!(Pc::from(9u64).raw(), 9);
+    }
+}

@@ -1,0 +1,432 @@
+//! Destination sets: the central abstraction of the paper.
+
+use std::fmt;
+use std::ops::{BitAnd, BitAndAssign, BitOr, BitOrAssign, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+use crate::node::{NodeId, MAX_NODES};
+
+/// A set of nodes that should receive a coherence request.
+///
+/// The *destination set* is the collection of processors (or nodes) that
+/// receive a particular coherence request. Snooping protocols use the
+/// maximal destination set (all nodes); directory protocols use the
+/// minimal one; destination-set predictors pick something in between.
+///
+/// Implemented as a `u64` bitmask, so all operations are O(1).
+///
+/// # Example
+///
+/// ```
+/// use dsp_types::{DestSet, NodeId};
+///
+/// let minimal = DestSet::from_iter([NodeId::new(0), NodeId::new(4)]);
+/// let predicted = minimal | DestSet::single(NodeId::new(9));
+/// assert!(predicted.is_superset(minimal));
+/// assert_eq!(predicted.len(), 3);
+/// assert_eq!(predicted.to_string(), "{P0, P4, P9}");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct DestSet(u64);
+
+impl DestSet {
+    /// The empty destination set.
+    #[inline]
+    pub const fn empty() -> Self {
+        DestSet(0)
+    }
+
+    /// The set containing exactly one node.
+    #[inline]
+    pub fn single(node: NodeId) -> Self {
+        DestSet(1u64 << node.index())
+    }
+
+    /// The maximal destination set of an `n`-node system (what broadcast
+    /// snooping uses for every request).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > MAX_NODES`.
+    #[inline]
+    pub fn broadcast(n: usize) -> Self {
+        assert!(
+            n <= MAX_NODES,
+            "system size {n} out of range (max {MAX_NODES})"
+        );
+        if n == MAX_NODES {
+            DestSet(u64::MAX)
+        } else {
+            DestSet((1u64 << n) - 1)
+        }
+    }
+
+    /// Builds a set from a raw bitmask (bit *i* = node *i*).
+    #[inline]
+    pub const fn from_bits(bits: u64) -> Self {
+        DestSet(bits)
+    }
+
+    /// The raw bitmask (bit *i* = node *i*).
+    #[inline]
+    pub const fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Whether the set contains no nodes.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of nodes in the set.
+    #[inline]
+    pub const fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether `node` is in the set.
+    #[inline]
+    pub fn contains(self, node: NodeId) -> bool {
+        self.0 & (1u64 << node.index()) != 0
+    }
+
+    /// Adds `node` to the set. Returns `true` if it was newly inserted.
+    #[inline]
+    pub fn insert(&mut self, node: NodeId) -> bool {
+        let bit = 1u64 << node.index();
+        let newly = self.0 & bit == 0;
+        self.0 |= bit;
+        newly
+    }
+
+    /// Removes `node` from the set. Returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, node: NodeId) -> bool {
+        let bit = 1u64 << node.index();
+        let present = self.0 & bit != 0;
+        self.0 &= !bit;
+        present
+    }
+
+    /// Returns `self` with `node` added (consuming builder style).
+    #[inline]
+    #[must_use]
+    pub fn with(mut self, node: NodeId) -> Self {
+        self.insert(node);
+        self
+    }
+
+    /// Returns `self` with `node` removed.
+    #[inline]
+    #[must_use]
+    pub fn without(mut self, node: NodeId) -> Self {
+        self.remove(node);
+        self
+    }
+
+    /// Whether every node of `other` is in `self`.
+    #[inline]
+    pub const fn is_superset(self, other: DestSet) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Whether every node of `self` is in `other`.
+    #[inline]
+    pub const fn is_subset(self, other: DestSet) -> bool {
+        other.is_superset(self)
+    }
+
+    /// Set union.
+    #[inline]
+    #[must_use]
+    pub const fn union(self, other: DestSet) -> Self {
+        DestSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[inline]
+    #[must_use]
+    pub const fn intersection(self, other: DestSet) -> Self {
+        DestSet(self.0 & other.0)
+    }
+
+    /// Set difference (`self` minus `other`).
+    #[inline]
+    #[must_use]
+    pub const fn difference(self, other: DestSet) -> Self {
+        DestSet(self.0 & !other.0)
+    }
+
+    /// Iterates over the members in increasing node-index order.
+    #[inline]
+    pub fn iter(self) -> DestSetIter {
+        DestSetIter(self.0)
+    }
+
+    /// The lowest-indexed node in the set, if any.
+    #[inline]
+    pub fn first(self) -> Option<NodeId> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(NodeId::new_unchecked(self.0.trailing_zeros() as u8))
+        }
+    }
+}
+
+impl FromIterator<NodeId> for DestSet {
+    fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
+        let mut set = DestSet::empty();
+        for node in iter {
+            set.insert(node);
+        }
+        set
+    }
+}
+
+impl Extend<NodeId> for DestSet {
+    fn extend<I: IntoIterator<Item = NodeId>>(&mut self, iter: I) {
+        for node in iter {
+            self.insert(node);
+        }
+    }
+}
+
+impl IntoIterator for DestSet {
+    type Item = NodeId;
+    type IntoIter = DestSetIter;
+
+    fn into_iter(self) -> DestSetIter {
+        self.iter()
+    }
+}
+
+impl BitOr for DestSet {
+    type Output = DestSet;
+    fn bitor(self, rhs: DestSet) -> DestSet {
+        self.union(rhs)
+    }
+}
+
+impl BitOrAssign for DestSet {
+    fn bitor_assign(&mut self, rhs: DestSet) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl BitAnd for DestSet {
+    type Output = DestSet;
+    fn bitand(self, rhs: DestSet) -> DestSet {
+        self.intersection(rhs)
+    }
+}
+
+impl BitAndAssign for DestSet {
+    fn bitand_assign(&mut self, rhs: DestSet) {
+        self.0 &= rhs.0;
+    }
+}
+
+impl Sub for DestSet {
+    type Output = DestSet;
+    fn sub(self, rhs: DestSet) -> DestSet {
+        self.difference(rhs)
+    }
+}
+
+impl SubAssign for DestSet {
+    fn sub_assign(&mut self, rhs: DestSet) {
+        self.0 &= !rhs.0;
+    }
+}
+
+impl fmt::Display for DestSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, node) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{node}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Debug for DestSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DestSet{self}")
+    }
+}
+
+impl fmt::Binary for DestSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+impl fmt::LowerHex for DestSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for DestSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Octal for DestSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Octal::fmt(&self.0, f)
+    }
+}
+
+/// Iterator over the members of a [`DestSet`], in node-index order.
+#[derive(Clone, Debug)]
+pub struct DestSetIter(u64);
+
+impl Iterator for DestSetIter {
+    type Item = NodeId;
+
+    #[inline]
+    fn next(&mut self) -> Option<NodeId> {
+        if self.0 == 0 {
+            None
+        } else {
+            let idx = self.0.trailing_zeros();
+            self.0 &= self.0 - 1;
+            Some(NodeId::new_unchecked(idx as u8))
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for DestSetIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn empty_set_has_no_members() {
+        let s = DestSet::empty();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.iter().count(), 0);
+        assert_eq!(s.first(), None);
+    }
+
+    #[test]
+    fn broadcast_contains_all_nodes() {
+        let s = DestSet::broadcast(16);
+        assert_eq!(s.len(), 16);
+        for i in 0..16 {
+            assert!(s.contains(n(i)));
+        }
+        assert!(!s.contains(n(16)));
+    }
+
+    #[test]
+    fn broadcast_max_nodes_is_full_mask() {
+        assert_eq!(DestSet::broadcast(MAX_NODES).bits(), u64::MAX);
+    }
+
+    #[test]
+    fn insert_remove_round_trip() {
+        let mut s = DestSet::empty();
+        assert!(s.insert(n(5)));
+        assert!(!s.insert(n(5)));
+        assert!(s.contains(n(5)));
+        assert!(s.remove(n(5)));
+        assert!(!s.remove(n(5)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn union_intersection_difference() {
+        let a = DestSet::from_iter([n(1), n(2), n(3)]);
+        let b = DestSet::from_iter([n(3), n(4)]);
+        assert_eq!(a | b, DestSet::from_iter([n(1), n(2), n(3), n(4)]));
+        assert_eq!(a & b, DestSet::single(n(3)));
+        assert_eq!(a - b, DestSet::from_iter([n(1), n(2)]));
+    }
+
+    #[test]
+    fn subset_superset() {
+        let a = DestSet::from_iter([n(1), n(2)]);
+        let b = DestSet::from_iter([n(1), n(2), n(9)]);
+        assert!(a.is_subset(b));
+        assert!(b.is_superset(a));
+        assert!(!a.is_superset(b));
+        assert!(a.is_subset(a));
+    }
+
+    #[test]
+    fn iter_in_index_order() {
+        let s = DestSet::from_iter([n(9), n(0), n(33)]);
+        let order: Vec<_> = s.iter().map(NodeId::index).collect();
+        assert_eq!(order, vec![0, 9, 33]);
+        assert_eq!(s.iter().len(), 3);
+    }
+
+    #[test]
+    fn first_is_lowest_index() {
+        let s = DestSet::from_iter([n(7), n(3)]);
+        assert_eq!(s.first(), Some(n(3)));
+    }
+
+    #[test]
+    fn display_formats_members() {
+        let s = DestSet::from_iter([n(0), n(4), n(9)]);
+        assert_eq!(s.to_string(), "{P0, P4, P9}");
+        assert_eq!(DestSet::empty().to_string(), "{}");
+    }
+
+    #[test]
+    fn debug_is_never_empty() {
+        assert_eq!(format!("{:?}", DestSet::empty()), "DestSet{}");
+    }
+
+    #[test]
+    fn with_without_builder_style() {
+        let s = DestSet::empty().with(n(2)).with(n(5)).without(n(2));
+        assert_eq!(s, DestSet::single(n(5)));
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut s = DestSet::from_iter([n(1), n(2)]);
+        s |= DestSet::single(n(3));
+        s &= DestSet::from_iter([n(2), n(3), n(4)]);
+        s -= DestSet::single(n(3));
+        assert_eq!(s, DestSet::single(n(2)));
+    }
+
+    #[test]
+    fn extend_and_collect() {
+        let mut s: DestSet = [n(1)].into_iter().collect();
+        s.extend([n(2), n(3)]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn numeric_formatting() {
+        let s = DestSet::from_iter([n(0), n(2)]);
+        assert_eq!(format!("{s:b}"), "101");
+        assert_eq!(format!("{s:x}"), "5");
+        assert_eq!(format!("{s:o}"), "5");
+    }
+}

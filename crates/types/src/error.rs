@@ -1,0 +1,79 @@
+//! Error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a [`crate::SystemConfig`] would be invalid.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The node count is zero or exceeds [`crate::MAX_NODES`].
+    InvalidNodeCount(usize),
+    /// A size parameter must be a power of two but is not.
+    NotPowerOfTwo {
+        /// The parameter's name.
+        what: &'static str,
+        /// The offending value.
+        value: u64,
+    },
+    /// The macroblock size is smaller than the block size.
+    MacroblockTooSmall {
+        /// The offending macroblock size in bytes.
+        macroblock_bytes: u64,
+        /// The block size in bytes.
+        block_bytes: u64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::InvalidNodeCount(n) => {
+                write!(
+                    f,
+                    "invalid node count {n} (must be 1..={})",
+                    crate::MAX_NODES
+                )
+            }
+            ConfigError::NotPowerOfTwo { what, value } => {
+                write!(f, "{what} must be a power of two, got {value}")
+            }
+            ConfigError::MacroblockTooSmall {
+                macroblock_bytes,
+                block_bytes,
+            } => write!(
+                f,
+                "macroblock size {macroblock_bytes} smaller than block size {block_bytes}"
+            ),
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(ConfigError::InvalidNodeCount(0)
+            .to_string()
+            .contains("invalid node count 0"));
+        let e = ConfigError::NotPowerOfTwo {
+            what: "macroblock size",
+            value: 3,
+        };
+        assert!(e.to_string().contains("power of two"));
+        let e = ConfigError::MacroblockTooSmall {
+            macroblock_bytes: 32,
+            block_bytes: 64,
+        };
+        assert!(e.to_string().contains("smaller than block size"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<ConfigError>();
+    }
+}

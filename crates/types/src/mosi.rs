@@ -1,0 +1,158 @@
+//! MOSI coherence line states and block ownership.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::NodeId;
+
+/// Per-cache-line MOSI coherence state.
+///
+/// All three protocols evaluated by the paper (broadcast snooping,
+/// GS320-style directory, multicast snooping) are MOSI write-invalidate
+/// protocols:
+///
+/// * `Modified` — this cache owns the only, dirty copy.
+/// * `Owned` — this cache owns a dirty copy but other caches may hold
+///   `Shared` copies; the owner (not memory) supplies data.
+/// * `Shared` — read-only copy; some other cache or memory owns the block.
+/// * `Invalid` — no copy.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+pub enum LineState {
+    /// Modified: sole, dirty, writable copy.
+    Modified,
+    /// Owned: dirty copy, responsible for supplying data; sharers exist.
+    Owned,
+    /// Shared: clean read-only copy.
+    Shared,
+    /// Invalid: no copy.
+    #[default]
+    Invalid,
+}
+
+impl LineState {
+    /// Whether a processor can read the block in this state without a
+    /// coherence request.
+    #[inline]
+    pub const fn can_read(self) -> bool {
+        !matches!(self, LineState::Invalid)
+    }
+
+    /// Whether a processor can write the block in this state without a
+    /// coherence request.
+    #[inline]
+    pub const fn can_write(self) -> bool {
+        matches!(self, LineState::Modified)
+    }
+
+    /// Whether this cache is the protocol owner of the block (must
+    /// respond with data and write back on eviction).
+    #[inline]
+    pub const fn is_owner(self) -> bool {
+        matches!(self, LineState::Modified | LineState::Owned)
+    }
+}
+
+impl fmt::Display for LineState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LineState::Modified => "M",
+            LineState::Owned => "O",
+            LineState::Shared => "S",
+            LineState::Invalid => "I",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Who currently owns a block: a processor's cache or memory.
+///
+/// The owner is the agent responsible for supplying data in response to a
+/// coherence request. A request whose destination set includes the owner
+/// (and, for writes, all sharers) is *sufficient* in multicast snooping.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+pub enum Owner {
+    /// Memory (at the block's home node) owns the block.
+    #[default]
+    Memory,
+    /// The cache at this node owns the block (M or O state).
+    Node(NodeId),
+}
+
+impl Owner {
+    /// The owning node, if a cache owns the block.
+    #[inline]
+    pub const fn node(self) -> Option<NodeId> {
+        match self {
+            Owner::Memory => None,
+            Owner::Node(n) => Some(n),
+        }
+    }
+
+    /// Whether memory owns the block.
+    #[inline]
+    pub const fn is_memory(self) -> bool {
+        matches!(self, Owner::Memory)
+    }
+}
+
+impl fmt::Display for Owner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Owner::Memory => write!(f, "memory"),
+            Owner::Node(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+impl From<NodeId> for Owner {
+    fn from(n: NodeId) -> Self {
+        Owner::Node(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_permissions() {
+        assert!(LineState::Modified.can_read() && LineState::Modified.can_write());
+        assert!(LineState::Owned.can_read() && !LineState::Owned.can_write());
+        assert!(LineState::Shared.can_read() && !LineState::Shared.can_write());
+        assert!(!LineState::Invalid.can_read() && !LineState::Invalid.can_write());
+    }
+
+    #[test]
+    fn ownership_states() {
+        assert!(LineState::Modified.is_owner());
+        assert!(LineState::Owned.is_owner());
+        assert!(!LineState::Shared.is_owner());
+        assert!(!LineState::Invalid.is_owner());
+    }
+
+    #[test]
+    fn default_is_invalid() {
+        assert_eq!(LineState::default(), LineState::Invalid);
+        assert_eq!(Owner::default(), Owner::Memory);
+    }
+
+    #[test]
+    fn owner_accessors() {
+        let n = NodeId::new(4);
+        assert_eq!(Owner::Node(n).node(), Some(n));
+        assert_eq!(Owner::Memory.node(), None);
+        assert!(Owner::Memory.is_memory());
+        assert!(!Owner::from(n).is_memory());
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(LineState::Modified.to_string(), "M");
+        assert_eq!(LineState::Owned.to_string(), "O");
+        assert_eq!(LineState::Shared.to_string(), "S");
+        assert_eq!(LineState::Invalid.to_string(), "I");
+        assert_eq!(Owner::Memory.to_string(), "memory");
+        assert_eq!(Owner::Node(NodeId::new(2)).to_string(), "P2");
+    }
+}

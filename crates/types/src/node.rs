@@ -1,0 +1,126 @@
+//! Processor/node identifiers.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Maximum number of nodes a [`crate::DestSet`] can represent.
+///
+/// Destination sets are stored as a single `u64` bitmask, so the stack
+/// supports systems of up to 64 processor/memory nodes. The paper
+/// evaluates 16-node systems.
+pub const MAX_NODES: usize = 64;
+
+/// Identifier of a processor/memory node.
+///
+/// In the target systems each node contains a processor core, its cache
+/// hierarchy, a cache controller, and a memory controller for a slice of
+/// the globally shared memory; a single id names all of them.
+///
+/// # Example
+///
+/// ```
+/// use dsp_types::NodeId;
+///
+/// let n = NodeId::new(5);
+/// assert_eq!(n.index(), 5);
+/// assert_eq!(n.to_string(), "P5");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct NodeId(u8);
+
+impl NodeId {
+    /// Creates a node id from a zero-based index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= MAX_NODES`.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        assert!(
+            index < MAX_NODES,
+            "node index {index} out of range (max {MAX_NODES})"
+        );
+        NodeId(index as u8)
+    }
+
+    /// Creates a node id without the range check.
+    ///
+    /// Callers must guarantee `index < MAX_NODES`; violating that breaks
+    /// [`crate::DestSet`] bit operations (it is still memory-safe, hence
+    /// this constructor is not `unsafe`).
+    #[inline]
+    pub const fn new_unchecked(index: u8) -> Self {
+        NodeId(index)
+    }
+
+    /// Zero-based index of this node.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterator over all node ids of an `n`-node system: `P0, P1, ..`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > MAX_NODES`.
+    pub fn all(n: usize) -> impl Iterator<Item = NodeId> + Clone {
+        assert!(
+            n <= MAX_NODES,
+            "system size {n} out of range (max {MAX_NODES})"
+        );
+        (0..n).map(|i| NodeId(i as u8))
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl From<NodeId> for usize {
+    fn from(id: NodeId) -> usize {
+        id.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_and_index_round_trip() {
+        for i in 0..MAX_NODES {
+            assert_eq!(NodeId::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_rejects_out_of_range() {
+        let _ = NodeId::new(MAX_NODES);
+    }
+
+    #[test]
+    fn all_yields_n_distinct_ids() {
+        let ids: Vec<_> = NodeId::all(16).collect();
+        assert_eq!(ids.len(), 16);
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(id.index(), i);
+        }
+    }
+
+    #[test]
+    fn display_is_p_prefixed() {
+        assert_eq!(NodeId::new(0).to_string(), "P0");
+        assert_eq!(NodeId::new(15).to_string(), "P15");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId::new(2) < NodeId::new(10));
+    }
+}

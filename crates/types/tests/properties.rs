@@ -1,0 +1,94 @@
+//! Property-based tests of the DestSet bit-set algebra.
+
+use proptest::prelude::*;
+
+use dsp_types::{DestSet, NodeId};
+
+fn set() -> impl Strategy<Value = DestSet> {
+    any::<u64>().prop_map(DestSet::from_bits)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn union_is_commutative_and_associative(a in set(), b in set(), c in set()) {
+        prop_assert_eq!(a | b, b | a);
+        prop_assert_eq!((a | b) | c, a | (b | c));
+    }
+
+    #[test]
+    fn intersection_distributes_over_union(a in set(), b in set(), c in set()) {
+        prop_assert_eq!(a & (b | c), (a & b) | (a & c));
+    }
+
+    #[test]
+    fn difference_laws(a in set(), b in set()) {
+        prop_assert_eq!(a - b, a & DestSet::from_bits(!b.bits()));
+        prop_assert!(((a - b) & b).is_empty());
+        prop_assert_eq!((a - b) | (a & b), a);
+    }
+
+    #[test]
+    fn subset_superset_duality(a in set(), b in set()) {
+        prop_assert_eq!(a.is_subset(b), b.is_superset(a));
+        prop_assert!(a.is_subset(a | b));
+        prop_assert!((a & b).is_subset(a));
+        if a.is_subset(b) && b.is_subset(a) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn len_is_cardinality(a in set(), b in set()) {
+        prop_assert_eq!(a.len() + b.len(), (a | b).len() + (a & b).len());
+    }
+
+    #[test]
+    fn insert_remove_inverse(a in set(), node in 0usize..64) {
+        let node = NodeId::new(node);
+        let mut s = a;
+        let had = s.contains(node);
+        s.insert(node);
+        prop_assert!(s.contains(node));
+        s.remove(node);
+        prop_assert!(!s.contains(node));
+        if !had {
+            prop_assert_eq!(s, a);
+        }
+    }
+
+    #[test]
+    fn iteration_reconstructs_the_set(a in set()) {
+        let rebuilt: DestSet = a.iter().collect();
+        prop_assert_eq!(rebuilt, a);
+        prop_assert_eq!(a.iter().count(), a.len());
+        // Iteration is strictly ascending.
+        let ids: Vec<usize> = a.iter().map(NodeId::index).collect();
+        for pair in ids.windows(2) {
+            prop_assert!(pair[0] < pair[1]);
+        }
+    }
+
+    #[test]
+    fn first_is_minimum(a in set()) {
+        match a.first() {
+            None => prop_assert!(a.is_empty()),
+            Some(min) => {
+                prop_assert!(a.contains(min));
+                for node in a {
+                    prop_assert!(min.index() <= node.index());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_is_universe(n in 1usize..=64, a in set()) {
+        let all = DestSet::broadcast(n);
+        let clipped = a & all;
+        prop_assert!(clipped.is_subset(all));
+        prop_assert_eq!(clipped | all, all);
+        prop_assert_eq!(all.len(), n);
+    }
+}

@@ -1,0 +1,269 @@
+//! Breadth-first reachability checking with counterexample traces.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+
+use crate::model::{successors, ModelConfig, ModelState, NodeState, ProtocolEvent};
+
+/// An invariant violation found by the checker.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Human-readable description of the violated invariant.
+    pub invariant: String,
+    /// The offending state.
+    pub state: ModelState,
+    /// The event sequence from the initial state to the violation.
+    pub trace: Vec<ProtocolEvent>,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "invariant violated: {}", self.invariant)?;
+        writeln!(f, "state: {:?}", self.state)?;
+        writeln!(f, "trace ({} events):", self.trace.len())?;
+        for (i, e) in self.trace.iter().enumerate() {
+            writeln!(f, "  {i:>3}: {e:?}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The result of an exhaustive exploration.
+#[derive(Clone, Debug)]
+pub struct CheckReport {
+    /// Reachable states visited.
+    pub states_explored: usize,
+    /// Transitions taken.
+    pub transitions: usize,
+    /// The first violation found, if any (`None` = all invariants hold
+    /// on every reachable state).
+    pub violation: Option<Violation>,
+}
+
+/// Checks all invariants on one state, returning the first failure.
+fn check_invariants(config: &ModelConfig, s: &ModelState) -> Option<String> {
+    let n = config.nodes;
+    // (1) At most one owner.
+    let owners: Vec<usize> = (0..n).filter(|i| s.nodes[*i].is_owner()).collect();
+    if owners.len() > 1 {
+        return Some(format!("two owners: nodes {owners:?}"));
+    }
+    // (2) Modified excludes every other copy.
+    if let Some(m) = (0..n).find(|i| s.nodes[*i] == NodeState::Modified) {
+        for i in 0..n {
+            if i != m && s.nodes[i].holds_copy() {
+                return Some(format!(
+                    "node {m} is Modified but node {i} holds {:?}",
+                    s.nodes[i]
+                ));
+            }
+        }
+    }
+    // (3) Directory owner consistency: a cache the directory believes
+    // owns the block must own it, or its grant must still be in flight,
+    // or its (re)request must still be in the channel (a re-request by
+    // the recorded owner implies its copy was dropped).
+    if let Some(o) = s.dir_owner {
+        let node_ok = s.nodes[o as usize].is_owner();
+        let grant_inflight = s.grants.iter().any(|g| g.to == o && g.exclusive);
+        let rerequest = s.channel.iter().any(|r| r.from == o);
+        if !node_ok && !grant_inflight && !rerequest {
+            return Some(format!(
+                "directory says node {o} owns, but it holds {:?}",
+                s.nodes[o as usize]
+            ));
+        }
+    }
+    // (4) Every actual owner is known to the directory.
+    for i in owners {
+        if s.dir_owner != Some(i as u8) {
+            return Some(format!(
+                "node {i} owns but directory says {:?}",
+                s.dir_owner
+            ));
+        }
+    }
+    // (5) Every Shared copy is tracked as a sharer (or is the recorded
+    // owner demoted concurrently — excluded by construction here).
+    for i in 0..n {
+        if s.nodes[i] == NodeState::Shared
+            && s.dir_sharers & (1 << i) == 0
+            && s.dir_owner != Some(i as u8)
+        {
+            return Some(format!("node {i} is Shared but untracked by the directory"));
+        }
+    }
+    // (6) Bounded liveness: every waiting node has its request in the
+    // channel or its grant in flight; attempts never exceed 2.
+    for i in 0..n {
+        if s.nodes[i].is_waiting() {
+            let in_channel = s.channel.iter().any(|r| r.from == i as u8);
+            let in_grants = s.grants.iter().any(|g| g.to == i as u8);
+            if !in_channel && !in_grants {
+                return Some(format!(
+                    "node {i} waits forever (no request or grant in flight)"
+                ));
+            }
+        }
+    }
+    if let Some(r) = s.channel.iter().find(|r| r.attempt > 2) {
+        return Some(format!(
+            "request from node {} retried more than twice",
+            r.from
+        ));
+    }
+    None
+}
+
+/// Exhaustively explores the model from the initial state and checks
+/// every invariant on every reachable state.
+///
+/// The state space is finite (each node has at most one outstanding
+/// request, so channel and grant populations are bounded), so the
+/// search always terminates. On a violation, the report carries the
+/// event trace from the initial state — a counterexample.
+///
+/// # Example
+///
+/// ```
+/// use dsp_verify::{check, Bug, ModelConfig};
+///
+/// // The protocol is correct for any destination-set prediction...
+/// assert!(check(&ModelConfig::new(2)).violation.is_none());
+/// // ...and the checker proves it can find real bugs.
+/// let buggy = ModelConfig::new(2).with_bug(Bug::SkipInvalidation);
+/// assert!(check(&buggy).violation.is_some());
+/// ```
+pub fn check(config: &ModelConfig) -> CheckReport {
+    let initial = ModelState::initial(config.nodes);
+    let mut seen: HashSet<ModelState> = HashSet::new();
+    let mut parent: HashMap<ModelState, (ModelState, ProtocolEvent)> = HashMap::new();
+    let mut queue: VecDeque<ModelState> = VecDeque::new();
+    seen.insert(initial.clone());
+    queue.push_back(initial.clone());
+    let mut transitions = 0usize;
+
+    let trace_to = |state: &ModelState,
+                    parent: &HashMap<ModelState, (ModelState, ProtocolEvent)>|
+     -> Vec<ProtocolEvent> {
+        let mut trace = Vec::new();
+        let mut cur = state.clone();
+        while let Some((prev, event)) = parent.get(&cur) {
+            trace.push(*event);
+            cur = prev.clone();
+        }
+        trace.reverse();
+        trace
+    };
+
+    while let Some(state) = queue.pop_front() {
+        if let Some(invariant) = check_invariants(config, &state) {
+            return CheckReport {
+                states_explored: seen.len(),
+                transitions,
+                violation: Some(Violation {
+                    invariant,
+                    trace: trace_to(&state, &parent),
+                    state,
+                }),
+            };
+        }
+        for (event, next) in successors(config, &state) {
+            transitions += 1;
+            if seen.insert(next.clone()) {
+                parent.insert(next.clone(), (state.clone(), event));
+                queue.push_back(next);
+            }
+        }
+    }
+    CheckReport {
+        states_explored: seen.len(),
+        transitions,
+        violation: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Bug;
+
+    #[test]
+    fn two_node_protocol_is_correct() {
+        let report = check(&ModelConfig::new(2));
+        assert!(report.violation.is_none(), "{:?}", report.violation);
+        assert!(report.states_explored > 100);
+        assert!(report.transitions > report.states_explored);
+    }
+
+    #[test]
+    fn three_node_protocol_is_correct() {
+        let report = check(&ModelConfig::new(3));
+        assert!(
+            report.violation.is_none(),
+            "violation in 3-node model: {}",
+            report
+                .violation
+                .as_ref()
+                .map(|v| v.to_string())
+                .unwrap_or_default()
+        );
+        assert!(report.states_explored > 10_000);
+    }
+
+    #[test]
+    fn skip_invalidation_bug_is_caught() {
+        let report = check(&ModelConfig::new(2).with_bug(Bug::SkipInvalidation));
+        let v = report
+            .violation
+            .expect("checker must catch missing invalidations");
+        assert!(!v.invariant.is_empty());
+        assert!(
+            !v.trace.is_empty(),
+            "counterexample trace must be non-empty"
+        );
+    }
+
+    #[test]
+    fn accept_insufficient_bug_is_caught() {
+        let report = check(&ModelConfig::new(2).with_bug(Bug::AcceptInsufficient));
+        assert!(
+            report.violation.is_some(),
+            "unchecked sufficiency must break coherence"
+        );
+    }
+
+    #[test]
+    fn stale_directory_owner_bug_is_caught() {
+        let report = check(&ModelConfig::new(2).with_bug(Bug::StaleDirectoryOwner));
+        let v = report.violation.expect("stale directory must be caught");
+        assert!(v.invariant.contains("directory"), "{}", v.invariant);
+    }
+
+    #[test]
+    fn counterexample_traces_replay_to_the_violation() {
+        let config = ModelConfig::new(2).with_bug(Bug::SkipInvalidation);
+        let report = check(&config);
+        let v = report.violation.expect("violation");
+        // Replay the trace from the initial state.
+        let mut state = ModelState::initial(2);
+        for event in &v.trace {
+            let succ = successors(&config, &state);
+            let (_, next) = succ
+                .into_iter()
+                .find(|(e, _)| e == event)
+                .expect("trace event must be a valid transition");
+            state = next;
+        }
+        assert_eq!(state, v.state, "trace must reproduce the violating state");
+        assert!(check_invariants(&config, &state).is_some());
+    }
+
+    #[test]
+    fn violation_display_is_informative() {
+        let report = check(&ModelConfig::new(2).with_bug(Bug::SkipInvalidation));
+        let text = report.violation.expect("violation").to_string();
+        assert!(text.contains("invariant violated"));
+        assert!(text.contains("trace"));
+    }
+}

@@ -1,0 +1,45 @@
+//! Explicit-state model checking of multicast snooping.
+//!
+//! The paper builds on a formally specified protocol: Sorin et al.,
+//! *Specifying and Verifying a Broadcast and a Multicast Snooping Cache
+//! Coherence Protocol* (IEEE TPDS, 2002) — including the reissue
+//! optimization and the window-of-vulnerability race this workspace's
+//! simulator models. This crate closes the loop: it exhaustively
+//! explores an abstract model of that protocol — one block, a few nodes,
+//! a totally ordered request channel, in-flight data responses, and
+//! **nondeterministic destination sets** standing in for *every possible
+//! predictor* — and checks the safety and bounded-liveness invariants on
+//! every reachable state:
+//!
+//! * at most one owner; a Modified copy excludes all other copies;
+//! * the directory's owner/sharer view is consistent with node states
+//!   (modulo in-flight grants);
+//! * every outstanding request has a request or response in flight
+//!   (no wedged requesters), and no request is reissued more than twice
+//!   (the third attempt broadcasts, which always succeeds).
+//!
+//! Because predictions are unconstrained, a successful check covers the
+//! protocol under *any* destination-set predictor — exactly the
+//! correctness-decoupling argument the paper inherits from multicast
+//! snooping. Deliberate bugs can be injected ([`Bug`]) to demonstrate
+//! that the checker actually finds violations and produces
+//! counterexample traces.
+//!
+//! # Example
+//!
+//! ```
+//! use dsp_verify::{check, ModelConfig};
+//!
+//! let report = check(&ModelConfig::new(2));
+//! assert!(report.violation.is_none());
+//! assert!(report.states_explored > 100);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod checker;
+mod model;
+
+pub use checker::{check, CheckReport, Violation};
+pub use model::{Bug, ModelConfig, ModelState, NodeState, ProtocolEvent};

@@ -1,0 +1,536 @@
+//! The abstract protocol model: states, events, and the transition
+//! relation.
+//!
+//! Abstractions relative to the full simulator (standard for protocol
+//! model checking):
+//!
+//! * one block (coherence is per-block, so one suffices);
+//! * the home directory is a separate agent, always reached by every
+//!   request (it is the ordering point);
+//! * the totally ordered interconnect is a FIFO channel of requests;
+//! * data/ack responses are unordered in-flight messages;
+//! * each node has at most one outstanding request.
+//!
+//! Nondeterminism: which node issues next, the destination set it
+//! predicts (any subset of the other nodes), and the interleaving of
+//! channel processing vs. response delivery.
+
+/// Maximum nodes the packed state representation supports.
+pub const MAX_NODES: usize = 4;
+
+/// Per-node cache state for the single modeled block, including the
+/// transient waiting states.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum NodeState {
+    /// No copy.
+    Invalid,
+    /// Read-only copy.
+    Shared,
+    /// Dirty copy, other sharers may exist.
+    Owned,
+    /// Sole dirty copy.
+    Modified,
+    /// Waiting for a Shared grant.
+    WaitShared,
+    /// Waiting for an Exclusive grant.
+    WaitExclusive,
+}
+
+impl NodeState {
+    /// Whether this node currently holds any copy.
+    pub fn holds_copy(self) -> bool {
+        matches!(
+            self,
+            NodeState::Shared | NodeState::Owned | NodeState::Modified
+        )
+    }
+
+    /// Whether this node is the protocol owner.
+    pub fn is_owner(self) -> bool {
+        matches!(self, NodeState::Owned | NodeState::Modified)
+    }
+
+    /// Whether this node has a request outstanding.
+    pub fn is_waiting(self) -> bool {
+        matches!(self, NodeState::WaitShared | NodeState::WaitExclusive)
+    }
+}
+
+/// A coherence request in the ordered channel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Request {
+    /// Issuing node.
+    pub from: u8,
+    /// Exclusive (write) or shared (read).
+    pub exclusive: bool,
+    /// Destination set over *nodes* (bit i = node i); the directory is
+    /// always implicitly included.
+    pub dests: u8,
+    /// Attempt number: 0 = initial, 1 = first reissue, 2 = broadcast.
+    pub attempt: u8,
+}
+
+/// What an in-flight grant will confer when it arrives. Requests
+/// ordered *after* the grant's own request but *before* its delivery
+/// can logically demote or invalidate the not-yet-received copy (the
+/// receiver still gets its use-once data, so its own access completes —
+/// standard ordered-protocol semantics).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GrantOutcome {
+    /// Delivers the full requested permission.
+    Full,
+    /// A later GETS demoted the granted Modified copy to Owned.
+    Downgraded,
+    /// A later GETX invalidated the copy; delivery leaves Invalid.
+    Invalidated,
+}
+
+/// An in-flight grant (data or upgrade ack) to a requester.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Grant {
+    /// Destination node.
+    pub to: u8,
+    /// Whether it grants write permission.
+    pub exclusive: bool,
+    /// Permission actually conferred at delivery (see [`GrantOutcome`]).
+    pub outcome: GrantOutcome,
+}
+
+/// One global protocol state.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ModelState {
+    /// Per-node cache state.
+    pub nodes: Vec<NodeState>,
+    /// Directory: owning node (bit-packed; `None` = memory owns).
+    pub dir_owner: Option<u8>,
+    /// Directory: sharer bitmask.
+    pub dir_sharers: u8,
+    /// The totally ordered request channel (front is next to order).
+    pub channel: Vec<Request>,
+    /// Unordered in-flight grants.
+    pub grants: Vec<Grant>,
+}
+
+impl ModelState {
+    /// The initial state: everything invalid, memory owns.
+    pub fn initial(nodes: usize) -> Self {
+        ModelState {
+            nodes: vec![NodeState::Invalid; nodes],
+            dir_owner: None,
+            dir_sharers: 0,
+            channel: Vec::new(),
+            grants: Vec::new(),
+        }
+    }
+}
+
+/// A transition label, used in counterexample traces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProtocolEvent {
+    /// `node` issued a request with the given predicted destinations.
+    Issue {
+        /// Issuing node.
+        node: u8,
+        /// Exclusive?
+        exclusive: bool,
+        /// Predicted destination mask.
+        dests: u8,
+    },
+    /// The ordering point processed the channel head (sufficient).
+    OrderSufficient,
+    /// The ordering point processed the channel head (insufficient,
+    /// reissued).
+    OrderReissue,
+    /// A grant was delivered to its requester.
+    Deliver {
+        /// Receiving node.
+        node: u8,
+    },
+}
+
+/// Deliberate protocol bugs, injected to validate the checker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Bug {
+    /// On a sufficient exclusive request, skip invalidating the sharers.
+    SkipInvalidation,
+    /// Accept insufficient destination sets as if they were sufficient.
+    AcceptInsufficient,
+    /// Forget to update the directory's owner on exclusive requests.
+    StaleDirectoryOwner,
+}
+
+/// Model-checking configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ModelConfig {
+    /// Number of caching nodes (2..=MAX_NODES).
+    pub nodes: usize,
+    /// Injected bug, if any.
+    pub bug: Option<Bug>,
+}
+
+impl ModelConfig {
+    /// A correct model of `nodes` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= nodes <= MAX_NODES`.
+    pub fn new(nodes: usize) -> Self {
+        assert!(
+            (2..=MAX_NODES).contains(&nodes),
+            "model supports 2..={MAX_NODES} nodes, got {nodes}"
+        );
+        ModelConfig { nodes, bug: None }
+    }
+
+    /// The same model with `bug` injected.
+    #[must_use]
+    pub fn with_bug(mut self, bug: Bug) -> Self {
+        self.bug = Some(bug);
+        self
+    }
+}
+
+/// Enumerates every successor of `state` under the transition relation.
+pub fn successors(config: &ModelConfig, state: &ModelState) -> Vec<(ProtocolEvent, ModelState)> {
+    let mut next = Vec::new();
+    issue_transitions(config, state, &mut next);
+    order_transition(config, state, &mut next);
+    deliver_transitions(state, &mut next);
+    next
+}
+
+/// Rule 1: a node with no outstanding request may issue a GETS (unless
+/// it already has read permission) or a GETX (unless it is already
+/// Modified), with *any* predicted destination set.
+fn issue_transitions(
+    config: &ModelConfig,
+    state: &ModelState,
+    out: &mut Vec<(ProtocolEvent, ModelState)>,
+) {
+    let n = config.nodes;
+    for node in 0..n {
+        let ns = state.nodes[node];
+        if ns.is_waiting() {
+            continue;
+        }
+        let mut kinds = Vec::new();
+        if !ns.holds_copy() {
+            kinds.push(false); // GETS from Invalid
+        }
+        if ns != NodeState::Modified {
+            kinds.push(true); // GETX (miss or upgrade)
+        }
+        for exclusive in kinds {
+            // Every subset of the other nodes is a possible prediction.
+            let others: Vec<u8> = (0..n as u8).filter(|i| *i as usize != node).collect();
+            for subset in 0..(1u8 << others.len()) {
+                let mut dests = 1u8 << node; // requester sees its own request
+                for (bit, other) in others.iter().enumerate() {
+                    if subset & (1 << bit) != 0 {
+                        dests |= 1 << other;
+                    }
+                }
+                let mut s = state.clone();
+                s.nodes[node] = if exclusive {
+                    NodeState::WaitExclusive
+                } else {
+                    NodeState::WaitShared
+                };
+                s.channel.push(Request {
+                    from: node as u8,
+                    exclusive,
+                    dests,
+                    attempt: 0,
+                });
+                out.push((
+                    ProtocolEvent::Issue {
+                        node: node as u8,
+                        exclusive,
+                        dests,
+                    },
+                    s,
+                ));
+            }
+        }
+    }
+}
+
+/// Rule 2: the ordering point processes the channel head atomically.
+fn order_transition(
+    config: &ModelConfig,
+    state: &ModelState,
+    out: &mut Vec<(ProtocolEvent, ModelState)>,
+) {
+    let Some(req) = state.channel.first().copied() else {
+        return;
+    };
+    let mut s = state.clone();
+    s.channel.remove(0);
+    // Sufficiency: the owner (if a cache) and, for writes, all sharers
+    // must be in the destination set. The requester and directory are
+    // always included.
+    let owner_covered = match s.dir_owner {
+        None => true,
+        Some(o) => req.dests & (1 << o) != 0 || o == req.from,
+    };
+    let sharers_needed = if req.exclusive {
+        s.dir_sharers & !(1 << req.from)
+    } else {
+        0
+    };
+    let sharers_covered = sharers_needed & !req.dests == 0;
+    let mut sufficient = owner_covered && sharers_covered;
+    if config.bug == Some(Bug::AcceptInsufficient) {
+        sufficient = true;
+    }
+    if sufficient {
+        apply_sufficient(config, &mut s, req);
+        out.push((ProtocolEvent::OrderSufficient, s));
+    } else {
+        // Reissue with the corrected destination set reflecting the
+        // *current* owner and sharers; re-enqueued at the tail, so other
+        // requests may be ordered first (the window of vulnerability).
+        // The third attempt broadcasts.
+        let corrected = if req.attempt + 1 >= 2 {
+            (1u8 << config.nodes) - 1
+        } else {
+            let mut d = 1u8 << req.from;
+            if let Some(o) = s.dir_owner {
+                d |= 1 << o;
+            }
+            if req.exclusive {
+                d |= s.dir_sharers;
+            }
+            d
+        };
+        s.channel.push(Request {
+            from: req.from,
+            exclusive: req.exclusive,
+            dests: corrected,
+            attempt: req.attempt + 1,
+        });
+        out.push((ProtocolEvent::OrderReissue, s));
+    }
+}
+
+/// Applies a sufficient request's transition to directory and peers and
+/// puts the grant in flight. Copies held by other nodes — including
+/// copies still *in flight* to them — are demoted/invalidated as the
+/// total order dictates.
+fn apply_sufficient(config: &ModelConfig, s: &mut ModelState, req: Request) {
+    let from = req.from as usize;
+    // Only nodes inside the destination set observe the request; a
+    // holder outside it would keep a stale copy (which is exactly why
+    // sufficiency matters — and why the AcceptInsufficient bug is
+    // catastrophic).
+    let observes = |i: usize| req.dests & (1 << i) != 0;
+    if req.exclusive {
+        if config.bug != Some(Bug::SkipInvalidation) {
+            // Invalidate every other observed copy...
+            for (i, ns) in s.nodes.iter_mut().enumerate() {
+                if i != from && observes(i) && ns.holds_copy() {
+                    *ns = NodeState::Invalid;
+                }
+            }
+            // ...and every other observed copy still in flight: those
+            // receivers get use-once data, their accesses complete, but
+            // the copy is dead on arrival in the total order.
+            for g in &mut s.grants {
+                if g.to as usize != from && observes(g.to as usize) {
+                    g.outcome = GrantOutcome::Invalidated;
+                }
+            }
+        }
+        if config.bug != Some(Bug::StaleDirectoryOwner) {
+            s.dir_owner = Some(req.from);
+        }
+        s.dir_sharers = 0;
+        s.grants.push(Grant {
+            to: req.from,
+            exclusive: true,
+            outcome: GrantOutcome::Full,
+        });
+    } else {
+        // The owner (cache or memory) supplies data and is demoted to
+        // Owned if it was Modified; the requester becomes a sharer.
+        if let Some(o) = s.dir_owner {
+            if o != req.from && observes(o as usize) {
+                if s.nodes[o as usize] == NodeState::Modified {
+                    s.nodes[o as usize] = NodeState::Owned;
+                }
+                // An in-flight Modified grant to the owner is demoted:
+                // the owner will supply data after its own (earlier-
+                // ordered) write completes.
+                for g in &mut s.grants {
+                    if g.to == o && g.exclusive && g.outcome == GrantOutcome::Full {
+                        g.outcome = GrantOutcome::Downgraded;
+                    }
+                }
+            }
+            if o == req.from {
+                // Re-request by the recorded owner: its copy must have
+                // been dropped; memory owns again.
+                s.dir_owner = None;
+            }
+        }
+        s.dir_sharers |= 1 << req.from;
+        s.grants.push(Grant {
+            to: req.from,
+            exclusive: false,
+            outcome: GrantOutcome::Full,
+        });
+    }
+}
+
+/// Rule 3: any in-flight grant may be delivered, conferring whatever
+/// permission the total order has left it.
+fn deliver_transitions(state: &ModelState, out: &mut Vec<(ProtocolEvent, ModelState)>) {
+    for (i, grant) in state.grants.iter().enumerate() {
+        let mut s = state.clone();
+        s.grants.remove(i);
+        let node = grant.to as usize;
+        s.nodes[node] = match (grant.exclusive, grant.outcome) {
+            (_, GrantOutcome::Invalidated) => NodeState::Invalid,
+            (true, GrantOutcome::Downgraded) => NodeState::Owned,
+            (true, _) => NodeState::Modified,
+            (false, _) => NodeState::Shared,
+        };
+        out.push((ProtocolEvent::Deliver { node: grant.to }, s));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_state_is_all_invalid() {
+        let s = ModelState::initial(3);
+        assert_eq!(s.nodes.len(), 3);
+        assert!(s.nodes.iter().all(|n| *n == NodeState::Invalid));
+        assert_eq!(s.dir_owner, None);
+    }
+
+    #[test]
+    fn initial_state_has_issue_successors_only_processing_later() {
+        let config = ModelConfig::new(2);
+        let s = ModelState::initial(2);
+        let succ = successors(&config, &s);
+        // 2 nodes x 2 kinds x 2 subsets of the single other node.
+        assert_eq!(succ.len(), 8);
+        assert!(succ
+            .iter()
+            .all(|(e, _)| matches!(e, ProtocolEvent::Issue { .. })));
+    }
+
+    #[test]
+    fn sufficient_exclusive_invalidates_everyone() {
+        let config = ModelConfig::new(3);
+        let mut s = ModelState::initial(3);
+        s.nodes[1] = NodeState::Shared;
+        s.nodes[2] = NodeState::Owned;
+        s.dir_owner = Some(2);
+        s.dir_sharers = 0b010;
+        s.nodes[0] = NodeState::WaitExclusive;
+        s.channel.push(Request {
+            from: 0,
+            exclusive: true,
+            dests: 0b111,
+            attempt: 0,
+        });
+        let succ = successors(&config, &s);
+        let (event, next) = succ
+            .iter()
+            .find(|(e, _)| matches!(e, ProtocolEvent::OrderSufficient))
+            .expect("broadcast is sufficient");
+        assert_eq!(*event, ProtocolEvent::OrderSufficient);
+        assert_eq!(next.nodes[1], NodeState::Invalid);
+        assert_eq!(next.nodes[2], NodeState::Invalid);
+        assert_eq!(next.dir_owner, Some(0));
+        assert_eq!(
+            next.grants,
+            vec![Grant {
+                to: 0,
+                exclusive: true,
+                outcome: GrantOutcome::Full
+            }]
+        );
+    }
+
+    #[test]
+    fn insufficient_request_is_reissued_with_corrected_set() {
+        let config = ModelConfig::new(3);
+        let mut s = ModelState::initial(3);
+        s.nodes[2] = NodeState::Modified;
+        s.dir_owner = Some(2);
+        s.nodes[0] = NodeState::WaitShared;
+        // Prediction misses the owner.
+        s.channel.push(Request {
+            from: 0,
+            exclusive: false,
+            dests: 0b001,
+            attempt: 0,
+        });
+        let succ = successors(&config, &s);
+        let (_, next) = succ
+            .iter()
+            .find(|(e, _)| matches!(e, ProtocolEvent::OrderReissue))
+            .expect("must reissue");
+        let reissued = next.channel.last().expect("requeued");
+        assert_eq!(reissued.attempt, 1);
+        assert!(
+            reissued.dests & 0b100 != 0,
+            "corrected set includes the owner"
+        );
+    }
+
+    #[test]
+    fn second_reissue_broadcasts() {
+        let config = ModelConfig::new(3);
+        let mut s = ModelState::initial(3);
+        s.nodes[2] = NodeState::Modified;
+        s.dir_owner = Some(2);
+        s.nodes[0] = NodeState::WaitShared;
+        s.channel.push(Request {
+            from: 0,
+            exclusive: false,
+            dests: 0b001,
+            attempt: 1,
+        });
+        let succ = successors(&config, &s);
+        let (_, next) = succ
+            .iter()
+            .find(|(e, _)| matches!(e, ProtocolEvent::OrderReissue))
+            .expect("reissue");
+        assert_eq!(
+            next.channel.last().expect("requeued").dests,
+            0b111,
+            "broadcast fallback"
+        );
+    }
+
+    #[test]
+    fn delivery_grants_permission() {
+        let config = ModelConfig::new(2);
+        let mut s = ModelState::initial(2);
+        s.nodes[1] = NodeState::WaitExclusive;
+        s.grants.push(Grant {
+            to: 1,
+            exclusive: true,
+            outcome: GrantOutcome::Full,
+        });
+        let succ = successors(&config, &s);
+        let (_, next) = succ
+            .iter()
+            .find(|(e, _)| matches!(e, ProtocolEvent::Deliver { node: 1 }))
+            .expect("deliverable");
+        assert_eq!(next.nodes[1], NodeState::Modified);
+        assert!(next.grants.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "model supports")]
+    fn config_rejects_too_many_nodes() {
+        let _ = ModelConfig::new(MAX_NODES + 1);
+    }
+}

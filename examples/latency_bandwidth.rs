@@ -1,0 +1,85 @@
+//! Sweep the destination-set predictor design space for one workload
+//! and print the latency/bandwidth plane of Figure 5, including the
+//! sensitivity dimensions of Figure 6 (indexing and capacity).
+//!
+//! ```bash
+//! cargo run --release --example latency_bandwidth [workload]
+//! ```
+
+use dsp::prelude::*;
+
+fn main() {
+    let config = SystemConfig::isca03();
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "Apache".to_string());
+    let workload = Workload::ALL
+        .into_iter()
+        .find(|w| w.name().eq_ignore_ascii_case(&name))
+        .unwrap_or_else(|| {
+            eprintln!("unknown workload '{name}', defaulting to Apache");
+            Workload::Apache
+        });
+
+    let spec = WorkloadSpec::preset(workload, &config).scaled(1.0 / 32.0);
+    let trace: Vec<TraceRecord> = spec.generator(1).take(150_000).collect();
+    let eval = TradeoffEvaluator::new(&config).warmup(30_000);
+
+    let mb = Indexing::Macroblock { bytes: 1024 };
+    let sweep: Vec<PredictorConfig> = vec![
+        PredictorConfig::owner()
+            .indexing(mb)
+            .entries(Capacity::ISCA03),
+        PredictorConfig::broadcast_if_shared()
+            .indexing(mb)
+            .entries(Capacity::ISCA03),
+        PredictorConfig::group()
+            .indexing(mb)
+            .entries(Capacity::ISCA03),
+        PredictorConfig::owner_group()
+            .indexing(mb)
+            .entries(Capacity::ISCA03),
+        // Sensitivity: block indexing and unbounded capacity.
+        PredictorConfig::group().entries(Capacity::ISCA03),
+        PredictorConfig::group()
+            .indexing(mb)
+            .entries(Capacity::Unbounded),
+        // The prior-art baseline.
+        PredictorConfig::sticky_spatial(1),
+    ];
+
+    println!(
+        "workload: {}  ({} measured misses)\n",
+        workload.name(),
+        120_000
+    );
+    println!(
+        "{:<52} {:>14} {:>15} {:>12}",
+        "configuration", "msgs/miss", "indirection %", "storage KiB"
+    );
+    let (snoop, dir) = eval.run_baselines(trace.iter().copied());
+    for p in [&snoop, &dir] {
+        println!(
+            "{:<52} {:>14.2} {:>15.1} {:>12}",
+            p.label,
+            p.request_messages_per_miss(),
+            p.indirection_pct(),
+            "-"
+        );
+    }
+    for cfg in &sweep {
+        let p = eval.run(trace.iter().copied(), cfg);
+        println!(
+            "{:<52} {:>14.2} {:>15.1} {:>12.0}",
+            p.label,
+            p.request_messages_per_miss(),
+            p.indirection_pct(),
+            p.predictor_storage_bits as f64 / 8.0 / 1024.0 / config.num_nodes() as f64
+        );
+    }
+    println!(
+        "\nEvery predictor should sit below the directory's indirections and \
+         left of snooping's {:.0} msgs/miss.",
+        snoop.request_messages_per_miss()
+    );
+}

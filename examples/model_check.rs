@@ -1,0 +1,54 @@
+//! Exhaustively verify the multicast snooping protocol — for every
+//! possible destination-set prediction — with the explicit-state model
+//! checker, then demonstrate bug finding with counterexample traces.
+//!
+//! This mirrors the formal-verification lineage the paper builds on
+//! (Sorin et al., TPDS 2002, verified the multicast snooping protocol
+//! the predictors plug into; Token Coherence later generalized the
+//! "predictions cannot break correctness" argument).
+//!
+//! ```bash
+//! cargo run --release --example model_check
+//! ```
+
+use dsp::verify::{check, Bug, ModelConfig};
+
+fn main() {
+    println!("Verifying multicast snooping under ALL possible predictions...\n");
+    for nodes in [2usize, 3] {
+        let report = check(&ModelConfig::new(nodes));
+        println!(
+            "{nodes}-node model: {:>8} states, {:>9} transitions -> {}",
+            report.states_explored,
+            report.transitions,
+            match report.violation {
+                None => "all invariants hold".to_string(),
+                Some(v) => format!("VIOLATION: {}", v.invariant),
+            }
+        );
+    }
+
+    println!("\nInjecting protocol bugs to show the checker finds them:\n");
+    for bug in [
+        Bug::SkipInvalidation,
+        Bug::AcceptInsufficient,
+        Bug::StaleDirectoryOwner,
+    ] {
+        let report = check(&ModelConfig::new(3).with_bug(bug));
+        match report.violation {
+            Some(v) => println!(
+                "{bug:?}: caught after {} states\n    invariant: {}\n    counterexample: {} events",
+                report.states_explored,
+                v.invariant,
+                v.trace.len()
+            ),
+            None => println!("{bug:?}: NOT caught (checker bug!)"),
+        }
+    }
+
+    println!(
+        "\nBecause the model's destination sets are unconstrained, the clean runs\n\
+         cover every predictor this workspace can build — including the random\n\
+         chaos predictor — matching the protocol's correctness/performance split."
+    );
+}

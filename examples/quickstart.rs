@@ -1,0 +1,55 @@
+//! Quickstart: generate a commercial-workload miss trace, evaluate a
+//! destination-set predictor on it, and compare against the snooping
+//! and directory endpoints.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use dsp::prelude::*;
+
+fn main() {
+    let config = SystemConfig::isca03();
+    println!(
+        "System: {} nodes, {} B blocks, {} B macroblocks\n",
+        config.num_nodes(),
+        config.block_bytes(),
+        config.macroblock_bytes()
+    );
+
+    // An OLTP-like workload, shrunk 64x for a fast demo.
+    let workload = WorkloadSpec::preset(Workload::Oltp, &config).scaled(1.0 / 64.0);
+    let trace: Vec<TraceRecord> = workload.generator(42).take(100_000).collect();
+    println!("Generated {} misses of {}", trace.len(), workload.name());
+
+    let eval = TradeoffEvaluator::new(&config).warmup(20_000);
+    let (snooping, directory) = eval.run_baselines(trace.iter().copied());
+
+    // The paper's headline predictor configuration: Owner/Group with
+    // 1024-byte macroblock indexing and 8192 entries.
+    let predictor = PredictorConfig::owner_group()
+        .indexing(Indexing::Macroblock { bytes: 1024 })
+        .entries(Capacity::ISCA03);
+    let point = eval.run(trace.iter().copied(), &predictor);
+
+    println!(
+        "\n{:<40} {:>16} {:>16}",
+        "configuration", "req msgs/miss", "indirections %"
+    );
+    for p in [&snooping, &directory, &point] {
+        println!(
+            "{:<40} {:>16.2} {:>16.1}",
+            p.label,
+            p.request_messages_per_miss(),
+            p.indirection_pct()
+        );
+    }
+    println!(
+        "\n{} removes {:.0}% of the directory protocol's indirections \
+         using {:.1}x its request bandwidth ({:.1}x less than snooping).",
+        point.label,
+        100.0 * (1.0 - point.indirections as f64 / directory.indirections.max(1) as f64),
+        point.request_messages_per_miss() / directory.request_messages_per_miss(),
+        snooping.request_messages_per_miss() / point.request_messages_per_miss(),
+    );
+}

@@ -1,0 +1,70 @@
+//! Execution-driven timing simulation (the paper's §5): run broadcast
+//! snooping, the directory protocol, and predictor-driven multicast
+//! snooping on the full target system and compare runtime and traffic.
+//!
+//! ```bash
+//! cargo run --release --example runtime_simulation [workload]
+//! ```
+
+use dsp::analysis::RuntimeEvaluator;
+use dsp::prelude::*;
+
+fn main() {
+    let config = SystemConfig::isca03();
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "OLTP".to_string());
+    let workload = Workload::ALL
+        .into_iter()
+        .find(|w| w.name().eq_ignore_ascii_case(&name))
+        .unwrap_or_else(|| {
+            eprintln!("unknown workload '{name}', defaulting to OLTP");
+            Workload::Oltp
+        });
+    let spec = WorkloadSpec::preset(workload, &config).scaled(1.0 / 64.0);
+
+    let target = TargetSystem::isca03_default();
+    println!(
+        "Target system: {} nodes @ {} GHz, {} MB L2, {} GB/s links",
+        config.num_nodes(),
+        target.clock_ghz,
+        target.l2.capacity_bytes() >> 20,
+        target.interconnect.link_bytes_per_ns
+    );
+    println!(
+        "Derived latencies: memory {} ns, c2c direct {} ns, c2c indirect {} ns\n",
+        target.memory_latency_ns(),
+        target.cache_direct_latency_ns(),
+        target.cache_indirect_latency_ns()
+    );
+
+    let mb = Indexing::Macroblock { bytes: 1024 };
+    let protocols = vec![
+        ProtocolKind::Multicast(PredictorConfig::owner().indexing(mb)),
+        ProtocolKind::Multicast(PredictorConfig::broadcast_if_shared().indexing(mb)),
+        ProtocolKind::Multicast(PredictorConfig::group().indexing(mb)),
+        ProtocolKind::Multicast(PredictorConfig::owner_group().indexing(mb)),
+    ];
+    let points = RuntimeEvaluator::new(&config)
+        .cpu(CpuModel::Simple)
+        .misses(500, 3_000)
+        .runs(2)
+        .run(&spec, &protocols);
+
+    println!("workload: {}\n", workload.name());
+    println!(
+        "{:<55} {:>12} {:>14} {:>12} {:>10}",
+        "protocol", "runtime", "traffic/miss", "avg miss ns", "retries"
+    );
+    for p in &points {
+        println!(
+            "{:<55} {:>12.1} {:>14.1} {:>12.0} {:>10}",
+            p.label,
+            p.normalized_runtime,
+            p.normalized_traffic,
+            p.report.avg_miss_latency_ns(),
+            p.report.retries
+        );
+    }
+    println!("\n(runtime normalized to directory = 100; traffic to snooping = 100)");
+}

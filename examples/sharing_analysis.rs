@@ -1,0 +1,81 @@
+//! Workload sharing-behavior analysis, reproducing the §2
+//! characterization: Table 2 columns, the instantaneous-sharing
+//! histogram (Fig. 2), and cache-to-cache miss locality (Fig. 4).
+//!
+//! ```bash
+//! cargo run --release --example sharing_analysis [workload]
+//! ```
+
+use dsp::analysis::characterize;
+use dsp::prelude::*;
+
+fn pick(name: &str) -> Option<Workload> {
+    Workload::ALL
+        .into_iter()
+        .find(|w| w.name().eq_ignore_ascii_case(name))
+}
+
+fn main() {
+    let config = SystemConfig::isca03();
+    let arg = std::env::args().nth(1);
+    let workloads: Vec<Workload> = match arg.as_deref() {
+        None => Workload::ALL.to_vec(),
+        Some(name) => match pick(name) {
+            Some(w) => vec![w],
+            None => {
+                eprintln!(
+                    "unknown workload '{name}'; options: {}",
+                    Workload::ALL.map(|w| w.name()).join(", ")
+                );
+                std::process::exit(1);
+            }
+        },
+    };
+
+    println!(
+        "{:<12} {:>10} {:>12} {:>10} {:>8} {:>14}",
+        "workload", "misses", "blocks", "PCs", "c2c %", "indirection %"
+    );
+    for w in &workloads {
+        let spec = WorkloadSpec::preset(*w, &config).scaled(1.0 / 32.0);
+        let r = characterize(&spec, &config, 20_000, 80_000, 7);
+        println!(
+            "{:<12} {:>10} {:>12} {:>10} {:>8.1} {:>14.1}",
+            r.workload,
+            r.misses,
+            r.blocks_touched,
+            r.static_pcs,
+            100.0 * r.cache_to_cache as f64 / r.misses as f64,
+            r.indirection_pct()
+        );
+    }
+
+    // Detail views for the first selected workload.
+    let w = workloads[0];
+    let spec = WorkloadSpec::preset(w, &config).scaled(1.0 / 32.0);
+    let r = characterize(&spec, &config, 20_000, 80_000, 7);
+
+    println!(
+        "\n{} — misses needing n other processors (Fig. 2):",
+        w.name()
+    );
+    println!("{:>6} {:>10} {:>10}", "n", "reads %", "writes %");
+    for (bin, label) in [(0, "0"), (1, "1"), (2, "2"), (3, "3+")] {
+        let (reads, writes) = r.sharing.percent(bin);
+        println!("{label:>6} {reads:>10.1} {writes:>10.1}");
+    }
+
+    println!("\n{} — c2c miss concentration (Fig. 4):", w.name());
+    println!(
+        "{:>8} {:>12} {:>16} {:>12}",
+        "top-k", "blocks %", "macroblocks %", "PCs %"
+    );
+    for k in [100, 1000, 10_000] {
+        println!(
+            "{k:>8} {:>12.1} {:>16.1} {:>12.1}",
+            r.block_locality.percent_covered_by(k),
+            r.macroblock_locality.percent_covered_by(k),
+            r.pc_locality.percent_covered_by(k)
+        );
+    }
+}

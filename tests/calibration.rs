@@ -1,0 +1,148 @@
+//! Calibration of the synthetic workloads against paper Table 2 and
+//! the qualitative shapes of Figures 2–4.
+//!
+//! Absolute footprints are scaled down (1/64) for test speed; the
+//! *rates* — directory indirections, read/write structure, sharing
+//! degree, locality — are scale-free and must land in bands around the
+//! published values.
+
+use dsp::analysis::{characterize, CharacterizationReport};
+use dsp::prelude::*;
+
+fn report(w: Workload) -> CharacterizationReport {
+    let config = SystemConfig::isca03();
+    let spec = WorkloadSpec::preset(w, &config).scaled(1.0 / 64.0);
+    characterize(&spec, &config, 10_000, 50_000, 1234)
+}
+
+/// Paper Table 2, rightmost column, with ±7-percentage-point bands
+/// (short scaled traces undercount rare sharing slightly).
+#[test]
+fn directory_indirection_rates_match_table2() {
+    let targets = [
+        (Workload::Apache, 89.0),
+        (Workload::BarnesHut, 96.0),
+        (Workload::Ocean, 58.0),
+        (Workload::Oltp, 73.0),
+        (Workload::Slashcode, 35.0),
+        (Workload::SpecJbb, 41.0),
+    ];
+    for (w, target) in targets {
+        let r = report(w);
+        let got = r.indirection_pct();
+        assert!(
+            (got - target).abs() <= 7.0,
+            "{w:?}: measured {got:.1}% vs Table 2 {target}%"
+        );
+    }
+}
+
+/// Table 2 columns 5–6: the miss-rate parameters feed the timing model.
+#[test]
+fn miss_rates_match_table2() {
+    let config = SystemConfig::isca03();
+    let expect = [
+        (Workload::Apache, 5.9),
+        (Workload::BarnesHut, 0.4),
+        (Workload::Ocean, 0.5),
+        (Workload::Oltp, 7.0),
+        (Workload::Slashcode, 1.0),
+        (Workload::SpecJbb, 3.3),
+    ];
+    for (w, mpki) in expect {
+        let spec = WorkloadSpec::preset(w, &config);
+        assert_eq!(spec.misses_per_kilo_instr(), mpki, "{w:?}");
+    }
+}
+
+/// §2.4 / Figure 2: most misses need few observers; only ~10% need
+/// more than one other processor.
+#[test]
+fn instantaneous_sharing_is_small() {
+    for w in Workload::ALL {
+        let r = report(w);
+        let total = r.misses as f64;
+        let multi =
+            (r.sharing.reads[2] + r.sharing.reads[3] + r.sharing.writes[2] + r.sharing.writes[3])
+                as f64;
+        assert!(
+            multi / total < 0.25,
+            "{w:?}: {:.1}% of misses need >1 other processor",
+            100.0 * multi / total
+        );
+    }
+}
+
+/// Figure 3(a): the block-degree histogram is dominated by degree 1.
+#[test]
+fn most_blocks_touched_by_one_processor() {
+    for w in Workload::ALL {
+        let r = report(w);
+        let total: u64 = r.degree_blocks.iter().sum();
+        assert!(
+            r.degree_blocks[1] * 2 > total,
+            "{w:?}: degree-1 blocks are {}/{total}",
+            r.degree_blocks[1]
+        );
+    }
+}
+
+/// Figure 3(b): commercial workloads concentrate misses on widely
+/// shared blocks; Ocean concentrates on degree <= 4.
+#[test]
+fn miss_weighted_degree_shapes() {
+    for w in [Workload::Apache, Workload::Oltp, Workload::BarnesHut] {
+        let r = report(w);
+        let high: u64 = r.degree_misses[8..].iter().sum();
+        let low: u64 = r.degree_misses[..4].iter().sum();
+        assert!(high > low / 4, "{w:?}: widely-shared misses too rare");
+    }
+    let ocean = report(Workload::Ocean);
+    let low: u64 = ocean.degree_misses[..=4].iter().sum();
+    let high: u64 = ocean.degree_misses[5..].iter().sum();
+    assert!(
+        low > high,
+        "Ocean: misses should concentrate at degree <= 4"
+    );
+}
+
+/// Figure 4: strong temporal locality — the hottest 10k macroblocks
+/// cover the overwhelming majority of cache-to-cache misses.
+#[test]
+fn sharing_locality_concentrates() {
+    for w in Workload::ALL {
+        let r = report(w);
+        let cover = r.macroblock_locality.percent_covered_by(10_000);
+        assert!(
+            cover > 80.0,
+            "{w:?}: top-10k macroblocks cover only {cover:.1}%"
+        );
+        let pcs = r.pc_locality.percent_covered_by(10_000);
+        assert!(pcs > 80.0, "{w:?}: top-10k PCs cover only {pcs:.1}%");
+    }
+}
+
+/// Footprint ordering from Table 2 survives scaling: SPECjbb >
+/// Slashcode > OLTP > Apache > Barnes-Hut.
+#[test]
+fn footprint_ordering_preserved() {
+    let jbb = report(Workload::SpecJbb).blocks_touched;
+    let slash = report(Workload::Slashcode).blocks_touched;
+    let oltp = report(Workload::Oltp).blocks_touched;
+    let barnes = report(Workload::BarnesHut).blocks_touched;
+    assert!(jbb > slash / 2, "SPECjbb touches the most memory");
+    assert!(slash > oltp);
+    assert!(oltp > barnes);
+}
+
+/// Reads dominate writes in every workload's miss mix (Figure 2 shows
+/// read bars above write bars).
+#[test]
+fn reads_outnumber_writes() {
+    for w in Workload::ALL {
+        let r = report(w);
+        let reads: u64 = r.sharing.reads.iter().sum();
+        let writes: u64 = r.sharing.writes.iter().sum();
+        assert!(reads > writes, "{w:?}: reads {reads} vs writes {writes}");
+    }
+}

@@ -1,0 +1,176 @@
+//! Shape assertions for the paper's Figure 6 sensitivity analysis,
+//! checked end-to-end at reduced scale on OLTP (the workload the paper
+//! uses for its sensitivity study).
+
+use dsp::analysis::{TradeoffEvaluator, TradeoffPoint};
+use dsp::prelude::*;
+
+fn trace() -> Vec<TraceRecord> {
+    let config = SystemConfig::isca03();
+    WorkloadSpec::preset(Workload::Oltp, &config)
+        .scaled(1.0 / 64.0)
+        .generator(2026)
+        .take(90_000)
+        .collect()
+}
+
+fn eval() -> TradeoffEvaluator {
+    TradeoffEvaluator::new(&SystemConfig::isca03()).warmup(25_000)
+}
+
+fn run(t: &[TraceRecord], cfg: PredictorConfig) -> TradeoffPoint {
+    eval().run(t.iter().copied(), &cfg)
+}
+
+/// Figure 6(a): block indexing strictly beats PC indexing for Owner and
+/// Owner/Group; for Broadcast-If-Shared the choice is a
+/// bandwidth/latency tradeoff rather than a dominance.
+#[test]
+fn fig6a_pc_vs_block_indexing() {
+    let t = trace();
+    let unbounded = Capacity::Unbounded;
+    for base in [PredictorConfig::owner(), PredictorConfig::owner_group()] {
+        let block = run(&t, base.indexing(Indexing::DataBlock).entries(unbounded));
+        let pc = run(
+            &t,
+            base.indexing(Indexing::ProgramCounter).entries(unbounded),
+        );
+        assert!(
+            block.indirections < pc.indirections,
+            "{}: block {} vs PC {}",
+            block.label,
+            block.indirections,
+            pc.indirections
+        );
+    }
+    let bis_block = run(
+        &t,
+        PredictorConfig::broadcast_if_shared()
+            .indexing(Indexing::DataBlock)
+            .entries(unbounded),
+    );
+    let bis_pc = run(
+        &t,
+        PredictorConfig::broadcast_if_shared()
+            .indexing(Indexing::ProgramCounter)
+            .entries(unbounded),
+    );
+    let tradeoff = (bis_pc.indirections < bis_block.indirections)
+        != (bis_pc.request_messages < bis_block.request_messages);
+    assert!(
+        tradeoff || bis_pc.indirections < bis_block.indirections,
+        "BIS: PC ({}, {}) vs block ({}, {}) should trade off",
+        bis_pc.request_messages,
+        bis_pc.indirections,
+        bis_block.request_messages,
+        bis_block.indirections
+    );
+}
+
+/// Figure 6(b): growing macroblocks monotonically cut Owner's
+/// indirections on OLTP (64 B -> 256 B -> 1024 B).
+#[test]
+fn fig6b_macroblocks_help_monotonically() {
+    let t = trace();
+    let mut last = u64::MAX;
+    for ix in [
+        Indexing::DataBlock,
+        Indexing::Macroblock { bytes: 256 },
+        Indexing::Macroblock { bytes: 1024 },
+    ] {
+        let p = run(
+            &t,
+            PredictorConfig::owner()
+                .indexing(ix)
+                .entries(Capacity::Unbounded),
+        );
+        assert!(
+            p.indirections <= last,
+            "{}: {} should not exceed previous {}",
+            ix,
+            p.indirections,
+            last
+        );
+        last = p.indirections;
+    }
+}
+
+/// Figure 6(c): 8192-entry predictors perform comparably to unbounded
+/// ones at 1024 B indexing (the hot set fits), and every paper policy
+/// beats Sticky-Spatial(1) in at least one criterion without losing
+/// both.
+#[test]
+fn fig6c_sizes_and_prior_work() {
+    let t = trace();
+    let mb = Indexing::Macroblock { bytes: 1024 };
+    for base in [
+        PredictorConfig::owner(),
+        PredictorConfig::group(),
+        PredictorConfig::owner_group(),
+    ] {
+        let finite = run(&t, base.indexing(mb).entries(Capacity::ISCA03));
+        let unbounded = run(&t, base.indexing(mb).entries(Capacity::Unbounded));
+        let ratio = finite.indirections as f64 / unbounded.indirections.max(1) as f64;
+        assert!(
+            (0.8..1.3).contains(&ratio),
+            "{}: finite/unbounded indirection ratio {ratio:.2}",
+            finite.label
+        );
+    }
+    let sticky = run(&t, PredictorConfig::sticky_spatial(1));
+    for base in [
+        PredictorConfig::owner(),
+        PredictorConfig::broadcast_if_shared(),
+        PredictorConfig::group(),
+        PredictorConfig::owner_group(),
+    ] {
+        let ours = run(&t, base.indexing(mb).entries(Capacity::ISCA03));
+        let better_somewhere = ours.request_messages < sticky.request_messages
+            || ours.indirections < sticky.indirections;
+        assert!(
+            better_somewhere,
+            "{} ({}, {}) never beats Sticky-Spatial ({}, {})",
+            ours.label,
+            ours.request_messages,
+            ours.indirections,
+            sticky.request_messages,
+            sticky.indirections
+        );
+    }
+}
+
+/// Figure 5's geometric reading: on every workload, the four standout
+/// predictors populate the tradeoff frontier between the two protocol
+/// endpoints — none is dominated by an endpoint.
+#[test]
+fn fig5_predictors_are_on_the_frontier() {
+    let config = SystemConfig::isca03();
+    for w in [Workload::Apache, Workload::Ocean, Workload::SpecJbb] {
+        let t: Vec<TraceRecord> = WorkloadSpec::preset(w, &config)
+            .scaled(1.0 / 64.0)
+            .generator(9)
+            .take(60_000)
+            .collect();
+        let e = TradeoffEvaluator::new(&config).warmup(15_000);
+        let (snoop, dir) = e.run_baselines(t.iter().copied());
+        let mb = Indexing::Macroblock { bytes: 1024 };
+        for base in [
+            PredictorConfig::owner(),
+            PredictorConfig::broadcast_if_shared(),
+            PredictorConfig::group(),
+            PredictorConfig::owner_group(),
+        ] {
+            let p = e.run(t.iter().copied(), &base.indexing(mb));
+            assert!(
+                p.request_messages < snoop.request_messages,
+                "{w:?}/{}: not cheaper than snooping",
+                p.label
+            );
+            assert!(
+                p.indirections < dir.indirections,
+                "{w:?}/{}: not faster than directory",
+                p.label
+            );
+        }
+    }
+}

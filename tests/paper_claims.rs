@@ -1,0 +1,322 @@
+//! The paper's headline quantitative claims, asserted end-to-end at
+//! reduced scale. We check *shapes and factors*, not absolute numbers:
+//! who wins, by roughly how much, and where each policy sits.
+
+use dsp::analysis::{RuntimeEvaluator, TradeoffEvaluator, TradeoffPoint};
+use dsp::prelude::*;
+
+fn trace(w: Workload, n: usize) -> Vec<TraceRecord> {
+    let config = SystemConfig::isca03();
+    WorkloadSpec::preset(w, &config)
+        .scaled(1.0 / 64.0)
+        .generator(77)
+        .take(n)
+        .collect()
+}
+
+fn eval() -> TradeoffEvaluator {
+    TradeoffEvaluator::new(&SystemConfig::isca03()).warmup(20_000)
+}
+
+fn mb() -> Indexing {
+    Indexing::Macroblock { bytes: 1024 }
+}
+
+fn standouts() -> [PredictorConfig; 4] {
+    [
+        PredictorConfig::owner().indexing(mb()),
+        PredictorConfig::broadcast_if_shared().indexing(mb()),
+        PredictorConfig::group().indexing(mb()),
+        PredictorConfig::owner_group().indexing(mb()),
+    ]
+}
+
+/// Abstract: "destination-set predictors can reduce indirections by up
+/// to 90%, with respect to a directory protocol, while using less than
+/// one third the request bandwidth of a broadcast snooping system".
+#[test]
+fn headline_indirection_reduction_at_low_bandwidth() {
+    let t = trace(Workload::Slashcode, 100_000);
+    let (snoop, dir) = eval().run_baselines(t.iter().copied());
+    let mut best_reduction: f64 = 0.0;
+    for cfg in standouts() {
+        let p = eval().run(t.iter().copied(), &cfg);
+        if p.request_messages_per_miss() < snoop.request_messages_per_miss() / 3.0 {
+            let reduction = 1.0 - p.indirections as f64 / dir.indirections as f64;
+            best_reduction = best_reduction.max(reduction);
+        }
+    }
+    assert!(
+        best_reduction > 0.75,
+        "expected >75% indirection reduction under 1/3 snooping bandwidth, got {:.0}%",
+        100.0 * best_reduction
+    );
+}
+
+/// §4.3 Owner: "In five of our six benchmarks, Owner reduces the rate
+/// of indirections to less than 25% of all misses" at small bandwidth
+/// cost over the directory.
+#[test]
+fn owner_keeps_indirections_low_cheaply() {
+    let mut under_25 = 0;
+    for w in Workload::ALL {
+        let t = trace(w, 80_000);
+        let (_, dir) = eval().run_baselines(t.iter().copied());
+        let p = eval().run(t.iter().copied(), &PredictorConfig::owner().indexing(mb()));
+        if p.indirection_pct() < 25.0 {
+            under_25 += 1;
+        }
+        // "less than a 25% increase in request traffic" (five of six).
+        let overhead = p.request_messages as f64 / dir.request_messages as f64;
+        assert!(
+            overhead < 1.6,
+            "{w:?}: Owner request overhead {overhead:.2}x vs directory"
+        );
+    }
+    assert!(
+        under_25 >= 5,
+        "Owner <25% indirections on {under_25}/6 workloads"
+    );
+}
+
+/// §4.3 Broadcast-If-Shared: "keeping indirections to less than 6% of
+/// misses for all of our benchmarks while using less bandwidth".
+#[test]
+fn broadcast_if_shared_near_snooping_latency() {
+    for w in Workload::ALL {
+        let t = trace(w, 80_000);
+        let (snoop, _) = eval().run_baselines(t.iter().copied());
+        let p = eval().run(
+            t.iter().copied(),
+            &PredictorConfig::broadcast_if_shared().indexing(mb()),
+        );
+        assert!(
+            p.indirection_pct() < 8.0,
+            "{w:?}: BIS indirections {:.1}%",
+            p.indirection_pct()
+        );
+        assert!(
+            p.request_messages < snoop.request_messages,
+            "{w:?}: BIS must use less bandwidth than snooping"
+        );
+    }
+}
+
+/// §4.3 Group: "For all workloads, Group reduces request traffic to no
+/// more than half that of snooping, while keeping indirections below
+/// 15% of misses" — and on Slashcode, about one fifth the bandwidth
+/// with single-digit indirections.
+#[test]
+fn group_balances_both_axes() {
+    for w in Workload::ALL {
+        let t = trace(w, 80_000);
+        let (snoop, _) = eval().run_baselines(t.iter().copied());
+        let p = eval().run(t.iter().copied(), &PredictorConfig::group().indexing(mb()));
+        assert!(
+            p.request_messages_per_miss() <= snoop.request_messages_per_miss() / 2.0 + 0.5,
+            "{w:?}: Group traffic {:.2} vs snooping {:.2}",
+            p.request_messages_per_miss(),
+            snoop.request_messages_per_miss()
+        );
+        // Paper: below 15% for all workloads; our synthetic migratory
+        // pair-drift is slightly harsher, so allow up to 20%.
+        assert!(
+            p.indirection_pct() < 20.0,
+            "{w:?}: Group {:.1}%",
+            p.indirection_pct()
+        );
+    }
+    let t = trace(Workload::Slashcode, 100_000);
+    let (snoop, _) = eval().run_baselines(t.iter().copied());
+    let p = eval().run(t.iter().copied(), &PredictorConfig::group().indexing(mb()));
+    let factor = snoop.request_messages_per_miss() / p.request_messages_per_miss();
+    assert!(
+        factor > 4.0,
+        "Slashcode Group bandwidth factor {factor:.1} (paper: ~5x)"
+    );
+    assert!(p.indirection_pct() < 10.0);
+}
+
+/// §4.3 Owner/Group sits between Owner and Group on both axes for most
+/// workloads, and excels on Ocean (6% indirections at ~1/5 snooping
+/// bandwidth in the paper).
+#[test]
+fn owner_group_is_the_middle_ground() {
+    let t = trace(Workload::Oltp, 80_000);
+    let owner = eval().run(t.iter().copied(), &PredictorConfig::owner().indexing(mb()));
+    let group = eval().run(t.iter().copied(), &PredictorConfig::group().indexing(mb()));
+    let og = eval().run(
+        t.iter().copied(),
+        &PredictorConfig::owner_group().indexing(mb()),
+    );
+    // "the results for this predictor lie between those of Group and
+    // Owner": bandwidth strictly between, indirections near Owner's
+    // (Group's write handling trades a little accuracy during sharing-
+    // pair drift).
+    assert!(og.request_messages <= group.request_messages);
+    assert!(og.request_messages >= owner.request_messages);
+    assert!(
+        (og.indirections as f64) <= owner.indirections as f64 * 1.12,
+        "Owner/Group {} vs Owner {}",
+        og.indirections,
+        owner.indirections
+    );
+
+    let t = trace(Workload::Ocean, 80_000);
+    let (snoop, _) = eval().run_baselines(t.iter().copied());
+    let og = eval().run(
+        t.iter().copied(),
+        &PredictorConfig::owner_group().indexing(mb()),
+    );
+    assert!(
+        og.indirection_pct() < 12.0,
+        "Ocean Owner/Group {:.1}%",
+        og.indirection_pct()
+    );
+    assert!(
+        og.request_messages_per_miss() < snoop.request_messages_per_miss() / 3.5,
+        "Ocean Owner/Group bandwidth {:.2}",
+        og.request_messages_per_miss()
+    );
+}
+
+/// §4.4: macroblock indexing improves on block indexing on both axes
+/// for OLTP-like workloads.
+#[test]
+fn macroblock_indexing_helps() {
+    let t = trace(Workload::Oltp, 80_000);
+    let block = eval().run(t.iter().copied(), &PredictorConfig::group());
+    let macro1k = eval().run(t.iter().copied(), &PredictorConfig::group().indexing(mb()));
+    assert!(
+        macro1k.indirections < block.indirections,
+        "1024B macroblocks should cut indirections: {} vs {}",
+        macro1k.indirections,
+        block.indirections
+    );
+}
+
+/// §4.4: 8192-entry predictors perform comparably to unbounded ones.
+#[test]
+fn finite_predictors_track_unbounded() {
+    let t = trace(Workload::Oltp, 80_000);
+    let finite = eval().run(t.iter().copied(), &PredictorConfig::group().indexing(mb()));
+    let unbounded = eval().run(
+        t.iter().copied(),
+        &PredictorConfig::group()
+            .indexing(mb())
+            .entries(Capacity::Unbounded),
+    );
+    let ratio = finite.indirections as f64 / unbounded.indirections.max(1) as f64;
+    assert!(
+        ratio < 1.5,
+        "8192 entries should be close to unbounded: {} vs {}",
+        finite.indirections,
+        unbounded.indirections
+    );
+}
+
+/// §4.4: our predictors match or beat Sticky-Spatial(1) in one or both
+/// criteria (OLTP, like Figure 6c).
+#[test]
+fn beats_sticky_spatial_prior_work() {
+    let t = trace(Workload::Oltp, 80_000);
+    let sticky = eval().run(t.iter().copied(), &PredictorConfig::sticky_spatial(1));
+    let og = eval().run(
+        t.iter().copied(),
+        &PredictorConfig::owner_group().indexing(mb()),
+    );
+    let dominates = |a: &TradeoffPoint, b: &TradeoffPoint| {
+        a.request_messages <= b.request_messages && a.indirections <= b.indirections
+    };
+    assert!(
+        dominates(&og, &sticky)
+            || og.request_messages < sticky.request_messages
+            || og.indirections < sticky.indirections,
+        "Owner/Group ({:.2}, {:.1}%) vs Sticky ({:.2}, {:.1}%)",
+        og.request_messages_per_miss(),
+        og.indirection_pct(),
+        sticky.request_messages_per_miss(),
+        sticky.indirection_pct()
+    );
+}
+
+/// §5.3: snooping outperforms the directory but uses about twice the
+/// interconnect bandwidth; predictors capture most of snooping's
+/// performance at a fraction of its bandwidth.
+#[test]
+fn runtime_tradeoff_shapes() {
+    let config = SystemConfig::isca03();
+    let spec = WorkloadSpec::preset(Workload::Oltp, &config).scaled(1.0 / 128.0);
+    let points = RuntimeEvaluator::new(&config)
+        .misses(200, 1_500)
+        .seed(3)
+        .run(
+            &spec,
+            &[
+                ProtocolKind::Multicast(PredictorConfig::broadcast_if_shared().indexing(mb())),
+                ProtocolKind::Multicast(PredictorConfig::owner_group().indexing(mb())),
+            ],
+        );
+    let snoop = &points[0];
+    let dir = &points[1];
+    let bis = &points[2];
+    let og = &points[3];
+    // Snooping wins runtime by a healthy margin on OLTP.
+    assert!(
+        snoop.normalized_runtime < 85.0,
+        "snooping {:.0}",
+        snoop.normalized_runtime
+    );
+    // Directory uses roughly half the traffic (paper: "about twice").
+    assert!(
+        (30.0..75.0).contains(&dir.normalized_traffic),
+        "directory traffic {:.0}",
+        dir.normalized_traffic
+    );
+    // Predictors approach snooping's runtime using much less bandwidth.
+    for p in [bis, og] {
+        assert!(p.normalized_runtime < dir.normalized_runtime, "{}", p.label);
+        assert!(
+            p.normalized_traffic < snoop.normalized_traffic,
+            "{}",
+            p.label
+        );
+    }
+    // "almost 90% of the performance of snooping": within ~15% of
+    // snooping's runtime for the latency-oriented predictor.
+    assert!(
+        bis.normalized_runtime < snoop.normalized_runtime * 1.18,
+        "BIS runtime {:.0} vs snooping {:.0}",
+        bis.normalized_runtime,
+        snoop.normalized_runtime
+    );
+}
+
+/// Figure 8: the detailed out-of-order model preserves the Figure 7
+/// ordering (normalized runtimes similar, absolute runtimes lower).
+#[test]
+fn detailed_cpu_preserves_ordering() {
+    let config = SystemConfig::isca03();
+    let spec = WorkloadSpec::preset(Workload::Apache, &config).scaled(1.0 / 128.0);
+    let extras = [ProtocolKind::Multicast(
+        PredictorConfig::owner_group().indexing(mb()),
+    )];
+    let simple = RuntimeEvaluator::new(&config)
+        .misses(100, 800)
+        .run(&spec, &extras);
+    let detailed = RuntimeEvaluator::new(&config)
+        .cpu(CpuModel::Detailed { max_outstanding: 4 })
+        .misses(100, 800)
+        .run(&spec, &extras);
+    // Same winners under both models.
+    assert!(simple[0].normalized_runtime < 100.0);
+    assert!(detailed[0].normalized_runtime < 100.0);
+    assert!(detailed[2].normalized_traffic < detailed[0].normalized_traffic + 1e-9);
+    // Overlapping misses shortens absolute runtime.
+    assert!(
+        detailed[0].report.runtime_ns <= simple[0].report.runtime_ns,
+        "detailed {} vs simple {}",
+        detailed[0].report.runtime_ns,
+        simple[0].report.runtime_ns
+    );
+}

@@ -1,0 +1,140 @@
+//! Cross-crate integration: the same workload measured through the
+//! characterization path, the trace-driven tradeoff path, and the
+//! execution-driven timing path must tell one consistent story.
+
+use dsp::analysis::{characterize, RuntimeEvaluator, TradeoffEvaluator};
+use dsp::prelude::*;
+
+fn spec(w: Workload, scale: f64) -> WorkloadSpec {
+    WorkloadSpec::preset(w, &SystemConfig::isca03()).scaled(scale)
+}
+
+#[test]
+fn characterization_agrees_with_directory_baseline() {
+    // The % of misses classified as directory indirections by the
+    // characterizer must equal the directory baseline's indirection
+    // rate in the tradeoff evaluator — they implement the same
+    // definition through different code paths.
+    let config = SystemConfig::isca03();
+    let s = spec(Workload::Apache, 1.0 / 128.0);
+    let warmup = 4_000;
+    let measured = 16_000;
+    let report = characterize(&s, &config, warmup, measured, 9);
+    let trace: Vec<TraceRecord> = s.generator(9).take(warmup + measured).collect();
+    let (_, dir) = TradeoffEvaluator::new(&config)
+        .warmup(warmup)
+        .run_baselines(trace);
+    assert_eq!(report.misses, dir.misses);
+    assert_eq!(report.directory_indirections, dir.indirections);
+}
+
+#[test]
+fn trace_and_timing_agree_on_retry_direction() {
+    // A predictor with more trace-driven indirections must also retry
+    // more in the timing simulator (same protocol, different engines).
+    let config = SystemConfig::isca03();
+    let s = spec(Workload::Oltp, 1.0 / 256.0);
+    let trace: Vec<TraceRecord> = s.generator(2).take(20_000).collect();
+    let eval = TradeoffEvaluator::new(&config).warmup(4_000);
+    let owner = eval.run(
+        trace.iter().copied(),
+        &PredictorConfig::owner().indexing(Indexing::Macroblock { bytes: 1024 }),
+    );
+    let bis = eval.run(
+        trace.iter().copied(),
+        &PredictorConfig::broadcast_if_shared().indexing(Indexing::Macroblock { bytes: 1024 }),
+    );
+    assert!(owner.indirections > bis.indirections);
+
+    let run = |cfg: PredictorConfig| {
+        let sim = SimConfig::new(ProtocolKind::Multicast(cfg))
+            .misses(100, 500)
+            .seed(2);
+        System::new(&config, TargetSystem::isca03_default(), &s, sim).run()
+    };
+    let owner_sim = run(PredictorConfig::owner().indexing(Indexing::Macroblock { bytes: 1024 }));
+    let bis_sim =
+        run(PredictorConfig::broadcast_if_shared().indexing(Indexing::Macroblock { bytes: 1024 }));
+    assert!(
+        owner_sim.retries > bis_sim.retries,
+        "timing sim should agree: owner {} vs bis {}",
+        owner_sim.retries,
+        bis_sim.retries
+    );
+}
+
+#[test]
+fn timing_latencies_track_protocol_structure() {
+    // Directory c2c misses pay ~242 ns, snooping c2c ~112 ns; average
+    // latencies must reflect that ordering on a sharing-heavy workload.
+    let config = SystemConfig::isca03();
+    let s = spec(Workload::BarnesHut, 1.0 / 128.0);
+    let run = |protocol| {
+        let sim = SimConfig::new(protocol).misses(100, 600).seed(4);
+        System::new(&config, TargetSystem::isca03_default(), &s, sim).run()
+    };
+    let snoop = run(ProtocolKind::Snooping);
+    let dir = run(ProtocolKind::Directory);
+    assert!(
+        snoop.avg_miss_latency_ns() + 30.0 < dir.avg_miss_latency_ns(),
+        "snooping {} vs directory {}",
+        snoop.avg_miss_latency_ns(),
+        dir.avg_miss_latency_ns()
+    );
+    // Barnes-Hut is ~95% cache-to-cache: snooping's average should sit
+    // near the direct transfer latency.
+    assert!(
+        (100.0..200.0).contains(&snoop.avg_miss_latency_ns()),
+        "{}",
+        snoop.avg_miss_latency_ns()
+    );
+}
+
+#[test]
+fn broadcast_multicast_equals_snooping_traffic() {
+    // Multicast snooping with an always-broadcast predictor IS
+    // broadcast snooping: identical request traffic per miss.
+    let config = SystemConfig::isca03();
+    let s = spec(Workload::SpecJbb, 1.0 / 256.0);
+    let run = |protocol| {
+        let sim = SimConfig::new(protocol).misses(50, 400).seed(8);
+        System::new(&config, TargetSystem::isca03_default(), &s, sim).run()
+    };
+    let snoop = run(ProtocolKind::Snooping);
+    let multicast = run(ProtocolKind::Multicast(PredictorConfig::always_broadcast()));
+    assert_eq!(snoop.measured_misses, multicast.measured_misses);
+    assert_eq!(
+        snoop.traffic.request_deliveries(),
+        multicast.traffic.request_deliveries()
+    );
+}
+
+#[test]
+fn runtime_evaluator_normalizations_consistent_with_reports() {
+    let config = SystemConfig::isca03();
+    let s = spec(Workload::Slashcode, 1.0 / 256.0);
+    let points = RuntimeEvaluator::new(&config).misses(50, 300).run(&s, &[]);
+    let snoop = &points[0];
+    let dir = &points[1];
+    let ratio = snoop.report.runtime_ns as f64 / dir.report.runtime_ns as f64;
+    assert!((snoop.normalized_runtime / 100.0 - ratio).abs() < 1e-9);
+    let traffic_ratio = dir.report.bytes_per_miss() / snoop.report.bytes_per_miss();
+    assert!((dir.normalized_traffic / 100.0 - traffic_ratio).abs() < 1e-9);
+}
+
+#[test]
+fn trace_io_round_trips_through_files() {
+    use dsp::trace::{read_trace_json, write_trace_json};
+    let s = spec(Workload::Ocean, 1.0 / 256.0);
+    let recs: Vec<TraceRecord> = s.generator(5).take(2_000).collect();
+    let mut buf = Vec::new();
+    write_trace_json(&mut buf, recs.iter().copied()).expect("write");
+    let back = read_trace_json(&buf[..]).expect("read");
+    assert_eq!(back, recs);
+    // And the round-tripped trace evaluates identically.
+    let config = SystemConfig::isca03();
+    let eval = TradeoffEvaluator::new(&config);
+    let a = eval.run(recs.iter().copied(), &PredictorConfig::group());
+    let b = eval.run(back.iter().copied(), &PredictorConfig::group());
+    assert_eq!(a, b);
+}
