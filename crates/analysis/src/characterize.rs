@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use serde::{Deserialize, Serialize};
 
 use dsp_coherence::CoherenceTracker;
-use dsp_trace::WorkloadSpec;
+use dsp_trace::{TraceRecord, WorkloadSpec};
 use dsp_types::{DestSet, ReqType, SystemConfig};
 
 /// Histogram of how many *other* processors must observe each miss
@@ -131,6 +131,30 @@ pub fn characterize(
     misses: usize,
     seed: u64,
 ) -> CharacterizationReport {
+    characterize_trace(
+        spec.generator(seed).take(warmup + misses),
+        spec.name(),
+        spec.misses_per_kilo_instr(),
+        config,
+        warmup,
+    )
+}
+
+/// Characterizes an already-materialized (or otherwise streamed) miss
+/// trace: the first `warmup` records warm the coherence state without
+/// being measured. [`characterize`] is this function over a freshly
+/// seeded generator; sweep harnesses use this entry point directly so
+/// one shared trace can feed many evaluators without regeneration.
+pub fn characterize_trace<I>(
+    trace: I,
+    workload: &str,
+    misses_per_kilo_instr: f64,
+    config: &SystemConfig,
+    warmup: usize,
+) -> CharacterizationReport
+where
+    I: IntoIterator<Item = TraceRecord>,
+{
     let n = config.num_nodes();
     let mut tracker = CoherenceTracker::new(config);
     let mut blocks: HashMap<u64, (DestSet, u64)> = HashMap::new(); // accessors, misses
@@ -142,7 +166,7 @@ pub fn characterize(
     let mut measured = 0u64;
     let mut indirections = 0u64;
     let mut c2c = 0u64;
-    for (i, rec) in spec.generator(seed).take(warmup + misses).enumerate() {
+    for (i, rec) in trace.into_iter().enumerate() {
         let info = tracker.access(rec.requester, rec.request(), rec.block());
         if i < warmup {
             continue;
@@ -182,12 +206,12 @@ pub fn characterize(
         touched_macroblocks.entry(mb).or_insert(());
     }
     CharacterizationReport {
-        workload: spec.name().to_string(),
+        workload: workload.to_string(),
         misses: measured,
         blocks_touched: blocks.len() as u64,
         macroblocks_touched: touched_macroblocks.len() as u64,
         static_pcs: pcs.len() as u64,
-        misses_per_kilo_instr: spec.misses_per_kilo_instr(),
+        misses_per_kilo_instr,
         directory_indirections: indirections,
         cache_to_cache: c2c,
         sharing,

@@ -44,7 +44,9 @@ mod report_io;
 mod runtime;
 mod tradeoff;
 
-pub use characterize::{characterize, CharacterizationReport, LocalityCdf, SharingHistogram};
+pub use characterize::{
+    characterize, characterize_trace, CharacterizationReport, LocalityCdf, SharingHistogram,
+};
 pub use render::{fmt_f, TextTable};
 pub use report_io::{load_json, save_json, ReportIoError};
 pub use runtime::{RuntimeEvaluator, RuntimePoint};

@@ -1,84 +1,121 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```bash
-//! repro <experiment> [--scale quick|standard|paper] [--out results/]
+//! repro <experiment> [--scale quick|standard|paper] [--out DIR] [--threads N]
 //!
 //! experiments: table2 fig2 fig3 fig4 fig5 fig6a fig6b fig6c fig7 fig8
-//!              ablations all
+//!              ablations extensions scaling claims bandwidth verify
+//!              sweep-bench all
 //! ```
 //!
 //! Each experiment prints an aligned text table and writes a CSV with
-//! the same rows under the output directory.
+//! the same rows under the output directory (created if absent). All
+//! experiments run on one [`SweepRunner`], so `repro all` generates
+//! each workload trace once and shares it across every table and
+//! figure. `sweep-bench` times the sweep engine serial vs parallel and
+//! writes `BENCH_sweep.json` to the output directory.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
 
 use dsp_analysis::TextTable;
+use dsp_bench::engine::SweepRunner;
 use dsp_bench::{experiments, Scale};
-
-const EXPERIMENTS: &[&str] = &[
-    "table2",
-    "fig2",
-    "fig3",
-    "fig4",
-    "fig5",
-    "fig6a",
-    "fig6b",
-    "fig6c",
-    "fig7",
-    "fig8",
-    "ablations",
-    "extensions",
-    "scaling",
-    "claims",
-    "bandwidth",
-    "verify",
-];
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro <experiment> [--scale quick|standard|paper] [--out DIR]\n\
-         experiments: {} all",
-        EXPERIMENTS.join(" ")
+        "usage: repro <experiment> [--scale quick|standard|paper] [--out DIR] [--threads N]\n\
+         experiments: {} sweep-bench all",
+        experiments::ALL_EXPERIMENTS.join(" ")
     );
     ExitCode::FAILURE
 }
 
-fn run_one(name: &str, scale: &Scale) -> Option<TextTable> {
-    let table = match name {
-        "table2" => experiments::table2(scale),
-        "fig2" => experiments::fig2(scale),
-        "fig3" => experiments::fig3(scale),
-        "fig4" => experiments::fig4(scale),
-        "fig5" => experiments::fig5(scale),
-        "fig6a" => experiments::fig6a(scale),
-        "fig6b" => experiments::fig6b(scale),
-        "fig6c" => experiments::fig6c(scale),
-        "fig7" => experiments::fig7(scale),
-        "fig8" => experiments::fig8(scale),
-        "ablations" => experiments::ablations(scale),
-        "extensions" => experiments::extensions(scale),
-        "scaling" => experiments::scaling(scale),
-        "claims" => experiments::claims(scale),
-        "bandwidth" => experiments::bandwidth(scale),
-        "verify" => experiments::verify(scale),
-        _ => return None,
-    };
-    Some(table)
-}
-
-fn save(out_dir: &Path, name: &str, table: &TextTable) {
-    if let Err(e) = std::fs::create_dir_all(out_dir) {
-        eprintln!("warning: cannot create {}: {e}", out_dir.display());
-        return;
-    }
-    let path = out_dir.join(format!("{name}.csv"));
-    if let Err(e) = std::fs::write(&path, table.to_csv()) {
-        eprintln!("warning: cannot write {}: {e}", path.display());
+fn save(out_dir: &Path, name: &str, contents: &str) -> bool {
+    let path = out_dir.join(name);
+    if let Err(e) = std::fs::write(&path, contents) {
+        eprintln!("error: cannot write {}: {e}", path.display());
+        false
     } else {
         println!("[saved {}]", path.display());
+        true
     }
+}
+
+fn save_csv(out_dir: &Path, name: &str, table: &TextTable) -> bool {
+    save(out_dir, &format!("{name}.csv"), &table.to_csv())
+}
+
+/// Times `table2 + fig5` (the Table 2 / Figure 5 reproduction path)
+/// three ways — seed-style (one thread, traces shared within a driver
+/// but regenerated across drivers, as the pre-engine code behaved),
+/// the engine single-threaded, and the engine parallel — and returns
+/// the `BENCH_sweep.json` payload.
+fn sweep_bench(scale: &Scale, threads: Option<usize>) -> String {
+    let plans = || {
+        vec![
+            experiments::table2_plan(scale),
+            experiments::fig5_plan(scale),
+        ]
+    };
+    let cells: usize = plans().iter().map(|p| p.len()).sum();
+    let time_with = |runner: &SweepRunner| {
+        let started = Instant::now();
+        let tables: Vec<TextTable> = plans().iter().map(|p| runner.run(p)).collect();
+        (started.elapsed().as_secs_f64(), tables)
+    };
+
+    // Seed-style: each driver generated every workload's trace afresh
+    // (one generation per workload per driver) — a fresh runner per
+    // plan reproduces exactly that cost.
+    let (seed_s, seed_tables) = {
+        let started = Instant::now();
+        let tables: Vec<TextTable> = plans()
+            .iter()
+            .map(|p| SweepRunner::serial().run(p))
+            .collect();
+        (started.elapsed().as_secs_f64(), tables)
+    };
+    let (serial_s, serial_tables) = time_with(&SweepRunner::serial());
+    let parallel_runner = match threads {
+        Some(n) => SweepRunner::with_threads(n),
+        None => SweepRunner::new(),
+    };
+    let (parallel_s, parallel_tables) = time_with(&parallel_runner);
+
+    for (s, p) in seed_tables
+        .iter()
+        .zip(&parallel_tables)
+        .chain(serial_tables.iter().zip(&parallel_tables))
+    {
+        assert_eq!(
+            s.to_csv(),
+            p.to_csv(),
+            "parallel output must be byte-identical to serial"
+        );
+    }
+
+    let threads = parallel_runner.threads();
+    let speedup = seed_s / parallel_s.max(1e-9);
+    println!(
+        "sweep-bench: {cells} cells | seed-style serial {seed_s:.2}s ({:.1} cells/s) | \
+         shared-trace serial {serial_s:.2}s | parallel[{threads}] {parallel_s:.2}s \
+         ({:.1} cells/s) | speedup {speedup:.2}x",
+        cells as f64 / seed_s.max(1e-9),
+        cells as f64 / parallel_s.max(1e-9),
+    );
+    format!(
+        "{{\n  \"benchmark\": \"sweep\",\n  \"plans\": [\"table2\", \"fig5\"],\n  \
+         \"cells\": {cells},\n  \"threads\": {threads},\n  \
+         \"seed_style_serial_wall_s\": {seed_s:.4},\n  \
+         \"shared_trace_serial_wall_s\": {serial_s:.4},\n  \
+         \"parallel_wall_s\": {parallel_s:.4},\n  \
+         \"seed_style_cells_per_s\": {:.3},\n  \"parallel_cells_per_s\": {:.3},\n  \
+         \"speedup\": {speedup:.3},\n  \"byte_identical\": true\n}}\n",
+        cells as f64 / seed_s.max(1e-9),
+        cells as f64 / parallel_s.max(1e-9),
+    )
 }
 
 fn main() -> ExitCode {
@@ -86,6 +123,7 @@ fn main() -> ExitCode {
     let mut experiment: Option<String> = None;
     let mut scale = Scale::standard();
     let mut out_dir = PathBuf::from("results");
+    let mut threads: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -109,6 +147,14 @@ fn main() -> ExitCode {
                 };
                 out_dir = PathBuf::from(dir);
             }
+            "--threads" => {
+                i += 1;
+                let Some(n) = args.get(i).and_then(|n| n.parse().ok()).filter(|n| *n > 0) else {
+                    eprintln!("--threads needs a positive integer");
+                    return usage();
+                };
+                threads = Some(n);
+            }
             name if experiment.is_none() => experiment = Some(name.to_string()),
             other => {
                 eprintln!("unexpected argument '{other}'");
@@ -121,25 +167,53 @@ fn main() -> ExitCode {
         return usage();
     };
     let names: Vec<&str> = if experiment == "all" {
-        EXPERIMENTS.to_vec()
-    } else if EXPERIMENTS.contains(&experiment.as_str()) {
+        experiments::ALL_EXPERIMENTS.to_vec()
+    } else if experiment == "sweep-bench"
+        || experiments::ALL_EXPERIMENTS.contains(&experiment.as_str())
+    {
         vec![experiment.as_str()]
     } else {
         eprintln!("unknown experiment '{experiment}'");
         return usage();
     };
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!(
+            "error: cannot create output directory {}: {e}",
+            out_dir.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    let runner = match threads {
+        Some(n) => SweepRunner::with_threads(n),
+        None => SweepRunner::new(),
+    };
     for name in names {
         let started = Instant::now();
-        let Some(table) = run_one(name, &scale) else {
+        if name == "sweep-bench" {
+            let json = sweep_bench(&scale, threads);
+            // The perf-trajectory artifact lives at the repo root so
+            // successive PRs can diff it; a copy lands in --out too.
+            if !save(Path::new("."), "BENCH_sweep.json", &json)
+                || !save(&out_dir, "BENCH_sweep.json", &json)
+            {
+                return ExitCode::FAILURE;
+            }
+            continue;
+        }
+        let Some(table) = experiments::run_with(name, &scale, &runner) else {
             return usage();
         };
         println!("{table}");
         println!(
-            "[{} finished in {:.1}s]\n",
+            "[{} finished in {:.1}s on {} threads, {} traces cached]\n",
             name,
-            started.elapsed().as_secs_f64()
+            started.elapsed().as_secs_f64(),
+            runner.threads(),
+            runner.cached_traces(),
         );
-        save(&out_dir, name, &table);
+        if !save_csv(&out_dir, name, &table) {
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }

@@ -1,0 +1,646 @@
+//! The sweep engine: declarative experiment plans executed by a
+//! parallel, trace-sharing runner.
+//!
+//! The paper's evaluation is a cross-product — predictor policy ×
+//! workload × table size × indexing granularity × protocol — and every
+//! table/figure driver used to walk its slice of that product serially,
+//! regenerating the full synthetic trace for each cell. This module
+//! factors the sweep into three pieces:
+//!
+//! * [`Cell`] — one unit of evaluation (a characterization, a pair of
+//!   protocol baselines, one predictor tradeoff point, a timing-sim
+//!   protocol set, or a model-checking run).
+//! * [`ExperimentPlan`] — an ordered list of cells plus a render
+//!   function that turns their outputs into [`TextTable`] rows. Every
+//!   `table*`/`fig*` driver in [`crate::experiments`] is now a plan
+//!   declaration plus a row formatter.
+//! * [`SweepRunner`] — executes a plan: it first materializes every
+//!   *distinct* trace the cells need (one `Arc<[TraceRecord]>` per
+//!   (workload, system config, footprint, seed, length) key, built in
+//!   parallel and cached across runs), then fans the cells out over a
+//!   scoped thread pool, each cell streaming the shared trace into its
+//!   own evaluator.
+//!
+//! # Determinism
+//!
+//! Parallel output is byte-identical to single-threaded output:
+//!
+//! * every trace is produced by a generator seeded from the plan's
+//!   fixed seed, never by a generator shared between cells or threads;
+//! * each cell builds its own evaluator/tracker/predictor state;
+//! * outputs land in a slot indexed by the cell's plan position, and
+//!   rendering walks the slots in plan order on the calling thread.
+//!
+//! ```
+//! use dsp_bench::engine::SweepRunner;
+//! use dsp_bench::{experiments, Scale};
+//!
+//! let scale = Scale::quick();
+//! let plan = experiments::table2_plan(&scale);
+//! let parallel = SweepRunner::new().run(&plan);
+//! let serial = SweepRunner::serial().run(&experiments::table2_plan(&scale));
+//! assert_eq!(parallel.to_csv(), serial.to_csv());
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use dsp_analysis::{
+    characterize_trace, CharacterizationReport, RuntimeEvaluator, RuntimePoint, TextTable,
+    TradeoffEvaluator, TradeoffPoint,
+};
+use dsp_core::PredictorConfig;
+use dsp_sim::{CpuModel, ProtocolKind, TargetSystem};
+use dsp_trace::{TraceRecord, Workload, WorkloadSpec};
+use dsp_types::SystemConfig;
+use dsp_verify::{check, Bug, CheckReport, ModelConfig};
+
+use crate::scale::Scale;
+
+/// One unit of evaluation inside an [`ExperimentPlan`].
+///
+/// Trace-driven cells (`Characterize`, `Baselines`, `Tradeoff`) share
+/// one generated trace per distinct [`TraceKey`]; execution-driven and
+/// model-checking cells generate their own inputs internally.
+#[derive(Clone, Debug)]
+pub enum Cell {
+    /// Workload characterization (Table 2, Figures 2–4).
+    Characterize {
+        /// Simulated system.
+        config: SystemConfig,
+        /// Workload preset.
+        workload: Workload,
+    },
+    /// The broadcast-snooping and directory endpoints (two rows).
+    Baselines {
+        /// Simulated system.
+        config: SystemConfig,
+        /// Workload preset.
+        workload: Workload,
+    },
+    /// One predictor configuration's latency/bandwidth point.
+    Tradeoff {
+        /// Simulated system.
+        config: SystemConfig,
+        /// Workload preset.
+        workload: Workload,
+        /// Predictor under evaluation.
+        predictor: PredictorConfig,
+    },
+    /// Timing simulation of snooping, directory, and extra protocols.
+    Runtime {
+        /// Simulated system.
+        config: SystemConfig,
+        /// Workload preset.
+        workload: Workload,
+        /// Processor model.
+        cpu: CpuModel,
+        /// Optional target-machine override (latencies, bandwidth).
+        target: Option<TargetSystem>,
+        /// Protocols simulated after the two baselines.
+        protocols: Vec<ProtocolKind>,
+    },
+    /// Explicit-state model check of the multicast protocol.
+    Verify {
+        /// Model size in nodes.
+        nodes: usize,
+        /// Injected bug, if any.
+        bug: Option<Bug>,
+    },
+}
+
+impl Cell {
+    /// The workload driving this cell, if it is trace- or
+    /// execution-driven.
+    pub fn workload(&self) -> Option<Workload> {
+        match self {
+            Cell::Characterize { workload, .. }
+            | Cell::Baselines { workload, .. }
+            | Cell::Tradeoff { workload, .. }
+            | Cell::Runtime { workload, .. } => Some(*workload),
+            Cell::Verify { .. } => None,
+        }
+    }
+
+    /// The system configuration the cell simulates, if any.
+    pub fn config(&self) -> Option<SystemConfig> {
+        match self {
+            Cell::Characterize { config, .. }
+            | Cell::Baselines { config, .. }
+            | Cell::Tradeoff { config, .. }
+            | Cell::Runtime { config, .. } => Some(*config),
+            Cell::Verify { .. } => None,
+        }
+    }
+
+    /// The trace this cell replays, if it is trace-driven.
+    fn trace_key(&self, plan: &ExperimentPlan) -> Option<TraceKey> {
+        match self {
+            Cell::Characterize { config, workload }
+            | Cell::Baselines { config, workload }
+            | Cell::Tradeoff {
+                config, workload, ..
+            } => Some(TraceKey {
+                workload: *workload,
+                config: *config,
+                footprint_bits: plan.scale.footprint.to_bits(),
+                seed: plan.seed,
+                len: plan.scale.trace_warmup + plan.scale.trace_measured,
+            }),
+            Cell::Runtime { .. } | Cell::Verify { .. } => None,
+        }
+    }
+}
+
+/// The output of one executed [`Cell`], in the same order as the plan's
+/// cell list.
+#[derive(Clone, Debug)]
+pub enum CellOutput {
+    /// From [`Cell::Characterize`].
+    Characterization(Box<CharacterizationReport>),
+    /// From [`Cell::Baselines`].
+    Baselines {
+        /// Broadcast snooping endpoint.
+        snooping: TradeoffPoint,
+        /// Directory endpoint.
+        directory: TradeoffPoint,
+    },
+    /// From [`Cell::Tradeoff`].
+    Tradeoff(TradeoffPoint),
+    /// From [`Cell::Runtime`]: snooping, directory, then the extras.
+    Runtime(Vec<RuntimePoint>),
+    /// From [`Cell::Verify`].
+    Verify(CheckReport),
+}
+
+impl CellOutput {
+    /// The characterization report; panics on a different variant.
+    pub fn characterization(&self) -> &CharacterizationReport {
+        match self {
+            CellOutput::Characterization(r) => r,
+            other => panic!("expected characterization output, got {other:?}"),
+        }
+    }
+
+    /// The `(snooping, directory)` endpoints; panics otherwise.
+    pub fn baselines(&self) -> (&TradeoffPoint, &TradeoffPoint) {
+        match self {
+            CellOutput::Baselines {
+                snooping,
+                directory,
+            } => (snooping, directory),
+            other => panic!("expected baseline output, got {other:?}"),
+        }
+    }
+
+    /// The tradeoff point; panics on a different variant.
+    pub fn tradeoff(&self) -> &TradeoffPoint {
+        match self {
+            CellOutput::Tradeoff(p) => p,
+            other => panic!("expected tradeoff output, got {other:?}"),
+        }
+    }
+
+    /// The runtime points; panics on a different variant.
+    pub fn runtime(&self) -> &[RuntimePoint] {
+        match self {
+            CellOutput::Runtime(points) => points,
+            other => panic!("expected runtime output, got {other:?}"),
+        }
+    }
+
+    /// The model-checking report; panics on a different variant.
+    pub fn verify(&self) -> &CheckReport {
+        match self {
+            CellOutput::Verify(r) => r,
+            other => panic!("expected verify output, got {other:?}"),
+        }
+    }
+}
+
+/// Renders cell outputs (ordered by plan index) into table rows.
+pub type RenderFn = Box<dyn Fn(&[Cell], &[CellOutput], &mut TextTable) + Send + Sync>;
+
+/// A declarative experiment: title, columns, ordered cell grid, and a
+/// render function mapping cell outputs to rows.
+pub struct ExperimentPlan {
+    /// Table title.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<&'static str>,
+    /// Run-size parameters (footprint, warmup, measured, sim runs).
+    pub scale: Scale,
+    /// Base seed for trace generation and the timing simulator.
+    pub seed: u64,
+    /// The cells, in output order.
+    pub cells: Vec<Cell>,
+    render: RenderFn,
+}
+
+impl std::fmt::Debug for ExperimentPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExperimentPlan")
+            .field("title", &self.title)
+            .field("columns", &self.columns)
+            .field("scale", &self.scale)
+            .field("seed", &self.seed)
+            .field("cells", &self.cells.len())
+            .finish()
+    }
+}
+
+impl ExperimentPlan {
+    /// Creates an empty plan with the experiments' default seed.
+    pub fn new(title: impl Into<String>, columns: &[&'static str], scale: &Scale) -> Self {
+        ExperimentPlan {
+            title: title.into(),
+            columns: columns.to_vec(),
+            scale: *scale,
+            seed: crate::experiments::SEED,
+            cells: Vec::new(),
+            render: Box::new(|_, _, _| {}),
+        }
+    }
+
+    /// Appends a cell, returning its plan index.
+    pub fn push(&mut self, cell: Cell) -> usize {
+        self.cells.push(cell);
+        self.cells.len() - 1
+    }
+
+    /// Appends many cells.
+    pub fn extend(&mut self, cells: impl IntoIterator<Item = Cell>) {
+        self.cells.extend(cells);
+    }
+
+    /// Sets the render function and returns the plan.
+    #[must_use]
+    pub fn render(
+        mut self,
+        f: impl Fn(&[Cell], &[CellOutput], &mut TextTable) + Send + Sync + 'static,
+    ) -> Self {
+        self.render = Box::new(f);
+        self
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the plan has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+/// Identity of one generated trace. Two cells with equal keys replay
+/// the *same* `Arc<[TraceRecord]>`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceKey {
+    /// Workload preset.
+    pub workload: Workload,
+    /// Full system configuration (node count, macroblock size, ...).
+    pub config: SystemConfig,
+    /// Footprint scale factor, as exact bits.
+    pub footprint_bits: u64,
+    /// Generator seed.
+    pub seed: u64,
+    /// Record count (warmup + measured).
+    pub len: usize,
+}
+
+impl TraceKey {
+    fn generate(&self) -> Arc<[TraceRecord]> {
+        let spec = WorkloadSpec::preset(self.workload, &self.config)
+            .scaled(f64::from_bits(self.footprint_bits));
+        let records: Vec<TraceRecord> = spec.generator(self.seed).take(self.len).collect();
+        Arc::from(records)
+    }
+}
+
+/// Cache of generated traces, keyed by [`TraceKey`]. Lives inside a
+/// [`SweepRunner`], so traces persist across plans run by the same
+/// runner (e.g. `repro all` generates each workload's trace once).
+#[derive(Debug, Default)]
+struct TraceStore {
+    traces: Mutex<Vec<(TraceKey, Arc<[TraceRecord]>)>>,
+}
+
+impl TraceStore {
+    fn get(&self, key: &TraceKey) -> Option<Arc<[TraceRecord]>> {
+        let traces = self.traces.lock().expect("trace store poisoned");
+        traces
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, t)| Arc::clone(t))
+    }
+
+    /// Generates every missing key (in parallel when `threads > 1`) and
+    /// inserts the results.
+    fn ensure(&self, keys: &[TraceKey], threads: usize) {
+        let missing: Vec<TraceKey> = {
+            let traces = self.traces.lock().expect("trace store poisoned");
+            keys.iter()
+                .filter(|k| !traces.iter().any(|(have, _)| have == *k))
+                .copied()
+                .collect()
+        };
+        if missing.is_empty() {
+            return;
+        }
+        let generated: Vec<Arc<[TraceRecord]>> =
+            parallel_map(&missing, threads, |key| key.generate());
+        let mut traces = self.traces.lock().expect("trace store poisoned");
+        traces.extend(missing.into_iter().zip(generated));
+    }
+
+    fn len(&self) -> usize {
+        self.traces.lock().expect("trace store poisoned").len()
+    }
+}
+
+/// Runs each index of `items` through `f` on a scoped worker pool,
+/// returning outputs in input order. Panics in workers propagate.
+fn parallel_map<T: Sync, O: Send + Sync>(
+    items: &[T],
+    threads: usize,
+    f: impl Fn(&T) -> O + Sync,
+) -> Vec<O> {
+    let workers = threads.min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let slots: Vec<OnceLock<O>> = items.iter().map(|_| OnceLock::new()).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let out = f(item);
+                slots[i].set(out).map_err(|_| "slot filled twice").unwrap();
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("worker filled every slot"))
+        .collect()
+}
+
+/// Executes [`ExperimentPlan`]s: builds the distinct traces the cells
+/// need, fans cells out across a scoped thread pool, and renders the
+/// outputs in plan order.
+#[derive(Debug)]
+pub struct SweepRunner {
+    threads: usize,
+    share_traces: bool,
+    store: TraceStore,
+}
+
+impl Default for SweepRunner {
+    fn default() -> Self {
+        SweepRunner::new()
+    }
+}
+
+impl SweepRunner {
+    /// A runner using all available hardware parallelism.
+    pub fn new() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        SweepRunner::with_threads(threads)
+    }
+
+    /// A runner with an explicit worker count (minimum 1).
+    pub fn with_threads(threads: usize) -> Self {
+        SweepRunner {
+            threads: threads.max(1),
+            share_traces: true,
+            store: TraceStore::default(),
+        }
+    }
+
+    /// Disables (or re-enables) the shared trace cache. With sharing
+    /// off every cell regenerates its own trace — the seed drivers'
+    /// behavior, kept as the reference for equivalence tests and as the
+    /// baseline the sweep benchmark measures against.
+    #[must_use]
+    pub fn share_traces(mut self, share: bool) -> Self {
+        self.share_traces = share;
+        self
+    }
+
+    /// A single-threaded runner (the reference for byte-identical
+    /// output comparisons).
+    pub fn serial() -> Self {
+        SweepRunner::with_threads(1)
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Number of distinct traces currently cached.
+    pub fn cached_traces(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Executes `plan` and renders its table.
+    pub fn run(&self, plan: &ExperimentPlan) -> TextTable {
+        let outputs = self.run_cells(plan);
+        let mut table = TextTable::new(plan.title.clone(), plan.columns.iter().copied());
+        (plan.render)(&plan.cells, &outputs, &mut table);
+        table
+    }
+
+    /// Executes `plan`'s cells without rendering, returning outputs
+    /// ordered by plan index.
+    pub fn run_cells(&self, plan: &ExperimentPlan) -> Vec<CellOutput> {
+        // Phase 1: materialize each distinct trace exactly once.
+        if self.share_traces {
+            let mut keys: Vec<TraceKey> = Vec::new();
+            for cell in &plan.cells {
+                if let Some(key) = cell.trace_key(plan) {
+                    if !keys.contains(&key) {
+                        keys.push(key);
+                    }
+                }
+            }
+            self.store.ensure(&keys, self.threads);
+        }
+        // Phase 2: evaluate cells in parallel; slot order = plan order.
+        parallel_map(&plan.cells, self.threads, |cell| self.execute(cell, plan))
+    }
+
+    fn execute(&self, cell: &Cell, plan: &ExperimentPlan) -> CellOutput {
+        let scale = &plan.scale;
+        let trace = cell.trace_key(plan).map(|key| {
+            if self.share_traces {
+                self.store.get(&key).expect("trace materialized in phase 1")
+            } else {
+                key.generate()
+            }
+        });
+        match cell {
+            Cell::Characterize { config, workload } => {
+                let trace = trace.expect("characterize is trace-driven");
+                let spec = WorkloadSpec::preset(*workload, config).scaled(scale.footprint);
+                CellOutput::Characterization(Box::new(characterize_trace(
+                    trace.iter().copied(),
+                    spec.name(),
+                    spec.misses_per_kilo_instr(),
+                    config,
+                    scale.trace_warmup,
+                )))
+            }
+            Cell::Baselines { config, .. } => {
+                let trace = trace.expect("baselines are trace-driven");
+                let eval = TradeoffEvaluator::new(config).warmup(scale.trace_warmup);
+                let (snooping, directory) = eval.run_baselines(trace.iter().copied());
+                CellOutput::Baselines {
+                    snooping,
+                    directory,
+                }
+            }
+            Cell::Tradeoff {
+                config, predictor, ..
+            } => {
+                let trace = trace.expect("tradeoff is trace-driven");
+                let eval = TradeoffEvaluator::new(config).warmup(scale.trace_warmup);
+                CellOutput::Tradeoff(eval.run(trace.iter().copied(), predictor))
+            }
+            Cell::Runtime {
+                config,
+                workload,
+                cpu,
+                target,
+                protocols,
+            } => {
+                let spec = WorkloadSpec::preset(*workload, config).scaled(scale.footprint);
+                let mut eval = RuntimeEvaluator::new(config)
+                    .cpu(*cpu)
+                    .misses(scale.sim_warmup, scale.sim_measured)
+                    .runs(scale.sim_runs)
+                    .seed(plan.seed);
+                if let Some(target) = target {
+                    eval = eval.target(*target);
+                }
+                CellOutput::Runtime(eval.run(&spec, protocols))
+            }
+            Cell::Verify { nodes, bug } => {
+                let mut model = ModelConfig::new(*nodes);
+                if let Some(bug) = bug {
+                    model = model.with_bug(*bug);
+                }
+                CellOutput::Verify(check(&model))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        Scale {
+            footprint: 1.0 / 256.0,
+            trace_warmup: 200,
+            trace_measured: 1_000,
+            sim_warmup: 20,
+            sim_measured: 100,
+            sim_runs: 1,
+        }
+    }
+
+    fn small_plan(scale: &Scale) -> ExperimentPlan {
+        let config = SystemConfig::isca03();
+        let mut plan = ExperimentPlan::new("test", &["workload", "label", "msgs"], scale);
+        for workload in [Workload::Oltp, Workload::Apache] {
+            plan.push(Cell::Baselines { config, workload });
+            plan.push(Cell::Tradeoff {
+                config,
+                workload,
+                predictor: PredictorConfig::group(),
+            });
+        }
+        plan.render(|cells, outputs, table| {
+            for (cell, output) in cells.iter().zip(outputs) {
+                let workload = cell.workload().expect("trace cell").name().to_string();
+                match output {
+                    CellOutput::Baselines {
+                        snooping,
+                        directory,
+                    } => {
+                        for point in [snooping, directory] {
+                            table.row([
+                                workload.clone(),
+                                point.label.clone(),
+                                point.request_messages.to_string(),
+                            ]);
+                        }
+                    }
+                    CellOutput::Tradeoff(point) => table.row([
+                        workload,
+                        point.label.clone(),
+                        point.request_messages.to_string(),
+                    ]),
+                    other => panic!("unexpected output {other:?}"),
+                }
+            }
+        })
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let doubled = parallel_map(&items, 8, |x| x * 2);
+        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let scale = tiny();
+        let serial = SweepRunner::serial().run(&small_plan(&scale));
+        let parallel = SweepRunner::with_threads(8).run(&small_plan(&scale));
+        assert_eq!(serial.to_csv(), parallel.to_csv());
+        assert_eq!(serial.to_string(), parallel.to_string());
+        assert_eq!(serial.len(), 6);
+    }
+
+    #[test]
+    fn traces_are_shared_not_regenerated() {
+        let scale = tiny();
+        let runner = SweepRunner::new();
+        let plan = small_plan(&scale);
+        runner.run(&plan);
+        // 4 trace-driven cells over 2 workloads -> 2 distinct traces.
+        assert_eq!(runner.cached_traces(), 2);
+        // A second run at the same scale reuses them.
+        runner.run(&plan);
+        assert_eq!(runner.cached_traces(), 2);
+    }
+
+    #[test]
+    fn verify_cells_run_without_traces() {
+        let scale = tiny();
+        let mut plan = ExperimentPlan::new("verify", &["model", "verdict"], &scale);
+        plan.push(Cell::Verify {
+            nodes: 2,
+            bug: None,
+        });
+        let plan = plan.render(|_, outputs, table| {
+            let report = outputs[0].verify();
+            table.row(["2-node".to_string(), report.violation.is_none().to_string()]);
+        });
+        let runner = SweepRunner::serial();
+        let table = runner.run(&plan);
+        assert_eq!(table.len(), 1);
+        assert_eq!(runner.cached_traces(), 0);
+        assert!(table.to_csv().contains("true"));
+    }
+}

@@ -1,58 +1,128 @@
 //! One driver function per paper table/figure.
 //!
-//! Every function returns a [`TextTable`] whose rows are the series the
-//! paper plots; the `repro` binary prints them and saves CSVs under
-//! `results/`. Absolute values depend on the synthetic substrate, but
-//! the *shapes* — who wins, by what factor, where the crossovers are —
-//! reproduce the paper (see EXPERIMENTS.md for the side-by-side).
+//! Every driver is now a *plan declaration* — a grid of
+//! [`engine::Cell`]s — plus a row-formatting closure; the
+//! [`engine::SweepRunner`] executes the cells in parallel while sharing
+//! one generated trace per (workload, config, footprint, seed, length)
+//! and streaming it into each evaluator. Output is byte-identical to a
+//! single-threaded run (see `engine`'s determinism notes). Each
+//! function returns a [`TextTable`] whose rows are the series the paper
+//! plots; the `repro` binary prints them and saves CSVs. Absolute
+//! values depend on the synthetic substrate, but the *shapes* — who
+//! wins, by what factor, where the crossovers are — reproduce the
+//! paper (see EXPERIMENTS.md for the side-by-side).
 
-use dsp_analysis::{characterize, fmt_f, RuntimeEvaluator, TextTable, TradeoffEvaluator};
+use dsp_analysis::{fmt_f, TextTable, TradeoffPoint};
 use dsp_core::{Capacity, Indexing, PredictorConfig};
-use dsp_sim::{CpuModel, ProtocolKind};
-use dsp_trace::{TraceRecord, Workload, WorkloadSpec};
+use dsp_sim::{CpuModel, ProtocolKind, TargetSystem};
+use dsp_trace::Workload;
 use dsp_types::SystemConfig;
 
+use crate::engine::{self, Cell, CellOutput, ExperimentPlan, SweepRunner};
 use crate::scale::Scale;
 
 /// The deterministic seed every experiment uses.
 pub const SEED: u64 = 0x15CA_2003;
 
+/// The paper's 1024-byte macroblock indexing.
+const MB: Indexing = Indexing::Macroblock { bytes: 1024 };
+
 /// The four standout predictor configurations of Figure 5: 8192
 /// entries, 1024-byte macroblock indexing.
 pub fn standout_predictors() -> Vec<PredictorConfig> {
-    let mb = Indexing::Macroblock { bytes: 1024 };
     vec![
         PredictorConfig::owner()
-            .indexing(mb)
+            .indexing(MB)
             .entries(Capacity::ISCA03),
         PredictorConfig::broadcast_if_shared()
-            .indexing(mb)
+            .indexing(MB)
             .entries(Capacity::ISCA03),
         PredictorConfig::group()
-            .indexing(mb)
+            .indexing(MB)
             .entries(Capacity::ISCA03),
         PredictorConfig::owner_group()
-            .indexing(mb)
+            .indexing(MB)
             .entries(Capacity::ISCA03),
     ]
 }
 
-fn spec_for(workload: Workload, config: &SystemConfig, scale: &Scale) -> WorkloadSpec {
-    WorkloadSpec::preset(workload, config).scaled(scale.footprint)
+/// The four base policies swept by Figure 6.
+fn base_policies() -> [PredictorConfig; 4] {
+    [
+        PredictorConfig::owner(),
+        PredictorConfig::broadcast_if_shared(),
+        PredictorConfig::group(),
+        PredictorConfig::owner_group(),
+    ]
 }
 
-fn trace_for(spec: &WorkloadSpec, scale: &Scale) -> Vec<TraceRecord> {
-    spec.generator(SEED)
-        .take(scale.trace_warmup + scale.trace_measured)
-        .collect()
+/// Appends one `(workload, label, msgs/miss, indirections %)` row.
+fn tradeoff_row(table: &mut TextTable, workload: &str, point: &TradeoffPoint) {
+    table.row([
+        workload.to_string(),
+        point.label.clone(),
+        fmt_f(point.request_messages_per_miss(), 2),
+        fmt_f(point.indirection_pct(), 1),
+    ]);
 }
 
-/// Table 2: workload properties.
-pub fn table2(scale: &Scale) -> TextTable {
+/// The shared renderer for Figure 5/6-style tables: baselines emit two
+/// rows, every predictor cell one, all labeled by the cell's workload.
+fn standard_tradeoff_render(cells: &[Cell], outputs: &[CellOutput], table: &mut TextTable) {
+    for (cell, output) in cells.iter().zip(outputs) {
+        let workload = cell.workload().expect("trace-driven cell").name();
+        match output {
+            CellOutput::Baselines {
+                snooping,
+                directory,
+            } => {
+                tradeoff_row(table, workload, snooping);
+                tradeoff_row(table, workload, directory);
+            }
+            CellOutput::Tradeoff(point) => tradeoff_row(table, workload, point),
+            other => panic!("unexpected output in tradeoff table: {other:?}"),
+        }
+    }
+}
+
+/// A plan holding one characterization cell per workload.
+fn characterization_plan(title: &str, columns: &[&'static str], scale: &Scale) -> ExperimentPlan {
     let config = SystemConfig::isca03();
-    let mut table = TextTable::new(
+    let mut plan = ExperimentPlan::new(title, columns, scale);
+    for workload in Workload::ALL {
+        plan.push(Cell::Characterize { config, workload });
+    }
+    plan
+}
+
+/// A plan of `Baselines + predictors` cells for each listed workload.
+fn tradeoff_plan(
+    title: &str,
+    scale: &Scale,
+    workloads: &[Workload],
+    predictors: &[PredictorConfig],
+) -> ExperimentPlan {
+    let config = SystemConfig::isca03();
+    let columns = &["workload", "config", "request msgs/miss", "indirections %"];
+    let mut plan = ExperimentPlan::new(title, columns, scale);
+    for &workload in workloads {
+        plan.push(Cell::Baselines { config, workload });
+        for &predictor in predictors {
+            plan.push(Cell::Tradeoff {
+                config,
+                workload,
+                predictor,
+            });
+        }
+    }
+    plan.render(standard_tradeoff_render)
+}
+
+/// Table 2 as an [`ExperimentPlan`].
+pub fn table2_plan(scale: &Scale) -> ExperimentPlan {
+    characterization_plan(
         "Table 2: Workload Properties (synthetic substrate)",
-        [
+        &[
             "workload",
             "mem 64B (MB)",
             "mem 1KB (MB)",
@@ -61,241 +131,195 @@ pub fn table2(scale: &Scale) -> TextTable {
             "misses/1k instr",
             "dir indirections %",
         ],
-    );
-    for w in Workload::ALL {
-        let spec = spec_for(w, &config, scale);
-        let r = characterize(
-            &spec,
-            &config,
-            scale.trace_warmup,
-            scale.trace_measured,
-            SEED,
-        );
-        table.row([
-            r.workload.clone(),
-            fmt_f(r.blocks_touched as f64 * 64.0 / (1 << 20) as f64, 1),
-            fmt_f(r.macroblocks_touched as f64 * 1024.0 / (1 << 20) as f64, 1),
-            r.static_pcs.to_string(),
-            r.misses.to_string(),
-            fmt_f(r.misses_per_kilo_instr, 1),
-            fmt_f(r.indirection_pct(), 1),
-        ]);
-    }
-    table
+        scale,
+    )
+    .render(|_, outputs, table| {
+        for output in outputs {
+            let r = output.characterization();
+            table.row([
+                r.workload.clone(),
+                fmt_f(r.blocks_touched as f64 * 64.0 / (1 << 20) as f64, 1),
+                fmt_f(r.macroblocks_touched as f64 * 1024.0 / (1 << 20) as f64, 1),
+                r.static_pcs.to_string(),
+                r.misses.to_string(),
+                fmt_f(r.misses_per_kilo_instr, 1),
+                fmt_f(r.indirection_pct(), 1),
+            ]);
+        }
+    })
+}
+
+/// Table 2: workload properties.
+pub fn table2(scale: &Scale) -> TextTable {
+    SweepRunner::new().run(&table2_plan(scale))
+}
+
+/// Figure 2 as an [`ExperimentPlan`].
+pub fn fig2_plan(scale: &Scale) -> ExperimentPlan {
+    characterization_plan(
+        "Figure 2: Sharing Histogram (% of misses needing n other processors)",
+        &["workload", "bin", "reads %", "writes %"],
+        scale,
+    )
+    .render(|_, outputs, table| {
+        for output in outputs {
+            let r = output.characterization();
+            for (bin, label) in [(0, "0"), (1, "1"), (2, "2"), (3, "3+")] {
+                let (reads, writes) = r.sharing.percent(bin);
+                table.row([
+                    r.workload.clone(),
+                    label.to_string(),
+                    fmt_f(reads, 1),
+                    fmt_f(writes, 1),
+                ]);
+            }
+        }
+    })
 }
 
 /// Figure 2: instantaneous sharing histogram (observers needed per
 /// miss, split read/write).
 pub fn fig2(scale: &Scale) -> TextTable {
-    let config = SystemConfig::isca03();
-    let mut table = TextTable::new(
-        "Figure 2: Sharing Histogram (% of misses needing n other processors)",
-        ["workload", "bin", "reads %", "writes %"],
-    );
-    for w in Workload::ALL {
-        let spec = spec_for(w, &config, scale);
-        let r = characterize(
-            &spec,
-            &config,
-            scale.trace_warmup,
-            scale.trace_measured,
-            SEED,
-        );
-        for (bin, label) in [(0, "0"), (1, "1"), (2, "2"), (3, "3+")] {
-            let (reads, writes) = r.sharing.percent(bin);
-            table.row([
-                r.workload.clone(),
-                label.to_string(),
-                fmt_f(reads, 1),
-                fmt_f(writes, 1),
-            ]);
+    SweepRunner::new().run(&fig2_plan(scale))
+}
+
+/// Figure 3 as an [`ExperimentPlan`].
+pub fn fig3_plan(scale: &Scale) -> ExperimentPlan {
+    characterization_plan(
+        "Figure 3: Degree of Sharing (percent of blocks / misses at degree n)",
+        &["workload", "degree", "blocks %", "misses %"],
+        scale,
+    )
+    .render(|_, outputs, table| {
+        for output in outputs {
+            let r = output.characterization();
+            let total_blocks: u64 = r.degree_blocks.iter().sum();
+            let total_misses: u64 = r.degree_misses.iter().sum();
+            for d in 1..r.degree_blocks.len() {
+                table.row([
+                    r.workload.clone(),
+                    d.to_string(),
+                    fmt_f(
+                        100.0 * r.degree_blocks[d] as f64 / total_blocks.max(1) as f64,
+                        2,
+                    ),
+                    fmt_f(
+                        100.0 * r.degree_misses[d] as f64 / total_misses.max(1) as f64,
+                        2,
+                    ),
+                ]);
+            }
         }
-    }
-    table
+    })
 }
 
 /// Figure 3: blocks touched by n processors, unweighted (a) and
 /// weighted by misses (b).
 pub fn fig3(scale: &Scale) -> TextTable {
-    let config = SystemConfig::isca03();
-    let mut table = TextTable::new(
-        "Figure 3: Degree of Sharing (percent of blocks / misses at degree n)",
-        ["workload", "degree", "blocks %", "misses %"],
-    );
-    for w in Workload::ALL {
-        let spec = spec_for(w, &config, scale);
-        let r = characterize(
-            &spec,
-            &config,
-            scale.trace_warmup,
-            scale.trace_measured,
-            SEED,
-        );
-        let total_blocks: u64 = r.degree_blocks.iter().sum();
-        let total_misses: u64 = r.degree_misses.iter().sum();
-        for d in 1..r.degree_blocks.len() {
-            table.row([
-                r.workload.clone(),
-                d.to_string(),
-                fmt_f(
-                    100.0 * r.degree_blocks[d] as f64 / total_blocks.max(1) as f64,
-                    2,
-                ),
-                fmt_f(
-                    100.0 * r.degree_misses[d] as f64 / total_misses.max(1) as f64,
-                    2,
-                ),
-            ]);
-        }
-    }
-    table
+    SweepRunner::new().run(&fig3_plan(scale))
 }
 
-/// Figure 4: cumulative distribution of cache-to-cache misses over the
-/// hottest blocks / macroblocks / static instructions.
-pub fn fig4(scale: &Scale) -> TextTable {
-    let config = SystemConfig::isca03();
-    let mut table = TextTable::new(
+/// Figure 4 as an [`ExperimentPlan`].
+pub fn fig4_plan(scale: &Scale) -> ExperimentPlan {
+    characterization_plan(
         "Figure 4: Sharing Locality (cumulative % of c2c misses in hottest k entities)",
-        [
+        &[
             "workload",
             "k",
             "64B blocks %",
             "1KB macroblocks %",
             "static PCs %",
         ],
-    );
-    for w in Workload::ALL {
-        let spec = spec_for(w, &config, scale);
-        let r = characterize(
-            &spec,
-            &config,
-            scale.trace_warmup,
-            scale.trace_measured,
-            SEED,
-        );
-        for k in [100usize, 500, 1_000, 2_000, 5_000, 10_000] {
-            table.row([
-                r.workload.clone(),
-                k.to_string(),
-                fmt_f(r.block_locality.percent_covered_by(k), 1),
-                fmt_f(r.macroblock_locality.percent_covered_by(k), 1),
-                fmt_f(r.pc_locality.percent_covered_by(k), 1),
-            ]);
+        scale,
+    )
+    .render(|_, outputs, table| {
+        for output in outputs {
+            let r = output.characterization();
+            for k in [100usize, 500, 1_000, 2_000, 5_000, 10_000] {
+                table.row([
+                    r.workload.clone(),
+                    k.to_string(),
+                    fmt_f(r.block_locality.percent_covered_by(k), 1),
+                    fmt_f(r.macroblock_locality.percent_covered_by(k), 1),
+                    fmt_f(r.pc_locality.percent_covered_by(k), 1),
+                ]);
+            }
         }
-    }
-    table
+    })
 }
 
-fn tradeoff_rows(
-    table: &mut TextTable,
-    workload: &str,
-    trace: &[TraceRecord],
-    configs: &[PredictorConfig],
-    scale: &Scale,
-) {
-    let config = SystemConfig::isca03();
-    let eval = TradeoffEvaluator::new(&config).warmup(scale.trace_warmup);
-    let (snoop, dir) = eval.run_baselines(trace.iter().copied());
-    for point in [snoop, dir] {
-        table.row([
-            workload.to_string(),
-            point.label.clone(),
-            fmt_f(point.request_messages_per_miss(), 2),
-            fmt_f(point.indirection_pct(), 1),
-        ]);
-    }
-    for cfg in configs {
-        let point = eval.run(trace.iter().copied(), cfg);
-        table.row([
-            workload.to_string(),
-            point.label.clone(),
-            fmt_f(point.request_messages_per_miss(), 2),
-            fmt_f(point.indirection_pct(), 1),
-        ]);
-    }
+/// Figure 4: cumulative distribution of cache-to-cache misses over the
+/// hottest blocks / macroblocks / static instructions.
+pub fn fig4(scale: &Scale) -> TextTable {
+    SweepRunner::new().run(&fig4_plan(scale))
+}
+
+/// Figure 5 as an [`ExperimentPlan`].
+pub fn fig5_plan(scale: &Scale) -> ExperimentPlan {
+    tradeoff_plan(
+        "Figure 5: Standout Predictor Results (8192 entries, 1024B macroblock)",
+        scale,
+        &Workload::ALL,
+        &standout_predictors(),
+    )
 }
 
 /// Figure 5: the four standout predictors against both baselines on
 /// every workload (8192 entries, 1024 B macroblock indexing).
 pub fn fig5(scale: &Scale) -> TextTable {
-    let config = SystemConfig::isca03();
-    let mut table = TextTable::new(
-        "Figure 5: Standout Predictor Results (8192 entries, 1024B macroblock)",
-        ["workload", "config", "request msgs/miss", "indirections %"],
-    );
-    let configs = standout_predictors();
-    for w in Workload::ALL {
-        let spec = spec_for(w, &config, scale);
-        let trace = trace_for(&spec, scale);
-        tradeoff_rows(&mut table, w.name(), &trace, &configs, scale);
+    SweepRunner::new().run(&fig5_plan(scale))
+}
+
+/// Figure 6(a) as an [`ExperimentPlan`].
+pub fn fig6a_plan(scale: &Scale) -> ExperimentPlan {
+    let mut predictors = Vec::new();
+    for ix in [Indexing::DataBlock, Indexing::ProgramCounter] {
+        for base in base_policies() {
+            predictors.push(base.indexing(ix).entries(Capacity::Unbounded));
+        }
     }
-    table
+    tradeoff_plan(
+        "Figure 6a: PC vs data-block indexing (OLTP, unbounded)",
+        scale,
+        &[Workload::Oltp],
+        &predictors,
+    )
 }
 
 /// Figure 6(a): program-counter vs data-block indexing (unbounded, OLTP).
 pub fn fig6a(scale: &Scale) -> TextTable {
-    let config = SystemConfig::isca03();
-    let mut table = TextTable::new(
-        "Figure 6a: PC vs data-block indexing (OLTP, unbounded)",
-        ["workload", "config", "request msgs/miss", "indirections %"],
-    );
-    let mut configs = Vec::new();
-    for ix in [Indexing::DataBlock, Indexing::ProgramCounter] {
-        for base in [
-            PredictorConfig::owner(),
-            PredictorConfig::broadcast_if_shared(),
-            PredictorConfig::group(),
-            PredictorConfig::owner_group(),
-        ] {
-            configs.push(base.indexing(ix).entries(Capacity::Unbounded));
-        }
-    }
-    let spec = spec_for(Workload::Oltp, &config, scale);
-    let trace = trace_for(&spec, scale);
-    tradeoff_rows(&mut table, "OLTP", &trace, &configs, scale);
-    table
+    SweepRunner::new().run(&fig6a_plan(scale))
 }
 
-/// Figure 6(b): macroblock-size sensitivity (unbounded, OLTP).
-pub fn fig6b(scale: &Scale) -> TextTable {
-    let config = SystemConfig::isca03();
-    let mut table = TextTable::new(
-        "Figure 6b: Macroblock indexing (OLTP, unbounded)",
-        ["workload", "config", "request msgs/miss", "indirections %"],
-    );
-    let mut configs = Vec::new();
+/// Figure 6(b) as an [`ExperimentPlan`].
+pub fn fig6b_plan(scale: &Scale) -> ExperimentPlan {
+    let mut predictors = Vec::new();
     for bytes in [64u64, 256, 1024] {
         let ix = if bytes == 64 {
             Indexing::DataBlock
         } else {
             Indexing::Macroblock { bytes }
         };
-        for base in [
-            PredictorConfig::owner(),
-            PredictorConfig::broadcast_if_shared(),
-            PredictorConfig::group(),
-            PredictorConfig::owner_group(),
-        ] {
-            configs.push(base.indexing(ix).entries(Capacity::Unbounded));
+        for base in base_policies() {
+            predictors.push(base.indexing(ix).entries(Capacity::Unbounded));
         }
     }
-    let spec = spec_for(Workload::Oltp, &config, scale);
-    let trace = trace_for(&spec, scale);
-    tradeoff_rows(&mut table, "OLTP", &trace, &configs, scale);
-    table
+    tradeoff_plan(
+        "Figure 6b: Macroblock indexing (OLTP, unbounded)",
+        scale,
+        &[Workload::Oltp],
+        &predictors,
+    )
 }
 
-/// Figure 6(c): finite sizes (8192 / 32768 / unbounded) and the
-/// Sticky-Spatial(1) prior-work baseline (OLTP, 1024 B macroblocks).
-pub fn fig6c(scale: &Scale) -> TextTable {
-    let config = SystemConfig::isca03();
-    let mut table = TextTable::new(
-        "Figure 6c: Predictor size and Sticky-Spatial(1) (OLTP, 1024B macroblock)",
-        ["workload", "config", "request msgs/miss", "indirections %"],
-    );
-    let mb = Indexing::Macroblock { bytes: 1024 };
-    let mut configs = Vec::new();
+/// Figure 6(b): macroblock-size sensitivity (unbounded, OLTP).
+pub fn fig6b(scale: &Scale) -> TextTable {
+    SweepRunner::new().run(&fig6b_plan(scale))
+}
+
+/// Figure 6(c) as an [`ExperimentPlan`].
+pub fn fig6c_plan(scale: &Scale) -> ExperimentPlan {
+    let mut predictors = Vec::new();
     for capacity in [
         Capacity::Unbounded,
         Capacity::Finite {
@@ -307,53 +331,71 @@ pub fn fig6c(scale: &Scale) -> TextTable {
             ways: 4,
         },
     ] {
-        for base in [
-            PredictorConfig::owner(),
-            PredictorConfig::broadcast_if_shared(),
-            PredictorConfig::group(),
-            PredictorConfig::owner_group(),
-        ] {
-            configs.push(base.indexing(mb).entries(capacity));
+        for base in base_policies() {
+            predictors.push(base.indexing(MB).entries(capacity));
         }
     }
     for entries in [4_096usize, 8_192, 32_768] {
-        configs.push(
+        predictors.push(
             PredictorConfig::sticky_spatial(1).entries(Capacity::Finite { entries, ways: 1 }),
         );
     }
-    let spec = spec_for(Workload::Oltp, &config, scale);
-    let trace = trace_for(&spec, scale);
-    tradeoff_rows(&mut table, "OLTP", &trace, &configs, scale);
-    table
+    tradeoff_plan(
+        "Figure 6c: Predictor size and Sticky-Spatial(1) (OLTP, 1024B macroblock)",
+        scale,
+        &[Workload::Oltp],
+        &predictors,
+    )
 }
 
-fn runtime_table(title: &str, workloads: &[Workload], cpu: CpuModel, scale: &Scale) -> TextTable {
+/// Figure 6(c): finite sizes (8192 / 32768 / unbounded) and the
+/// Sticky-Spatial(1) prior-work baseline (OLTP, 1024 B macroblocks).
+pub fn fig6c(scale: &Scale) -> TextTable {
+    SweepRunner::new().run(&fig6c_plan(scale))
+}
+
+/// A runtime (Figure 7/8-style) plan: one timing-simulation cell per
+/// workload, each running both baselines plus the standout predictors.
+fn runtime_plan(
+    title: &str,
+    scale: &Scale,
+    workloads: &[Workload],
+    cpu: CpuModel,
+) -> ExperimentPlan {
     let config = SystemConfig::isca03();
-    let mut table = TextTable::new(
-        title,
-        [
-            "workload",
-            "protocol",
-            "norm runtime",
-            "norm traffic/miss",
-            "avg miss ns",
-            "indirections %",
-        ],
-    );
+    let columns = &[
+        "workload",
+        "protocol",
+        "norm runtime",
+        "norm traffic/miss",
+        "avg miss ns",
+        "indirections %",
+    ];
     let protocols: Vec<ProtocolKind> = standout_predictors()
         .into_iter()
         .map(ProtocolKind::Multicast)
         .collect();
-    let eval = RuntimeEvaluator::new(&config)
-        .cpu(cpu)
-        .misses(scale.sim_warmup, scale.sim_measured)
-        .runs(scale.sim_runs)
-        .seed(SEED);
-    for w in workloads {
-        let spec = spec_for(*w, &config, scale);
-        for point in eval.run(&spec, &protocols) {
+    let mut plan = ExperimentPlan::new(title, columns, scale);
+    for &workload in workloads {
+        plan.push(Cell::Runtime {
+            config,
+            workload,
+            cpu,
+            target: None,
+            protocols: protocols.clone(),
+        });
+    }
+    plan.render(runtime_render)
+}
+
+/// Renderer for runtime tables: every simulated protocol of every cell
+/// becomes one row labeled with the cell's workload.
+fn runtime_render(cells: &[Cell], outputs: &[CellOutput], table: &mut TextTable) {
+    for (cell, output) in cells.iter().zip(outputs) {
+        let workload = cell.workload().expect("runtime cell").name();
+        for point in output.runtime() {
             table.row([
-                w.name().to_string(),
+                workload.to_string(),
                 point.label.clone(),
                 fmt_f(point.normalized_runtime, 1),
                 fmt_f(point.normalized_traffic, 1),
@@ -362,43 +404,47 @@ fn runtime_table(title: &str, workloads: &[Workload], cpu: CpuModel, scale: &Sca
             ]);
         }
     }
-    table
+}
+
+/// Figure 7 as an [`ExperimentPlan`].
+pub fn fig7_plan(scale: &Scale) -> ExperimentPlan {
+    runtime_plan(
+        "Figure 7: Runtime vs traffic (simple processor model; directory runtime = 100, snooping traffic = 100)",
+        scale,
+        &Workload::ALL,
+        CpuModel::Simple,
+    )
 }
 
 /// Figure 7: normalized runtime vs normalized traffic, simple CPU
 /// model, all six workloads.
 pub fn fig7(scale: &Scale) -> TextTable {
-    runtime_table(
-        "Figure 7: Runtime vs traffic (simple processor model; directory runtime = 100, snooping traffic = 100)",
-        &Workload::ALL,
-        CpuModel::Simple,
+    SweepRunner::new().run(&fig7_plan(scale))
+}
+
+/// Figure 8 as an [`ExperimentPlan`].
+pub fn fig8_plan(scale: &Scale) -> ExperimentPlan {
+    runtime_plan(
+        "Figure 8: Runtime vs traffic (detailed processor model)",
         scale,
+        &[Workload::Apache, Workload::Oltp, Workload::SpecJbb],
+        CpuModel::Detailed { max_outstanding: 4 },
     )
 }
 
 /// Figure 8: same with the detailed (out-of-order) CPU model on the
 /// three workloads the paper simulates.
 pub fn fig8(scale: &Scale) -> TextTable {
-    runtime_table(
-        "Figure 8: Runtime vs traffic (detailed processor model)",
-        &[Workload::Apache, Workload::Oltp, Workload::SpecJbb],
-        CpuModel::Detailed { max_outstanding: 4 },
-        scale,
-    )
+    SweepRunner::new().run(&fig8_plan(scale))
 }
 
-/// Ablations of design choices DESIGN.md calls out: macroblock sizes
-/// past 1024 B, Sticky-Spatial neighbor span, and table associativity.
-pub fn ablations(scale: &Scale) -> TextTable {
+/// Ablations as an [`ExperimentPlan`].
+pub fn ablations_plan(scale: &Scale) -> ExperimentPlan {
     let config = SystemConfig::isca03();
-    let mut table = TextTable::new(
-        "Ablations (OLTP): macroblock size, sticky span, associativity",
-        ["workload", "config", "request msgs/miss", "indirections %"],
-    );
-    let mut configs = Vec::new();
+    let mut predictors = Vec::new();
     // (a) Macroblock sweep beyond the paper's 1024 B.
     for bytes in [256u64, 1024, 2048, 4096] {
-        configs.push(
+        predictors.push(
             PredictorConfig::group()
                 .indexing(Indexing::Macroblock { bytes })
                 .entries(Capacity::ISCA03),
@@ -406,49 +452,73 @@ pub fn ablations(scale: &Scale) -> TextTable {
     }
     // (b) Sticky-Spatial spans 0 / 1 / 2.
     for span in [0usize, 1, 2] {
-        configs.push(PredictorConfig::sticky_spatial(span));
+        predictors.push(PredictorConfig::sticky_spatial(span));
     }
     // (c) Associativity of the Group table at fixed capacity.
     for ways in [1usize, 2, 4, 8] {
-        configs.push(
+        predictors.push(
             PredictorConfig::group()
-                .indexing(Indexing::Macroblock { bytes: 1024 })
+                .indexing(MB)
                 .entries(Capacity::Finite {
                     entries: 8192,
                     ways,
                 }),
         );
     }
-    let spec = spec_for(Workload::Oltp, &config, scale);
-    let trace = trace_for(&spec, scale);
-    let eval = TradeoffEvaluator::new(&config).warmup(scale.trace_warmup);
-    for cfg in &configs {
-        let point = eval.run(trace.iter().copied(), cfg);
-        let label = match cfg.capacity() {
-            Capacity::Finite { entries, ways } => {
-                format!("{} [{}x{}]", point.label, entries / ways, ways)
-            }
-            Capacity::Unbounded => point.label.clone(),
-        };
-        table.row([
-            "OLTP".to_string(),
-            label,
-            fmt_f(point.request_messages_per_miss(), 2),
-            fmt_f(point.indirection_pct(), 1),
-        ]);
+    let mut plan = ExperimentPlan::new(
+        "Ablations (OLTP): macroblock size, sticky span, associativity",
+        &["workload", "config", "request msgs/miss", "indirections %"],
+        scale,
+    );
+    for &predictor in &predictors {
+        plan.push(Cell::Tradeoff {
+            config,
+            workload: Workload::Oltp,
+            predictor,
+        });
     }
-    table
+    plan.render(|cells, outputs, table| {
+        for (cell, output) in cells.iter().zip(outputs) {
+            let Cell::Tradeoff { predictor, .. } = cell else {
+                panic!("ablation plans contain only tradeoff cells");
+            };
+            let point = output.tradeoff();
+            let label = match predictor.capacity() {
+                Capacity::Finite { entries, ways } => {
+                    format!("{} [{}x{}]", point.label, entries / ways, ways)
+                }
+                Capacity::Unbounded => point.label.clone(),
+            };
+            table.row([
+                "OLTP".to_string(),
+                label,
+                fmt_f(point.request_messages_per_miss(), 2),
+                fmt_f(point.indirection_pct(), 1),
+            ]);
+        }
+    })
 }
 
-/// Extension study: the Acacio-style predictive directory (cited in the
-/// paper's introduction) against the paper's protocols, under the
-/// timing model. Shows the 3-hop→2-hop conversion and where multicast
-/// snooping still wins.
-pub fn extensions(scale: &Scale) -> TextTable {
+/// Ablations of design choices DESIGN.md calls out: macroblock sizes
+/// past 1024 B, Sticky-Spatial neighbor span, and table associativity.
+pub fn ablations(scale: &Scale) -> TextTable {
+    SweepRunner::new().run(&ablations_plan(scale))
+}
+
+/// The extension study as an [`ExperimentPlan`].
+pub fn extensions_plan(scale: &Scale) -> ExperimentPlan {
     let config = SystemConfig::isca03();
-    let mut table = TextTable::new(
+    let owner_mb = PredictorConfig::owner().indexing(MB);
+    let two_level = PredictorConfig::two_level_owner().indexing(MB);
+    let protocols = vec![
+        ProtocolKind::DirectoryPredicted(owner_mb),
+        ProtocolKind::DirectoryPredicted(two_level),
+        ProtocolKind::Multicast(owner_mb),
+        ProtocolKind::Multicast(two_level),
+    ];
+    let mut plan = ExperimentPlan::new(
         "Extension: predictive directory (owner prediction) vs the paper's protocols",
-        [
+        &[
             "workload",
             "protocol",
             "norm runtime",
@@ -456,90 +526,154 @@ pub fn extensions(scale: &Scale) -> TextTable {
             "avg miss ns",
             "indirections %",
         ],
+        scale,
     );
-    let owner_mb = PredictorConfig::owner().indexing(Indexing::Macroblock { bytes: 1024 });
-    let two_level =
-        PredictorConfig::two_level_owner().indexing(Indexing::Macroblock { bytes: 1024 });
-    let protocols = vec![
-        ProtocolKind::DirectoryPredicted(owner_mb),
-        ProtocolKind::DirectoryPredicted(two_level),
-        ProtocolKind::Multicast(owner_mb),
-        ProtocolKind::Multicast(two_level),
-    ];
-    let eval = RuntimeEvaluator::new(&config)
-        .misses(scale.sim_warmup, scale.sim_measured)
-        .runs(scale.sim_runs)
-        .seed(SEED);
-    for w in [Workload::Oltp, Workload::Apache] {
-        let spec = spec_for(w, &config, scale);
-        for point in eval.run(&spec, &protocols) {
-            table.row([
-                w.name().to_string(),
-                point.label.clone(),
-                fmt_f(point.normalized_runtime, 1),
-                fmt_f(point.normalized_traffic, 1),
-                fmt_f(point.report.avg_miss_latency_ns(), 0),
-                fmt_f(point.report.indirection_pct(), 1),
-            ]);
-        }
+    for workload in [Workload::Oltp, Workload::Apache] {
+        plan.push(Cell::Runtime {
+            config,
+            workload,
+            cpu: CpuModel::Simple,
+            target: None,
+            protocols: protocols.clone(),
+        });
     }
-    table
+    plan.render(runtime_render)
 }
 
-/// Scaling study: how the predictors behave as the machine grows from
-/// 8 to 64 nodes (broadcast cost grows linearly; Group's advantage —
-/// tracking sub-machine sharing groups — grows with it).
-pub fn scaling(scale: &Scale) -> TextTable {
-    let mut table = TextTable::new(
+/// Extension study: the Acacio-style predictive directory (cited in the
+/// paper's introduction) against the paper's protocols, under the
+/// timing model. Shows the 3-hop→2-hop conversion and where multicast
+/// snooping still wins.
+pub fn extensions(scale: &Scale) -> TextTable {
+    SweepRunner::new().run(&extensions_plan(scale))
+}
+
+/// The scaling study as an [`ExperimentPlan`].
+pub fn scaling_plan(scale: &Scale) -> ExperimentPlan {
+    let mut plan = ExperimentPlan::new(
         "Scaling: request messages per miss vs system size (OLTP-like sharing)",
-        [
+        &[
             "nodes",
             "config",
             "request msgs/miss",
             "indirections %",
             "vs broadcast",
         ],
+        scale,
     );
     for nodes in [8usize, 16, 32, 64] {
         let config = SystemConfig::builder()
             .num_nodes(nodes)
             .build()
             .expect("valid");
-        let spec = WorkloadSpec::preset(Workload::Oltp, &config).scaled(scale.footprint);
-        let trace: Vec<TraceRecord> = spec
-            .generator(SEED)
-            .take(scale.trace_warmup + scale.trace_measured)
-            .collect();
-        let eval = TradeoffEvaluator::new(&config).warmup(scale.trace_warmup);
-        let broadcast_cost = (nodes - 1) as f64;
-        let mb = Indexing::Macroblock { bytes: 1024 };
-        let configs = [
-            PredictorConfig::owner().indexing(mb),
-            PredictorConfig::group().indexing(mb),
-            PredictorConfig::owner_group().indexing(mb),
-        ];
-        let (snoop, dir) = eval.run_baselines(trace.iter().copied());
-        for point in [snoop, dir] {
-            table.row([
-                nodes.to_string(),
-                point.label.clone(),
-                fmt_f(point.request_messages_per_miss(), 2),
-                fmt_f(point.indirection_pct(), 1),
-                fmt_f(point.request_messages_per_miss() / broadcast_cost, 3),
-            ]);
-        }
-        for cfg in configs {
-            let point = eval.run(trace.iter().copied(), &cfg);
-            table.row([
-                nodes.to_string(),
-                point.label.clone(),
-                fmt_f(point.request_messages_per_miss(), 2),
-                fmt_f(point.indirection_pct(), 1),
-                fmt_f(point.request_messages_per_miss() / broadcast_cost, 3),
-            ]);
+        plan.push(Cell::Baselines {
+            config,
+            workload: Workload::Oltp,
+        });
+        for predictor in [
+            PredictorConfig::owner().indexing(MB),
+            PredictorConfig::group().indexing(MB),
+            PredictorConfig::owner_group().indexing(MB),
+        ] {
+            plan.push(Cell::Tradeoff {
+                config,
+                workload: Workload::Oltp,
+                predictor,
+            });
         }
     }
-    table
+    plan.render(|cells, outputs, table| {
+        let mut row = |nodes: usize, point: &TradeoffPoint| {
+            let broadcast_cost = (nodes - 1) as f64;
+            table.row([
+                nodes.to_string(),
+                point.label.clone(),
+                fmt_f(point.request_messages_per_miss(), 2),
+                fmt_f(point.indirection_pct(), 1),
+                fmt_f(point.request_messages_per_miss() / broadcast_cost, 3),
+            ]);
+        };
+        for (cell, output) in cells.iter().zip(outputs) {
+            let nodes = cell.config().expect("trace-driven cell").num_nodes();
+            match output {
+                CellOutput::Baselines {
+                    snooping,
+                    directory,
+                } => {
+                    row(nodes, snooping);
+                    row(nodes, directory);
+                }
+                CellOutput::Tradeoff(point) => row(nodes, point),
+                other => panic!("unexpected output in scaling table: {other:?}"),
+            }
+        }
+    })
+}
+
+/// Scaling study: how the predictors behave as the machine grows from
+/// 8 to 64 nodes (broadcast cost grows linearly; Group's advantage —
+/// tracking sub-machine sharing groups — grows with it).
+pub fn scaling(scale: &Scale) -> TextTable {
+    SweepRunner::new().run(&scaling_plan(scale))
+}
+
+/// The bandwidth sweep as an [`ExperimentPlan`].
+pub fn bandwidth_plan(scale: &Scale) -> ExperimentPlan {
+    let config = SystemConfig::isca03();
+    let mut plan = ExperimentPlan::new(
+        "Bandwidth sweep (OLTP): runtime normalized to the 10 GB/s directory",
+        &[
+            "link GB/s",
+            "protocol",
+            "runtime",
+            "avg miss ns",
+            "traffic B/miss",
+        ],
+        scale,
+    );
+    // Cell 0 anchors the normalization: the directory at 10 GB/s.
+    plan.push(Cell::Runtime {
+        config,
+        workload: Workload::Oltp,
+        cpu: CpuModel::Simple,
+        target: None,
+        protocols: Vec::new(),
+    });
+    for gbps in [1.0f64, 2.5, 5.0, 10.0] {
+        let mut target = TargetSystem::isca03_default();
+        target.interconnect.link_bytes_per_ns = gbps;
+        plan.push(Cell::Runtime {
+            config,
+            workload: Workload::Oltp,
+            cpu: CpuModel::Simple,
+            target: Some(target),
+            protocols: vec![ProtocolKind::Multicast(
+                PredictorConfig::owner_group().indexing(MB),
+            )],
+        });
+    }
+    plan.render(|cells, outputs, table| {
+        let baseline = outputs[0].runtime()[1].report.runtime_ns.max(1);
+        for (cell, output) in cells.iter().zip(outputs).skip(1) {
+            let Cell::Runtime {
+                target: Some(target),
+                ..
+            } = cell
+            else {
+                panic!("bandwidth sweep cells carry target overrides");
+            };
+            let gbps = target.interconnect.link_bytes_per_ns;
+            for point in output.runtime() {
+                table.row([
+                    format!("{gbps}"),
+                    point.label.clone(),
+                    fmt_f(100.0 * point.report.runtime_ns as f64 / baseline as f64, 1),
+                    fmt_f(point.report.avg_miss_latency_ns(), 0),
+                    fmt_f(point.report.bytes_per_miss(), 0),
+                ]);
+            }
+        }
+    })
 }
 
 /// Bandwidth-sensitivity study (the design-point question the paper's
@@ -548,222 +682,259 @@ pub fn scaling(scale: &Scale) -> TextTable {
 /// bandwidth-efficient predictors hold their runtime advantage — the
 /// motivation for the authors' earlier bandwidth-adaptive snooping.
 pub fn bandwidth(scale: &Scale) -> TextTable {
-    use dsp_sim::TargetSystem;
-    let config = SystemConfig::isca03();
-    let mut table = TextTable::new(
-        "Bandwidth sweep (OLTP): runtime normalized to the 10 GB/s directory",
-        [
-            "link GB/s",
-            "protocol",
-            "runtime",
-            "avg miss ns",
-            "traffic B/miss",
-        ],
-    );
-    let spec = spec_for(Workload::Oltp, &config, scale);
-    let protocols: Vec<ProtocolKind> = vec![
-        ProtocolKind::Snooping,
-        ProtocolKind::Directory,
-        ProtocolKind::Multicast(
-            PredictorConfig::owner_group().indexing(Indexing::Macroblock { bytes: 1024 }),
-        ),
-    ];
-    // Baseline runtime: 10 GB/s directory.
-    let baseline = {
-        let eval = RuntimeEvaluator::new(&config)
-            .misses(scale.sim_warmup, scale.sim_measured)
-            .runs(scale.sim_runs)
-            .seed(SEED);
-        eval.run(&spec, &[])[1].report.runtime_ns.max(1)
-    };
-    for gbps in [1.0f64, 2.5, 5.0, 10.0] {
-        let mut target = TargetSystem::isca03_default();
-        target.interconnect.link_bytes_per_ns = gbps;
-        let eval = RuntimeEvaluator::new(&config)
-            .target(target)
-            .misses(scale.sim_warmup, scale.sim_measured)
-            .runs(scale.sim_runs)
-            .seed(SEED);
-        for point in eval.run(&spec, &protocols[2..]) {
-            table.row([
-                format!("{gbps}"),
-                point.label.clone(),
-                fmt_f(100.0 * point.report.runtime_ns as f64 / baseline as f64, 1),
-                fmt_f(point.report.avg_miss_latency_ns(), 0),
-                fmt_f(point.report.bytes_per_miss(), 0),
-            ]);
-        }
-    }
-    table
+    SweepRunner::new().run(&bandwidth_plan(scale))
 }
 
-/// Runs the explicit-state model checker over the multicast protocol
-/// (2- and 3-node models, all destination sets, all interleavings) and
-/// over each injected bug, reporting state counts and verdicts.
-pub fn verify(_scale: &Scale) -> TextTable {
-    use dsp_verify::{check, Bug, ModelConfig};
-    let mut table = TextTable::new(
+/// The model-checking sweep as an [`ExperimentPlan`].
+pub fn verify_plan(scale: &Scale) -> ExperimentPlan {
+    use dsp_verify::Bug;
+    let mut plan = ExperimentPlan::new(
         "Protocol verification (exhaustive, all possible predictions)",
-        ["model", "states", "transitions", "verdict"],
+        &["model", "states", "transitions", "verdict"],
+        scale,
     );
     for nodes in [2usize, 3] {
-        let report = check(&ModelConfig::new(nodes));
-        table.row([
-            format!("{nodes}-node multicast snooping"),
-            report.states_explored.to_string(),
-            report.transitions.to_string(),
-            match &report.violation {
-                None => "all invariants hold".to_string(),
-                Some(v) => format!("VIOLATION: {}", v.invariant),
-            },
-        ]);
+        plan.push(Cell::Verify { nodes, bug: None });
     }
     for bug in [
         Bug::SkipInvalidation,
         Bug::AcceptInsufficient,
         Bug::StaleDirectoryOwner,
     ] {
-        let report = check(&ModelConfig::new(3).with_bug(bug));
-        table.row([
-            format!("3-node + {bug:?}"),
-            report.states_explored.to_string(),
-            report.transitions.to_string(),
-            match &report.violation {
-                Some(v) => format!("caught: {} ({} -event trace)", v.invariant, v.trace.len()),
-                None => "NOT caught (checker bug!)".to_string(),
-            },
-        ]);
+        plan.push(Cell::Verify {
+            nodes: 3,
+            bug: Some(bug),
+        });
     }
-    table
+    plan.render(|cells, outputs, table| {
+        for (cell, output) in cells.iter().zip(outputs) {
+            let Cell::Verify { nodes, bug } = cell else {
+                panic!("verify plans contain only verify cells");
+            };
+            let report = output.verify();
+            let (model, verdict) = match bug {
+                None => (
+                    format!("{nodes}-node multicast snooping"),
+                    match &report.violation {
+                        None => "all invariants hold".to_string(),
+                        Some(v) => format!("VIOLATION: {}", v.invariant),
+                    },
+                ),
+                Some(bug) => (
+                    format!("{nodes}-node + {bug:?}"),
+                    match &report.violation {
+                        Some(v) => {
+                            format!("caught: {} ({} -event trace)", v.invariant, v.trace.len())
+                        }
+                        None => "NOT caught (checker bug!)".to_string(),
+                    },
+                ),
+            };
+            table.row([
+                model,
+                report.states_explored.to_string(),
+                report.transitions.to_string(),
+                verdict,
+            ]);
+        }
+    })
+}
+
+/// Runs the explicit-state model checker over the multicast protocol
+/// (2- and 3-node models, all destination sets, all interleavings) and
+/// over each injected bug, reporting state counts and verdicts.
+pub fn verify(scale: &Scale) -> TextTable {
+    SweepRunner::new().run(&verify_plan(scale))
+}
+
+/// The headline-claims audit as an [`ExperimentPlan`].
+///
+/// Cell layout: `0..6` baselines for every workload, `6` Owner on
+/// Slashcode, `7..13` Broadcast-If-Shared everywhere, `13..19` Group
+/// everywhere, `19` the OLTP timing run.
+pub fn claims_plan(scale: &Scale) -> ExperimentPlan {
+    let config = SystemConfig::isca03();
+    let mut plan = ExperimentPlan::new(
+        "Headline claims (paper wording -> measured)",
+        &["claim", "measured", "verdict"],
+        scale,
+    );
+    for workload in Workload::ALL {
+        plan.push(Cell::Baselines { config, workload });
+    }
+    plan.push(Cell::Tradeoff {
+        config,
+        workload: Workload::Slashcode,
+        predictor: PredictorConfig::owner().indexing(MB),
+    });
+    for workload in Workload::ALL {
+        plan.push(Cell::Tradeoff {
+            config,
+            workload,
+            predictor: PredictorConfig::broadcast_if_shared().indexing(MB),
+        });
+    }
+    for workload in Workload::ALL {
+        plan.push(Cell::Tradeoff {
+            config,
+            workload,
+            predictor: PredictorConfig::group().indexing(MB),
+        });
+    }
+    plan.push(Cell::Runtime {
+        config,
+        workload: Workload::Oltp,
+        cpu: CpuModel::Simple,
+        target: None,
+        protocols: vec![ProtocolKind::Multicast(
+            PredictorConfig::broadcast_if_shared().indexing(MB),
+        )],
+    });
+    plan.render(|_, outputs, table| {
+        let n = Workload::ALL.len();
+        let slash = Workload::ALL
+            .iter()
+            .position(|w| *w == Workload::Slashcode)
+            .expect("slashcode is a workload");
+        let baselines = &outputs[..n];
+        let owner_slash = outputs[n].tradeoff();
+        let bis = &outputs[n + 1..n + 1 + n];
+        let group = &outputs[n + 1 + n..n + 1 + 2 * n];
+        let runtime = outputs[n + 1 + 2 * n].runtime();
+        let mut row = |claim: &str, measured: String, pass: bool| {
+            table.row([
+                claim.to_string(),
+                measured,
+                if pass { "PASS" } else { "CHECK" }.to_string(),
+            ]);
+        };
+
+        // Claim 1: up to 90% fewer indirections at < 1/3 snooping
+        // bandwidth (best of Group/Owner on Slashcode).
+        {
+            let (snoop, dir) = baselines[slash].baselines();
+            let mut best = 0.0f64;
+            for p in [group[slash].tradeoff(), owner_slash] {
+                if p.request_messages_per_miss() < snoop.request_messages_per_miss() / 3.0 {
+                    best = best.max(1.0 - p.indirections as f64 / dir.indirections.max(1) as f64);
+                }
+            }
+            row(
+                "reduce indirections up to ~90% using <1/3 snooping bandwidth",
+                format!("{:.0}% reduction", 100.0 * best),
+                best > 0.70,
+            );
+        }
+
+        // Claim 2: Broadcast-If-Shared keeps indirections < ~6% everywhere.
+        {
+            let worst = bis
+                .iter()
+                .map(|o| o.tradeoff().indirection_pct())
+                .fold(0.0f64, f64::max);
+            row(
+                "Broadcast-If-Shared indirections < ~6% on all workloads",
+                format!("worst {worst:.1}%"),
+                worst < 8.0,
+            );
+        }
+
+        // Claim 3: Group <= half snooping traffic on all workloads.
+        {
+            let worst_ratio = baselines
+                .iter()
+                .zip(group)
+                .map(|(b, g)| {
+                    let (snoop, _) = b.baselines();
+                    g.tradeoff().request_messages_per_miss() / snoop.request_messages_per_miss()
+                })
+                .fold(0.0f64, f64::max);
+            row(
+                "Group <= half of snooping's request traffic on all workloads",
+                format!("worst ratio {worst_ratio:.2}"),
+                worst_ratio <= 0.55,
+            );
+        }
+
+        // Claim 4: ~90% of snooping performance at ~15% over directory
+        // bandwidth (runtime model).
+        {
+            let perf = runtime[0].normalized_runtime / runtime[2].normalized_runtime;
+            row(
+                "predictors reach ~90% of snooping's performance",
+                format!("{:.0}% of snooping", 100.0 * perf),
+                perf > 0.85,
+            );
+        }
+
+        // Claim 5: snooping ~2x directory traffic; directory slower by up
+        // to ~2x on OLTP/Apache.
+        {
+            let traffic_ratio = 100.0 / runtime[1].normalized_traffic;
+            let runtime_gain = 100.0 / runtime[0].normalized_runtime;
+            row(
+                "snooping ~2x directory traffic, up to ~2x faster (OLTP)",
+                format!("traffic {traffic_ratio:.1}x, speedup {runtime_gain:.2}x"),
+                traffic_ratio > 1.5 && runtime_gain > 1.2,
+            );
+        }
+    })
 }
 
 /// Verifies the paper's headline quantitative claims and prints
 /// PASS/FAIL rows with the measured values.
 pub fn claims(scale: &Scale) -> TextTable {
-    let config = SystemConfig::isca03();
-    let mut table = TextTable::new(
-        "Headline claims (paper wording -> measured)",
-        ["claim", "measured", "verdict"],
-    );
-    let mb = Indexing::Macroblock { bytes: 1024 };
-    let mut row = |claim: &str, measured: String, pass: bool| {
-        table.row([
-            claim.to_string(),
-            measured,
-            if pass {
-                "PASS".to_string()
-            } else {
-                "CHECK".to_string()
-            },
-        ]);
-    };
+    SweepRunner::new().run(&claims_plan(scale))
+}
 
-    // Claim 1: up to 90% fewer indirections at < 1/3 snooping bandwidth.
-    {
-        let spec = spec_for(Workload::Slashcode, &config, scale);
-        let trace = trace_for(&spec, scale);
-        let eval = TradeoffEvaluator::new(&config).warmup(scale.trace_warmup);
-        let (snoop, dir) = eval.run_baselines(trace.iter().copied());
-        let mut best = 0.0f64;
-        for cfg in [
-            PredictorConfig::group().indexing(mb),
-            PredictorConfig::owner().indexing(mb),
-        ] {
-            let p = eval.run(trace.iter().copied(), &cfg);
-            if p.request_messages_per_miss() < snoop.request_messages_per_miss() / 3.0 {
-                best = best.max(1.0 - p.indirections as f64 / dir.indirections.max(1) as f64);
-            }
-        }
-        row(
-            "reduce indirections up to ~90% using <1/3 snooping bandwidth",
-            format!("{:.0}% reduction", 100.0 * best),
-            best > 0.70,
-        );
-    }
+/// Every experiment name the harness knows, in `repro all` order.
+pub const ALL_EXPERIMENTS: &[&str] = &[
+    "table2",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6a",
+    "fig6b",
+    "fig6c",
+    "fig7",
+    "fig8",
+    "ablations",
+    "extensions",
+    "scaling",
+    "claims",
+    "bandwidth",
+    "verify",
+];
 
-    // Claim 2: Broadcast-If-Shared keeps indirections < ~6% everywhere.
-    {
-        let mut worst = 0.0f64;
-        for w in Workload::ALL {
-            let spec = spec_for(w, &config, scale);
-            let trace = trace_for(&spec, scale);
-            let eval = TradeoffEvaluator::new(&config).warmup(scale.trace_warmup);
-            let p = eval.run(
-                trace.iter().copied(),
-                &PredictorConfig::broadcast_if_shared().indexing(mb),
-            );
-            worst = worst.max(p.indirection_pct());
-        }
-        row(
-            "Broadcast-If-Shared indirections < ~6% on all workloads",
-            format!("worst {worst:.1}%"),
-            worst < 8.0,
-        );
-    }
+/// Builds the plan for a named experiment, or `None` for an unknown
+/// name.
+pub fn plan_for(name: &str, scale: &Scale) -> Option<ExperimentPlan> {
+    Some(match name {
+        "table2" => table2_plan(scale),
+        "fig2" => fig2_plan(scale),
+        "fig3" => fig3_plan(scale),
+        "fig4" => fig4_plan(scale),
+        "fig5" => fig5_plan(scale),
+        "fig6a" => fig6a_plan(scale),
+        "fig6b" => fig6b_plan(scale),
+        "fig6c" => fig6c_plan(scale),
+        "fig7" => fig7_plan(scale),
+        "fig8" => fig8_plan(scale),
+        "ablations" => ablations_plan(scale),
+        "extensions" => extensions_plan(scale),
+        "scaling" => scaling_plan(scale),
+        "claims" => claims_plan(scale),
+        "bandwidth" => bandwidth_plan(scale),
+        "verify" => verify_plan(scale),
+        _ => return None,
+    })
+}
 
-    // Claim 3: Group <= half snooping traffic on all workloads.
-    {
-        let mut worst_ratio = 0.0f64;
-        for w in Workload::ALL {
-            let spec = spec_for(w, &config, scale);
-            let trace = trace_for(&spec, scale);
-            let eval = TradeoffEvaluator::new(&config).warmup(scale.trace_warmup);
-            let (snoop, _) = eval.run_baselines(trace.iter().copied());
-            let p = eval.run(
-                trace.iter().copied(),
-                &PredictorConfig::group().indexing(mb),
-            );
-            worst_ratio =
-                worst_ratio.max(p.request_messages_per_miss() / snoop.request_messages_per_miss());
-        }
-        row(
-            "Group <= half of snooping's request traffic on all workloads",
-            format!("worst ratio {worst_ratio:.2}"),
-            worst_ratio <= 0.55,
-        );
-    }
-
-    // Claim 4: ~90% of snooping performance at ~15% over directory
-    // bandwidth (runtime model).
-    {
-        let spec = spec_for(Workload::Oltp, &config, scale);
-        let eval = RuntimeEvaluator::new(&config)
-            .misses(scale.sim_warmup, scale.sim_measured)
-            .runs(scale.sim_runs)
-            .seed(SEED);
-        let points = eval.run(
-            &spec,
-            &[ProtocolKind::Multicast(
-                PredictorConfig::broadcast_if_shared().indexing(mb),
-            )],
-        );
-        let snoop_rt = points[0].normalized_runtime;
-        let perf = snoop_rt / points[2].normalized_runtime;
-        row(
-            "predictors reach ~90% of snooping's performance",
-            format!("{:.0}% of snooping", 100.0 * perf),
-            perf > 0.85,
-        );
-    }
-
-    // Claim 5: snooping ~2x directory traffic; directory slower by up
-    // to ~2x on OLTP/Apache.
-    {
-        let spec = spec_for(Workload::Oltp, &config, scale);
-        let eval = RuntimeEvaluator::new(&config)
-            .misses(scale.sim_warmup, scale.sim_measured)
-            .runs(scale.sim_runs)
-            .seed(SEED);
-        let points = eval.run(&spec, &[]);
-        let traffic_ratio = 100.0 / points[1].normalized_traffic;
-        let runtime_gain = 100.0 / points[0].normalized_runtime;
-        row(
-            "snooping ~2x directory traffic, up to ~2x faster (OLTP)",
-            format!("traffic {traffic_ratio:.1}x, speedup {runtime_gain:.2}x"),
-            traffic_ratio > 1.5 && runtime_gain > 1.2,
-        );
-    }
-    table
+/// Runs a named experiment on `runner` (sharing its trace cache), or
+/// `None` for an unknown name.
+pub fn run_with(name: &str, scale: &Scale, runner: &engine::SweepRunner) -> Option<TextTable> {
+    plan_for(name, scale).map(|plan| runner.run(&plan))
 }
 
 #[cfg(test)]
@@ -852,5 +1023,14 @@ mod tests {
             assert_eq!(c.indexing_scheme(), Indexing::Macroblock { bytes: 1024 });
             assert_eq!(c.capacity(), Capacity::ISCA03);
         }
+    }
+
+    #[test]
+    fn every_named_experiment_has_a_plan() {
+        let scale = tiny();
+        for name in ALL_EXPERIMENTS {
+            assert!(plan_for(name, &scale).is_some(), "{name}");
+        }
+        assert!(plan_for("bogus", &scale).is_none());
     }
 }

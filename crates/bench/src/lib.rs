@@ -14,7 +14,9 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod engine;
 pub mod experiments;
 mod scale;
 
+pub use engine::{Cell, CellOutput, ExperimentPlan, SweepRunner};
 pub use scale::Scale;

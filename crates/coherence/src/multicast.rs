@@ -173,12 +173,17 @@ pub fn directory(info: &MissInfo) -> MulticastOutcome {
 /// predicted nodes; the home's forwards cover whichever required
 /// observers the prediction missed.
 pub fn directory_predicted(info: &MissInfo, predicted: DestSet) -> MulticastOutcome {
-    let initial = predicted.with(info.home).without(info.requester);
+    // Deliveries: the request to home (counted unconditionally, as in
+    // [`directory`]), the extra predicted nodes, and home's forwards to
+    // whichever required observers the prediction missed. Observers the
+    // prediction reached directly need no forward, so a prediction that
+    // lands inside the required set matches the plain directory's
+    // message count exactly — never beats it.
+    let extra = predicted.without(info.requester).without(info.home);
     let required = info.required_observers();
-    let missed = required - initial;
-    let request_messages = initial.len() as u64 + missed.len() as u64;
+    let request_messages = 1 + extra.len() as u64 + (required - extra).len() as u64;
     let owner_hit = match info.owner_before {
-        dsp_types::Owner::Node(owner) => initial.contains(owner),
+        dsp_types::Owner::Node(owner) => owner == info.home || extra.contains(owner),
         dsp_types::Owner::Memory => true,
     };
     let latency = if info.is_cache_to_cache() {

@@ -1,0 +1,248 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Benchmarks run for real — each routine is warmed once, then timed
+//! for up to `sample_size` iterations or `measurement_time`, whichever
+//! ends first — and a one-line mean/min is printed per benchmark. No
+//! statistics, plots, or baselines; the point is that `cargo bench`
+//! compiles, runs, and reports useful wall-clock numbers offline.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmark's result.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Work-per-iteration declaration; recorded to derive a rate.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to each benchmark closure; runs and times the routine.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` back to back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up iteration outside the measurement.
+        black_box(routine());
+        let start = Instant::now();
+        let mut done = 0u64;
+        while done < self.iters {
+            black_box(routine());
+            done += 1;
+            if start.elapsed() > self.budget {
+                break;
+            }
+        }
+        self.elapsed = start.elapsed();
+        self.iters = done.max(1);
+    }
+
+    /// Times `routine`, excluding a fresh `setup` before every call.
+    pub fn iter_with_setup<S, O, SF, R>(&mut self, mut setup: SF, mut routine: R)
+    where
+        SF: FnMut() -> S,
+        R: FnMut(S) -> O,
+    {
+        black_box(routine(setup()));
+        let mut measured = Duration::ZERO;
+        let began = Instant::now();
+        let mut done = 0u64;
+        while done < self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            measured += start.elapsed();
+            done += 1;
+            if began.elapsed() > self.budget {
+                break;
+            }
+        }
+        self.elapsed = measured;
+        self.iters = done.max(1);
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed iterations to attempt.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Accepted for API compatibility; warm-up is a single call here.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Caps the time spent timing one benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Declares per-iteration work, reported as a rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            iters: self.sample_size,
+            elapsed: Duration::ZERO,
+            budget: self.measurement_time,
+        };
+        f(&mut bencher);
+        let mean = bencher.elapsed.as_secs_f64() / bencher.iters as f64;
+        let rate = self.throughput.map(|t| match t {
+            Throughput::Elements(n) => format!(", {:.0} elem/s", n as f64 / mean),
+            Throughput::Bytes(n) => format!(", {:.0} B/s", n as f64 / mean),
+        });
+        println!(
+            "bench {}/{}: mean {:.3} ms over {} iters{}",
+            self.name,
+            id.id,
+            mean * 1e3,
+            bencher.iters,
+            rate.unwrap_or_default()
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("criterion");
+        group.bench_function(name, f);
+        self
+    }
+}
+
+/// Collects benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` for a benchmark binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("compat");
+        group.sample_size(3);
+        group.measurement_time(Duration::from_millis(50));
+        group.throughput(Throughput::Elements(100));
+        group.bench_function(BenchmarkId::from_parameter(7), |b| {
+            b.iter(|| black_box(1u64 + 1));
+        });
+        group.bench_function("with_setup", |b| {
+            b.iter_with_setup(|| vec![1u8; 64], |v| black_box(v.len()));
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,586 @@
+//! `#[derive(Serialize, Deserialize)]` for the local serde stub.
+//!
+//! Implemented without `syn`/`quote`: the input item is parsed with a
+//! small hand-rolled walker over [`proc_macro::TokenStream`] and the
+//! impls are emitted as formatted source text. Supported shapes cover
+//! everything this workspace derives:
+//!
+//! * structs with named fields (declaration-order object),
+//! * newtype and multi-field tuple structs (newtypes serialize
+//!   transparently, matching serde_json),
+//! * unit structs,
+//! * enums with unit / tuple / struct variants (external tagging),
+//! * const and type generic parameters.
+//!
+//! `#[serde(transparent)]` is accepted; newtypes already serialize
+//! transparently so it requires no special handling. Other `#[serde]`
+//! attributes are rejected with a compile error rather than silently
+//! ignored.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape, // Unit / Named / Tuple only
+}
+
+struct Input {
+    name: String,
+    /// Verbatim generic parameter list including bounds, e.g.
+    /// `const BITS: u32` — without the outer angle brackets.
+    generics: String,
+    /// Generic argument names for the self type, e.g. `BITS`.
+    generic_args: Vec<String>,
+    /// Names of type (not const) parameters, which need trait bounds.
+    type_params: Vec<String>,
+    shape: Shape,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse(input).map(|item| generate(&item, mode)) {
+        Ok(code) => code
+            .parse()
+            .unwrap_or_else(|e| error(&format!("serde_derive produced invalid code: {e}"))),
+        Err(msg) => error(&msg),
+    }
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("::std::compile_error!({msg:?});").parse().unwrap()
+}
+
+fn parse(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Leading attributes and visibility.
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    check_serde_attr(&g.to_string())?;
+                    i += 2;
+                } else {
+                    return Err("stray `#` in item".into());
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) if id.to_string() == "struct" || id.to_string() == "enum" => {
+            id.to_string()
+        }
+        other => return Err(format!("expected `struct` or `enum`, found `{other}`")),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => return Err(format!("expected item name, found `{other}`")),
+    };
+    i += 1;
+
+    // Generics.
+    let mut generics = String::new();
+    let mut generic_args = Vec::new();
+    let mut type_params = Vec::new();
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        i += 1;
+        let mut depth = 0usize;
+        let mut params: Vec<Vec<TokenTree>> = vec![Vec::new()];
+        loop {
+            let tok = tokens
+                .get(i)
+                .ok_or_else(|| "unterminated generic parameter list".to_string())?;
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                    depth -= 1;
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    params.push(Vec::new());
+                    i += 1;
+                    continue;
+                }
+                _ => {}
+            }
+            params.last_mut().unwrap().push(tok.clone());
+            i += 1;
+        }
+        let rendered: Vec<String> = params
+            .iter()
+            .filter(|p| !p.is_empty())
+            .map(|p| {
+                p.iter()
+                    .map(|t| t.to_string())
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            })
+            .collect();
+        generics = rendered.join(", ");
+        for param in params.iter().filter(|p| !p.is_empty()) {
+            match &param[0] {
+                TokenTree::Ident(id) if id.to_string() == "const" => {
+                    if let Some(TokenTree::Ident(n)) = param.get(1) {
+                        generic_args.push(n.to_string());
+                    } else {
+                        return Err("malformed const generic parameter".into());
+                    }
+                }
+                TokenTree::Punct(p) if p.as_char() == '\'' => {
+                    return Err("lifetime parameters are not supported by the serde stub".into());
+                }
+                TokenTree::Ident(id) => {
+                    generic_args.push(id.to_string());
+                    type_params.push(id.to_string());
+                }
+                other => return Err(format!("unsupported generic parameter `{other}`")),
+            }
+        }
+    }
+
+    // Optional where clause: skip to the body group / semicolon.
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Group(g)
+                if g.delimiter() == Delimiter::Brace || g.delimiter() == Delimiter::Parenthesis =>
+            {
+                break
+            }
+            TokenTree::Punct(p) if p.as_char() == ';' => break,
+            _ => i += 1,
+        }
+    }
+
+    let shape = if kind == "struct" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream())?)
+            }
+            _ => return Err("enum without a body".into()),
+        }
+    };
+
+    Ok(Input {
+        name,
+        generics,
+        generic_args,
+        type_params,
+        shape,
+    })
+}
+
+/// Rejects `#[serde(...)]` attributes this stub does not implement.
+fn check_serde_attr(attr: &str) -> Result<(), String> {
+    let inner = attr.trim_start_matches('[').trim_end_matches(']');
+    if let Some(args) = inner.strip_prefix("serde") {
+        let args = args.trim();
+        if !args.is_empty() && args != "(transparent)" {
+            return Err(format!(
+                "the serde stub supports only #[serde(transparent)], found #{inner}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Attributes.
+        while matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                check_serde_attr(&g.to_string())?;
+                i += 2;
+            } else {
+                return Err("stray `#` in field list".into());
+            }
+        }
+        // Visibility.
+        if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+        let Some(tok) = tokens.get(i) else { break };
+        let TokenTree::Ident(id) = tok else {
+            return Err(format!("expected field name, found `{tok}`"));
+        };
+        fields.push(id.to_string());
+        i += 1;
+        if !matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':') {
+            return Err(format!(
+                "expected `:` after field `{}`",
+                fields.last().unwrap()
+            ));
+        }
+        i += 1;
+        // Skip the type: everything to the next comma at angle depth 0.
+        let mut depth = 0usize;
+        while let Some(tok) = tokens.get(i) {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' && depth > 0 => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0usize;
+    let mut fields = 0usize;
+    let mut any = false;
+    for tok in stream {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' && depth > 0 => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => fields += 1,
+            _ => any = true,
+        }
+    }
+    if any {
+        fields + 1
+    } else {
+        0
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                check_serde_attr(&g.to_string())?;
+                i += 2;
+            } else {
+                return Err("stray `#` in variant list".into());
+            }
+        }
+        let Some(tok) = tokens.get(i) else { break };
+        let TokenTree::Ident(id) = tok else {
+            return Err(format!("expected variant name, found `{tok}`"));
+        };
+        let name = id.to_string();
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(parse_named_fields(g.stream())?)
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) up to the comma.
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == ',' => {
+                    i += 1;
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+fn generate(item: &Input, mode: Mode) -> String {
+    let name = &item.name;
+    let impl_generics = if item.generics.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", item.generics)
+    };
+    let self_ty = if item.generic_args.is_empty() {
+        name.clone()
+    } else {
+        format!("{name}<{}>", item.generic_args.join(", "))
+    };
+    let bound = match mode {
+        Mode::Serialize => "::serde::Serialize",
+        Mode::Deserialize => "::serde::Deserialize",
+    };
+    let where_clause = if item.type_params.is_empty() {
+        String::new()
+    } else {
+        let bounds: Vec<String> = item
+            .type_params
+            .iter()
+            .map(|p| format!("{p}: {bound}"))
+            .collect();
+        format!("where {}", bounds.join(", "))
+    };
+
+    let body = match mode {
+        Mode::Serialize => gen_serialize_body(name, &item.shape),
+        Mode::Deserialize => gen_deserialize_body(name, &item.shape),
+    };
+    match mode {
+        Mode::Serialize => format!(
+            "#[automatically_derived]\n\
+             impl {impl_generics} ::serde::Serialize for {self_ty} {where_clause} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+             }}"
+        ),
+        Mode::Deserialize => format!(
+            "#[automatically_derived]\n\
+             impl {impl_generics} ::serde::Deserialize for {self_ty} {where_clause} {{\n\
+                 fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::de::Error> {{\n{body}\n}}\n\
+             }}"
+        ),
+    }
+}
+
+/// Renders an object expression from `(key, value-expression)` pairs.
+fn object_expr(pairs: &[(String, String)]) -> String {
+    let items: Vec<String> = pairs
+        .iter()
+        .map(|(k, v)| format!("(::std::string::String::from({k:?}), {v})"))
+        .collect();
+    format!("::serde::Value::Object(::std::vec![{}])", items.join(", "))
+}
+
+fn gen_serialize_body(name: &str, shape: &Shape) -> String {
+    match shape {
+        Shape::Unit => "::serde::Value::Null".into(),
+        Shape::Named(fields) => {
+            let pairs: Vec<(String, String)> = fields
+                .iter()
+                .map(|f| {
+                    (
+                        f.clone(),
+                        format!("::serde::Serialize::to_value(&self.{f})"),
+                    )
+                })
+                .collect();
+            object_expr(&pairs)
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".into(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let mut arms = Vec::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push(format!(
+                        "{name}::{vname} => ::serde::Value::Str(::std::string::String::from({vname:?}))"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                        };
+                        arms.push(format!(
+                            "{name}::{vname}({}) => {}",
+                            binds.join(", "),
+                            object_expr(&[(vname.clone(), inner)])
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let pairs: Vec<(String, String)> = fields
+                            .iter()
+                            .map(|f| (f.clone(), format!("::serde::Serialize::to_value({f})")))
+                            .collect();
+                        arms.push(format!(
+                            "{name}::{vname} {{ {} }} => {}",
+                            fields.join(", "),
+                            object_expr(&[(vname.clone(), object_expr(&pairs))])
+                        ));
+                    }
+                    Shape::Enum(_) => unreachable!("variant cannot be an enum"),
+                }
+            }
+            format!("match self {{\n{}\n}}", arms.join(",\n"))
+        }
+    }
+}
+
+fn gen_deserialize_body(name: &str, shape: &Shape) -> String {
+    match shape {
+        Shape::Unit => format!("::std::result::Result::Ok({name})"),
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(__v.field({f:?})?)?"))
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(__items.get({i}).ok_or_else(|| \
+                         ::serde::de::Error::custom(\"tuple struct too short\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::Array(__items) => ::std::result::Result::Ok({name}({})),\n\
+                     __other => ::std::result::Result::Err(::serde::de::Error::custom(\
+                         ::std::format!(\"expected array, found {{}}\", __other.kind()))),\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = Vec::new();
+            let mut tagged_arms = Vec::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => unit_arms.push(format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname})"
+                    )),
+                    Shape::Tuple(n) => {
+                        let expr = if *n == 1 {
+                            format!(
+                                "::std::result::Result::Ok({name}::{vname}(\
+                                 ::serde::Deserialize::from_value(__inner)?))"
+                            )
+                        } else {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::from_value(__items.get({i}).ok_or_else(|| \
+                                         ::serde::de::Error::custom(\"variant tuple too short\"))?)?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "match __inner {{\n\
+                                     ::serde::Value::Array(__items) => \
+                                         ::std::result::Result::Ok({name}::{vname}({})),\n\
+                                     __other => ::std::result::Result::Err(::serde::de::Error::custom(\
+                                         ::std::format!(\"expected array for variant {vname}, found {{}}\", \
+                                         __other.kind()))),\n\
+                                 }}",
+                                inits.join(", ")
+                            )
+                        };
+                        tagged_arms.push(format!("{vname:?} => {{ {expr} }}"));
+                    }
+                    Shape::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(__inner.field({f:?})?)?"
+                                )
+                            })
+                            .collect();
+                        tagged_arms.push(format!(
+                            "{vname:?} => ::std::result::Result::Ok({name}::{vname} {{ {} }})",
+                            inits.join(", ")
+                        ));
+                    }
+                    Shape::Enum(_) => unreachable!("variant cannot be an enum"),
+                }
+            }
+            unit_arms.push(format!(
+                "__other => ::std::result::Result::Err(::serde::de::Error::custom(\
+                 ::std::format!(\"unknown unit variant `{{__other}}` for {name}\")))"
+            ));
+            tagged_arms.push(format!(
+                "__other => ::std::result::Result::Err(::serde::de::Error::custom(\
+                 ::std::format!(\"unknown variant `{{__other}}` for {name}\")))"
+            ));
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n{}\n}},\n\
+                     ::serde::Value::Object(__fields) if __fields.len() == 1 => {{\n\
+                         let (__tag, __inner) = &__fields[0];\n\
+                         match __tag.as_str() {{\n{}\n}}\n\
+                     }}\n\
+                     __other => ::std::result::Result::Err(::serde::de::Error::custom(\
+                         ::std::format!(\"expected enum value for {name}, found {{}}\", __other.kind()))),\n\
+                 }}",
+                unit_arms.join(",\n"),
+                tagged_arms.join(",\n")
+            )
+        }
+    }
+}
