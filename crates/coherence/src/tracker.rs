@@ -118,7 +118,17 @@ impl CoherenceTracker {
     /// pre-state (see type docs): the requester's stale copy has been
     /// notionally evicted, except for the upgrade case.
     pub fn classify(&self, requester: NodeId, req: ReqType, block: BlockAddr) -> MissInfo {
-        let state = self.state(block);
+        self.classify_state(self.state(block), requester, req, block)
+    }
+
+    /// Classifies a miss against an already-fetched pre-state.
+    fn classify_state(
+        &self,
+        state: BlockState,
+        requester: NodeId,
+        req: ReqType,
+        block: BlockAddr,
+    ) -> MissInfo {
         let (owner_before, sharers_before, was_upgrade) = reconcile(state, requester, req);
         MissInfo {
             block,
@@ -133,9 +143,9 @@ impl CoherenceTracker {
 
     /// Classifies the miss and applies the MOSI transition.
     pub fn access(&mut self, requester: NodeId, req: ReqType, block: BlockAddr) -> MissInfo {
-        let info = self.classify(requester, req, block);
-        // Stats for the reconciliation.
         let stale = self.state(block);
+        let info = self.classify_state(stale, requester, req, block);
+        // Stats for the reconciliation.
         if stale.owner == Owner::Node(requester) && !info.was_upgrade {
             self.stats.implicit_writebacks += 1;
         }
