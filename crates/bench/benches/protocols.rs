@@ -43,12 +43,28 @@ fn bench_protocols(c: &mut Criterion) {
 }
 
 fn bench_crossbar(c: &mut Criterion) {
-    use dsp_interconnect::{Crossbar, InterconnectConfig, Message};
+    use dsp_interconnect::{Arrivals, Crossbar, InterconnectConfig, Message};
     use dsp_types::{DestSet, MessageClass, NodeId};
     let mut group = c.benchmark_group("crossbar");
     group.throughput(Throughput::Elements(1));
+    group.bench_function("unicast_send", |b| {
+        let mut xbar = Crossbar::new(InterconnectConfig::isca03(), 16);
+        let mut arrivals = Arrivals::new();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 10;
+            let msg = Message {
+                src: NodeId::new((t % 16) as usize),
+                dests: DestSet::single(NodeId::new(((t + 7) % 16) as usize)),
+                class: MessageClass::DataResponse,
+            };
+            let order = xbar.send_into(t, &msg, &mut arrivals);
+            std::hint::black_box((order, arrivals.len()))
+        })
+    });
     group.bench_function("broadcast_send", |b| {
         let mut xbar = Crossbar::new(InterconnectConfig::isca03(), 16);
+        let mut arrivals = Arrivals::new();
         let mut t = 0u64;
         b.iter(|| {
             t += 10;
@@ -57,11 +73,56 @@ fn bench_crossbar(c: &mut Criterion) {
                 dests: DestSet::broadcast(16),
                 class: MessageClass::Request,
             };
-            std::hint::black_box(xbar.send(t, &msg))
+            let order = xbar.send_into(t, &msg, &mut arrivals);
+            std::hint::black_box((order, arrivals.len()))
         })
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_protocols, bench_crossbar);
+/// Steady-state miss-classification throughput of the open-addressing
+/// tracker vs the seed HashMap-backed reference, on the same warmed
+/// OLTP access stream `repro hotpath-bench` uses.
+fn bench_tracker(c: &mut Criterion) {
+    use dsp_bench::experiments::SEED;
+    use dsp_coherence::{CoherenceTracker, ReferenceTracker};
+    use dsp_trace::TraceRecord;
+
+    let sys = SystemConfig::isca03();
+    let spec = WorkloadSpec::preset(Workload::Oltp, &sys).scaled(1.0 / 64.0);
+    let accesses: Vec<TraceRecord> = spec.generator(SEED).take(25_000).collect();
+    let mut group = c.benchmark_group("tracker_access");
+    group.throughput(Throughput::Elements(accesses.len() as u64));
+    group.bench_function("block_state_table", |b| {
+        let mut t = CoherenceTracker::new(&sys);
+        for rec in &accesses {
+            t.access(rec.requester, rec.request(), rec.block());
+        }
+        b.iter(|| {
+            let mut acc = 0u64;
+            for rec in &accesses {
+                let info = t.access(rec.requester, rec.request(), rec.block());
+                acc = acc.wrapping_add(info.sharers_before.bits());
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    group.bench_function("hashmap_reference", |b| {
+        let mut t = ReferenceTracker::new(&sys);
+        for rec in &accesses {
+            t.access(rec.requester, rec.request(), rec.block());
+        }
+        b.iter(|| {
+            let mut acc = 0u64;
+            for rec in &accesses {
+                let info = t.access(rec.requester, rec.request(), rec.block());
+                acc = acc.wrapping_add(info.sharers_before.bits());
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocols, bench_crossbar, bench_tracker);
 criterion_main!(benches);

@@ -1,0 +1,295 @@
+//! An open-addressing block-number → [`BlockState`] table.
+//!
+//! [`CoherenceTracker`](crate::CoherenceTracker) performs exactly one
+//! state lookup per simulated miss, so the table behind it *is* the
+//! simulator's hot path. `std::collections::HashMap` pays for SipHash's
+//! DoS resistance on every probe; block numbers are not
+//! attacker-controlled, so this table swaps it for a two-instruction
+//! multiply-xor mixer over a power-of-two slot array with linear
+//! probing. Entries are never removed (evictions only rewrite a block's
+//! state), which keeps probe chains tombstone-free.
+
+use crate::tracker::BlockState;
+
+/// Multiplicative mixer constant (2^64 / φ, the same odd constant
+/// FxHash-style hashers use). Block numbers are sequential-ish, so the
+/// high-bit avalanche of one multiply plus a fold of the high half into
+/// the low half spreads them across the table.
+const MIX: u64 = 0x9E37_79B9_7F4A_7C15;
+
+#[inline]
+fn mix(key: u64) -> u64 {
+    let h = key.wrapping_mul(MIX);
+    h ^ (h >> 32)
+}
+
+/// One slot: the key, its state, and whether the slot is occupied.
+///
+/// An explicit flag (rather than a reserved sentinel key) keeps every
+/// `u64` usable as a block number.
+#[derive(Clone, Copy, Debug)]
+struct Slot {
+    key: u64,
+    used: bool,
+    state: BlockState,
+}
+
+const EMPTY_SLOT: Slot = Slot {
+    key: 0,
+    used: false,
+    state: BlockState {
+        owner: dsp_types::Owner::Memory,
+        sharers: dsp_types::DestSet::empty(),
+    },
+};
+
+/// Open-addressing hash table mapping block numbers to [`BlockState`].
+///
+/// Power-of-two capacity, linear probing, grows at ¾ load. Absent keys
+/// read as the default state (memory-owned, no sharers), matching the
+/// tracker's "blocks never touched are memory-owned" semantics.
+///
+/// # Example
+///
+/// ```
+/// use dsp_coherence::{BlockState, BlockStateTable};
+///
+/// let mut table = BlockStateTable::new();
+/// assert_eq!(table.get(42), None);
+/// *table.get_or_insert_default(42) = BlockState::default();
+/// assert_eq!(table.get(42), Some(BlockState::default()));
+/// assert_eq!(table.len(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BlockStateTable {
+    slots: Vec<Slot>,
+    len: usize,
+}
+
+impl BlockStateTable {
+    /// Creates an empty table (no slots are allocated until the first
+    /// insertion).
+    pub fn new() -> Self {
+        BlockStateTable {
+            slots: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of blocks with recorded state.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no block has recorded state.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Index of `key`'s slot: either the slot holding it or the first
+    /// empty slot of its probe chain. Requires a non-empty slot array
+    /// with at least one free slot (guaranteed by the ¾ load cap).
+    #[inline]
+    fn probe(&self, key: u64) -> usize {
+        let mask = self.slots.len() - 1;
+        let mut idx = mix(key) as usize & mask;
+        loop {
+            let slot = &self.slots[idx];
+            if !slot.used || slot.key == key {
+                return idx;
+            }
+            idx = (idx + 1) & mask;
+        }
+    }
+
+    /// Current state of `key`, if it was ever inserted.
+    #[inline]
+    pub fn get(&self, key: u64) -> Option<BlockState> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let slot = &self.slots[self.probe(key)];
+        slot.used.then_some(slot.state)
+    }
+
+    /// Mutable state of `key`, if it was ever inserted.
+    #[inline]
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut BlockState> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let idx = self.probe(key);
+        let slot = &mut self.slots[idx];
+        slot.used.then_some(&mut slot.state)
+    }
+
+    /// The combined lookup: returns `key`'s state, inserting the default
+    /// (memory-owned, no sharers) first if absent. One hash, one probe
+    /// chain — this is the only table operation on the per-miss path.
+    #[inline]
+    pub fn get_or_insert_default(&mut self, key: u64) -> &mut BlockState {
+        // Grow at ¾ load, *before* probing, so the probe index stays
+        // valid and a free slot always terminates the chain.
+        if (self.len + 1) * 4 > self.slots.len() * 3 {
+            self.grow();
+        }
+        let idx = self.probe(key);
+        let slot = &mut self.slots[idx];
+        if !slot.used {
+            slot.key = key;
+            slot.used = true;
+            slot.state = BlockState::default();
+            self.len += 1;
+        }
+        &mut slot.state
+    }
+
+    /// Iterates over `(key, state)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, BlockState)> + '_ {
+        self.slots
+            .iter()
+            .filter(|s| s.used)
+            .map(|s| (s.key, s.state))
+    }
+
+    /// Doubles the slot array (from a 1024-slot floor, so building a
+    /// typical multi-thousand-block working set pays only a handful of
+    /// rehashes) and reinserts every occupied slot.
+    #[cold]
+    fn grow(&mut self) {
+        let new_cap = (self.slots.len() * 2).max(1024);
+        let old = std::mem::replace(&mut self.slots, vec![EMPTY_SLOT; new_cap]);
+        let mask = new_cap - 1;
+        for slot in old.into_iter().filter(|s| s.used) {
+            let mut idx = mix(slot.key) as usize & mask;
+            while self.slots[idx].used {
+                idx = (idx + 1) & mask;
+            }
+            self.slots[idx] = slot;
+        }
+    }
+}
+
+impl Default for BlockStateTable {
+    fn default() -> Self {
+        BlockStateTable::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsp_types::{DestSet, NodeId, Owner};
+
+    fn state(owner: usize, sharer_bits: u64) -> BlockState {
+        BlockState {
+            owner: Owner::Node(NodeId::new(owner)),
+            sharers: DestSet::from_bits(sharer_bits),
+        }
+    }
+
+    #[test]
+    fn empty_table_reads_none() {
+        let t = BlockStateTable::new();
+        assert_eq!(t.get(0), None);
+        assert_eq!(t.get(u64::MAX), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn get_mut_on_empty_is_none() {
+        let mut t = BlockStateTable::new();
+        assert_eq!(t.get_mut(9), None);
+    }
+
+    #[test]
+    fn insert_then_read_back() {
+        let mut t = BlockStateTable::new();
+        *t.get_or_insert_default(7) = state(3, 0b1010);
+        assert_eq!(t.get(7), Some(state(3, 0b1010)));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn insert_is_idempotent_and_preserves_state() {
+        let mut t = BlockStateTable::new();
+        *t.get_or_insert_default(7) = state(3, 0b1010);
+        // A second combined lookup must not reset the state.
+        assert_eq!(*t.get_or_insert_default(7), state(3, 0b1010));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn extreme_keys_are_usable() {
+        let mut t = BlockStateTable::new();
+        for key in [0u64, 1, u64::MAX, u64::MAX - 1, 1 << 63] {
+            *t.get_or_insert_default(key) = state((key % 16) as usize, key & 0xff);
+        }
+        for key in [0u64, 1, u64::MAX, u64::MAX - 1, 1 << 63] {
+            assert_eq!(t.get(key), Some(state((key % 16) as usize, key & 0xff)));
+        }
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn growth_preserves_all_entries() {
+        let mut t = BlockStateTable::new();
+        // Sequential and stride-poisoned keys, well past several grows.
+        for i in 0..10_000u64 {
+            *t.get_or_insert_default(i << 6) = state((i % 16) as usize, i);
+        }
+        assert_eq!(t.len(), 10_000);
+        for i in 0..10_000u64 {
+            assert_eq!(t.get(i << 6), Some(state((i % 16) as usize, i)));
+        }
+        assert_eq!(t.get(10_000 << 6), None);
+    }
+
+    #[test]
+    fn iter_visits_every_entry_once() {
+        let mut t = BlockStateTable::new();
+        for i in 0..100u64 {
+            *t.get_or_insert_default(i) = state((i % 16) as usize, 0);
+        }
+        let mut keys: Vec<u64> = t.iter().map(|(k, _)| k).collect();
+        keys.sort_unstable();
+        assert_eq!(keys, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn matches_std_hashmap_on_mixed_operations() {
+        use std::collections::HashMap;
+        let mut table = BlockStateTable::new();
+        let mut reference: HashMap<u64, BlockState> = HashMap::new();
+        // Deterministic pseudo-random walk over a colliding key space.
+        let mut x = 0x1234_5678_9abc_def0u64;
+        for step in 0..5_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let key = (x >> 33) % 512; // force reuse and collisions
+            match step % 3 {
+                0 => {
+                    let s = state((step % 16) as usize, x & 0xffff);
+                    *table.get_or_insert_default(key) = s;
+                    *reference.entry(key).or_default() = s;
+                }
+                1 => {
+                    assert_eq!(table.get(key), reference.get(&key).copied());
+                }
+                _ => {
+                    let ours = table.get_mut(key).map(|s| {
+                        s.sharers.insert(NodeId::new((step % 16) as usize));
+                        *s
+                    });
+                    let theirs = reference.get_mut(&key).map(|s| {
+                        s.sharers.insert(NodeId::new((step % 16) as usize));
+                        *s
+                    });
+                    assert_eq!(ours, theirs);
+                }
+            }
+            assert_eq!(table.len(), reference.len());
+        }
+    }
+}

@@ -1,12 +1,11 @@
 //! The global MOSI coherence state tracker.
 
-use std::collections::HashMap;
-
 use serde::{Deserialize, Serialize};
 
 use dsp_types::{BlockAddr, DestSet, NodeId, Owner, ReqType, SystemConfig};
 
 use crate::miss::MissInfo;
+use crate::table::BlockStateTable;
 
 /// Directory-style state of one block: the owner and the sharer set.
 ///
@@ -75,7 +74,7 @@ pub struct TrackerStats {
 #[derive(Clone, Debug)]
 pub struct CoherenceTracker {
     num_nodes: usize,
-    blocks: HashMap<u64, BlockState>,
+    blocks: BlockStateTable,
     stats: TrackerStats,
 }
 
@@ -84,7 +83,7 @@ impl CoherenceTracker {
     pub fn new(config: &SystemConfig) -> Self {
         CoherenceTracker {
             num_nodes: config.num_nodes(),
-            blocks: HashMap::new(),
+            blocks: BlockStateTable::new(),
             stats: TrackerStats::default(),
         }
     }
@@ -95,11 +94,9 @@ impl CoherenceTracker {
     }
 
     /// Current state of `block`.
+    #[inline]
     pub fn state(&self, block: BlockAddr) -> BlockState {
-        self.blocks
-            .get(&block.number())
-            .copied()
-            .unwrap_or_default()
+        self.blocks.get(block.number()).unwrap_or_default()
     }
 
     /// Number of blocks with recorded state.
@@ -118,18 +115,18 @@ impl CoherenceTracker {
     /// pre-state (see type docs): the requester's stale copy has been
     /// notionally evicted, except for the upgrade case.
     pub fn classify(&self, requester: NodeId, req: ReqType, block: BlockAddr) -> MissInfo {
-        self.classify_state(self.state(block), requester, req, block)
+        let reconciled = reconcile(self.state(block), requester, req);
+        self.info_for(reconciled, requester, req, block)
     }
 
-    /// Classifies a miss against an already-fetched pre-state.
-    fn classify_state(
+    /// Builds the [`MissInfo`] for an already-reconciled pre-state.
+    fn info_for(
         &self,
-        state: BlockState,
+        (owner_before, sharers_before, was_upgrade): (Owner, DestSet, bool),
         requester: NodeId,
         req: ReqType,
         block: BlockAddr,
     ) -> MissInfo {
-        let (owner_before, sharers_before, was_upgrade) = reconcile(state, requester, req);
         MissInfo {
             block,
             requester,
@@ -142,29 +139,37 @@ impl CoherenceTracker {
     }
 
     /// Classifies the miss and applies the MOSI transition.
+    ///
+    /// Runs one combined table lookup: the pre-state read and the
+    /// post-transition write share a single probe of the block-state
+    /// table.
+    #[inline]
     pub fn access(&mut self, requester: NodeId, req: ReqType, block: BlockAddr) -> MissInfo {
-        let stale = self.state(block);
-        let info = self.classify_state(stale, requester, req, block);
-        // Stats for the reconciliation.
-        if stale.owner == Owner::Node(requester) && !info.was_upgrade {
-            self.stats.implicit_writebacks += 1;
-        }
-        let entry = self.blocks.entry(block.number()).or_default();
+        let entry = self.blocks.get_or_insert_default(block.number());
+        let stale = *entry;
+        let reconciled = reconcile(stale, requester, req);
+        let (owner_before, sharers_before, was_upgrade) = reconciled;
         match req {
             ReqType::GetShared => {
                 // Owner keeps the block (M demotes to O); requester joins
                 // the sharers. An owner identical to the requester was
                 // reconciled to memory.
-                entry.owner = info.owner_before;
-                entry.sharers = info.sharers_before.with(requester);
-                if let Owner::Node(o) = entry.owner {
-                    entry.sharers.remove(o);
+                let mut sharers = sharers_before.with(requester);
+                if let Owner::Node(o) = owner_before {
+                    sharers.remove(o);
                 }
+                entry.owner = owner_before;
+                entry.sharers = sharers;
             }
             ReqType::GetExclusive => {
                 entry.owner = Owner::Node(requester);
                 entry.sharers = DestSet::empty();
             }
+        }
+        let info = self.info_for(reconciled, requester, req, block);
+        // Stats for the reconciliation.
+        if stale.owner == Owner::Node(requester) && !was_upgrade {
+            self.stats.implicit_writebacks += 1;
         }
         self.stats.misses += 1;
         if info.is_directory_indirection() {
@@ -182,7 +187,7 @@ impl CoherenceTracker {
     /// Explicitly evicts `node`'s copy of `block` (used by the timing
     /// simulator's finite caches).
     pub fn evict(&mut self, node: NodeId, block: BlockAddr) -> Eviction {
-        match self.blocks.get_mut(&block.number()) {
+        match self.blocks.get_mut(block.number()) {
             None => Eviction::None,
             Some(entry) => {
                 if entry.owner == Owner::Node(node) {
@@ -204,7 +209,15 @@ impl CoherenceTracker {
 /// requester appears in neither owner nor sharers — except that a store
 /// by a current sharer is flagged as an upgrade (its S copy is
 /// invalidated by its own GETX, not evicted beforehand).
-fn reconcile(state: BlockState, requester: NodeId, req: ReqType) -> (Owner, DestSet, bool) {
+///
+/// Shared with [`crate::ReferenceTracker`] so the fast tracker and the
+/// reference model can only diverge in their state storage, never in
+/// protocol semantics.
+pub(crate) fn reconcile(
+    state: BlockState,
+    requester: NodeId,
+    req: ReqType,
+) -> (Owner, DestSet, bool) {
     let mut owner = state.owner;
     let mut sharers = state.sharers;
     let mut was_upgrade = false;

@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 
-use dsp_coherence::{multicast, CoherenceTracker};
+use dsp_coherence::{multicast, BlockStateTable, CoherenceTracker, ReferenceTracker};
 use dsp_types::{BlockAddr, DestSet, NodeId, Owner, ReqType, SystemConfig};
 
 const NODES: usize = 16;
@@ -148,6 +148,93 @@ proptest! {
         prop_assert!(hybrid.request_messages >= dir.request_messages);
         prop_assert!(u64::from(hybrid.indirection) <= u64::from(dir.latency == multicast::LatencyClass::CacheIndirect));
         prop_assert_eq!(hybrid.attempts, 1);
+    }
+
+    /// The open-addressing tracker is observationally equivalent to the
+    /// seed HashMap-backed reference across arbitrary interleaved
+    /// access/evict sequences: identical `MissInfo` per access,
+    /// identical eviction outcomes, identical per-block state,
+    /// statistics, and tracked-block counts throughout.
+    #[test]
+    fn fast_tracker_matches_hashmap_reference(
+        ops in proptest::collection::vec(
+            (0usize..NODES, 0u64..48, any::<bool>(), any::<bool>()),
+            1..400,
+        ),
+    ) {
+        let config = SystemConfig::isca03();
+        let mut fast = CoherenceTracker::new(&config);
+        let mut reference = ReferenceTracker::new(&config);
+        for &(node, block, exclusive, evict) in &ops {
+            let (node, block) = (NodeId::new(node), BlockAddr::new(block));
+            if evict {
+                prop_assert_eq!(fast.evict(node, block), reference.evict(node, block));
+            } else {
+                let a = fast.access(node, req(exclusive), block);
+                let b = reference.access(node, req(exclusive), block);
+                prop_assert_eq!(a, b);
+                prop_assert_eq!(
+                    fast.classify(node, req(exclusive), block),
+                    reference.classify(node, req(exclusive), block)
+                );
+            }
+            prop_assert_eq!(fast.state(block), reference.state(block));
+            prop_assert_eq!(fast.stats(), reference.stats());
+            prop_assert_eq!(fast.tracked_blocks(), reference.tracked_blocks());
+        }
+    }
+
+    /// The raw block-state table agrees with `std::collections::HashMap`
+    /// under adversarial keys (0, `u64::MAX`, stride patterns that
+    /// collide after masking) across mixed reads, combined
+    /// lookup-inserts, and in-place mutation.
+    #[test]
+    fn block_state_table_matches_hashmap(
+        keys in proptest::collection::vec(
+            prop_oneof![
+                Just(0u64),
+                Just(u64::MAX),
+                any::<u64>(),
+                (0u64..64).prop_map(|k| k << 32),
+                (0u64..64).prop_map(|k| k.wrapping_mul(1024)),
+            ],
+            1..300,
+        ),
+    ) {
+        let mut table = BlockStateTable::new();
+        let mut reference = std::collections::HashMap::new();
+        for (i, &key) in keys.iter().enumerate() {
+            match i % 3 {
+                0 => {
+                    let node = NodeId::new(i % NODES);
+                    table.get_or_insert_default(key).sharers.insert(node);
+                    reference
+                        .entry(key)
+                        .or_insert_with(dsp_coherence::BlockState::default)
+                        .sharers
+                        .insert(node);
+                }
+                1 => {
+                    prop_assert_eq!(table.get(key), reference.get(&key).copied());
+                }
+                _ => {
+                    let node = NodeId::new(i % NODES);
+                    let a = table.get_mut(key).map(|s| { s.owner = Owner::Node(node); *s });
+                    let b = reference.get_mut(&key).map(|s| { s.owner = Owner::Node(node); *s });
+                    prop_assert_eq!(a, b);
+                }
+            }
+            prop_assert_eq!(table.len(), reference.len());
+        }
+        for (&key, &state) in &reference {
+            prop_assert_eq!(table.get(key), Some(state));
+        }
+        let mut ours: Vec<(u64, dsp_coherence::BlockState)> = table.iter().collect();
+        let mut theirs: Vec<(u64, dsp_coherence::BlockState)> =
+            reference.iter().map(|(&k, &s)| (k, s)).collect();
+        ours.sort_by_key(|(k, _)| *k);
+        theirs.sort_by_key(|(k, _)| *k);
+        prop_assert_eq!(ours, theirs);
     }
 
     /// Eviction is idempotent and leaves the node without a copy.

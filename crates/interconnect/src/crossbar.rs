@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use dsp_types::{DestSet, MessageClass, NodeId};
+use dsp_types::{DestSet, InlineVec, MessageClass, NodeId, MAX_NODES};
 
 use crate::stats::TrafficStats;
 
@@ -46,6 +46,11 @@ pub struct Message {
     pub class: MessageClass,
 }
 
+/// Per-destination arrival times of one message, in destination index
+/// order. Stored inline (a [`DestSet`] holds at most [`MAX_NODES`]
+/// nodes), so building a [`Delivery`] never allocates.
+pub type Arrivals = InlineVec<(NodeId, u64), MAX_NODES>;
+
 /// The outcome of injecting a message.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Delivery {
@@ -54,7 +59,7 @@ pub struct Delivery {
     /// injection sequence, which the simulator preserves).
     pub order_time: u64,
     /// Arrival time at each destination, in destination index order.
-    pub arrivals: Vec<(NodeId, u64)>,
+    pub arrivals: Arrivals,
 }
 
 /// A single totally-ordered crossbar connecting `n` nodes.
@@ -69,6 +74,9 @@ pub struct Delivery {
 #[derive(Clone, Debug)]
 pub struct Crossbar {
     config: InterconnectConfig,
+    /// Serialization delay per message class, precomputed at
+    /// construction so the send path never touches floating point.
+    ser_ns: [u64; MessageClass::COUNT],
     src_free_at: Vec<u64>,
     dst_free_at: Vec<u64>,
     last_order_time: u64,
@@ -80,8 +88,14 @@ impl Crossbar {
     pub fn new(config: InterconnectConfig, num_nodes: usize) -> Self {
         assert!(num_nodes > 0, "need at least one node");
         assert!(config.link_bytes_per_ns > 0.0, "bandwidth must be positive");
+        let mut ser_ns = [0u64; MessageClass::COUNT];
+        for class in MessageClass::ALL {
+            ser_ns[class.index()] =
+                ((class.bytes() as f64 / config.link_bytes_per_ns).ceil() as u64).max(1);
+        }
         Crossbar {
             config,
+            ser_ns,
             src_free_at: vec![0; num_nodes],
             dst_free_at: vec![0; num_nodes],
             last_order_time: 0,
@@ -96,14 +110,21 @@ impl Crossbar {
 
     /// Serialization delay of `class`-sized messages on one link, in ns
     /// (rounded up, minimum 1).
+    #[inline]
     pub fn serialization_ns(&self, class: MessageClass) -> u64 {
-        ((class.bytes() as f64 / self.config.link_bytes_per_ns).ceil() as u64).max(1)
+        self.ser_ns[class.index()]
     }
 
-    /// Injects `msg` at time `now`; returns the ordering time and
-    /// per-destination arrival times, updating link occupancy and
-    /// traffic statistics.
-    pub fn send(&mut self, now: u64, msg: &Message) -> Delivery {
+    /// Injects `msg` at time `now`, writing per-destination arrival
+    /// times into the caller's `arrivals` buffer (cleared first) and
+    /// returning the ordering time, updating link occupancy and traffic
+    /// statistics.
+    ///
+    /// This is the hot-path entry point: with a reused buffer it
+    /// neither allocates nor copies. [`Crossbar::send`] wraps it for
+    /// callers that prefer an owned [`Delivery`].
+    pub fn send_into(&mut self, now: u64, msg: &Message, arrivals: &mut Arrivals) -> u64 {
+        arrivals.clear();
         let ser = self.serialization_ns(msg.class);
         let half = self.config.traversal_ns / 2;
         // Source link: queue behind earlier injections from this node.
@@ -113,13 +134,20 @@ impl Crossbar {
         let order_time = (start + ser + half).max(self.last_order_time);
         self.last_order_time = order_time;
         // Destination links.
-        let mut arrivals = Vec::with_capacity(msg.dests.len());
         for dest in msg.dests {
             let d_start = order_time.max(self.dst_free_at[dest.index()]);
             self.dst_free_at[dest.index()] = d_start + ser;
             arrivals.push((dest, d_start + ser + half));
         }
         self.stats.record(msg.class, arrivals.len() as u64);
+        order_time
+    }
+
+    /// Injects `msg` at time `now`; returns the ordering time and
+    /// per-destination arrival times as an owned [`Delivery`].
+    pub fn send(&mut self, now: u64, msg: &Message) -> Delivery {
+        let mut arrivals = Arrivals::new();
+        let order_time = self.send_into(now, msg, &mut arrivals);
         Delivery {
             order_time,
             arrivals,

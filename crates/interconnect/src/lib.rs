@@ -35,7 +35,9 @@
 #![warn(missing_debug_implementations)]
 
 mod crossbar;
+mod reference;
 mod stats;
 
-pub use crossbar::{Crossbar, Delivery, InterconnectConfig, Message};
+pub use crossbar::{Arrivals, Crossbar, Delivery, InterconnectConfig, Message};
+pub use reference::ReferenceCrossbar;
 pub use stats::{ClassTraffic, TrafficStats};

@@ -17,22 +17,6 @@ pub struct ClassTraffic {
     pub bytes: u64,
 }
 
-const CLASSES: [MessageClass; 6] = [
-    MessageClass::Request,
-    MessageClass::Forward,
-    MessageClass::Retry,
-    MessageClass::DataResponse,
-    MessageClass::Control,
-    MessageClass::Writeback,
-];
-
-fn class_index(class: MessageClass) -> usize {
-    CLASSES
-        .iter()
-        .position(|c| *c == class)
-        .expect("all classes enumerated")
-}
-
 /// Aggregate interconnect traffic, broken down by [`MessageClass`].
 ///
 /// The paper uses two traffic metrics, both derivable from this:
@@ -41,13 +25,14 @@ fn class_index(class: MessageClass) -> usize {
 /// endpoint bytes; Figures 7–8).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TrafficStats {
-    per_class: [ClassTraffic; 6],
+    per_class: [ClassTraffic; MessageClass::COUNT],
 }
 
 impl TrafficStats {
     /// Records one injected message delivered to `deliveries` endpoints.
+    #[inline]
     pub fn record(&mut self, class: MessageClass, deliveries: u64) {
-        let t = &mut self.per_class[class_index(class)];
+        let t = &mut self.per_class[class.index()];
         t.messages += 1;
         t.deliveries += deliveries;
         t.bytes += deliveries * class.bytes();
@@ -55,13 +40,13 @@ impl TrafficStats {
 
     /// Counters for one class.
     pub fn class(&self, class: MessageClass) -> ClassTraffic {
-        self.per_class[class_index(class)]
+        self.per_class[class.index()]
     }
 
     /// Endpoint deliveries of request-class messages (request, forward,
     /// retry) — the unit of the paper's trace-driven bandwidth axis.
     pub fn request_deliveries(&self) -> u64 {
-        CLASSES
+        MessageClass::ALL
             .iter()
             .filter(|c| c.is_request_class())
             .map(|c| self.class(*c).deliveries)
@@ -91,7 +76,7 @@ impl TrafficStats {
 
 impl fmt::Display for TrafficStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for class in CLASSES {
+        for class in MessageClass::ALL {
             let t = self.class(class);
             if t.messages > 0 {
                 writeln!(

@@ -6,7 +6,7 @@ use rand::{Rng, SeedableRng};
 use dsp_cache::SetAssocCache;
 use dsp_coherence::{CoherenceTracker, MissInfo};
 use dsp_core::{DestSetPredictor, PredictQuery, TrainEvent};
-use dsp_interconnect::{Crossbar, Message};
+use dsp_interconnect::{Arrivals, Crossbar, Message};
 use dsp_trace::{TraceRecord, WorkloadSpec};
 use dsp_types::{DestSet, LineState, MessageClass, NodeId, Owner, ReqType, SystemConfig};
 
@@ -81,6 +81,9 @@ pub struct System {
     // Global.
     tracker: CoherenceTracker,
     xbar: Crossbar,
+    /// Scratch buffer for crossbar deliveries, reused across every send
+    /// so the event loop performs no per-message allocation or copy.
+    xbar_arrivals: Arrivals,
     queue: EventQueue,
     pending: Vec<Pending>,
     free_slots: Vec<usize>,
@@ -125,6 +128,7 @@ impl System {
             warmup_done_at: vec![None; n],
             tracker: CoherenceTracker::new(sys),
             xbar: Crossbar::new(target.interconnect, n),
+            xbar_arrivals: Arrivals::new(),
             queue: EventQueue::new(),
             pending: Vec::new(),
             free_slots: Vec::new(),
@@ -233,6 +237,8 @@ impl System {
                 }
                 self.ready_at[node] = now + gap;
             }
+            // `arrivals` is sized (or recycled) by `alloc_pending`; an
+            // empty `Vec` does not allocate.
             let slot = self.alloc_pending(Pending {
                 rec,
                 issue_time: now,
@@ -247,7 +253,7 @@ impl System {
                 done: false,
                 info: None,
                 current_dests: DestSet::empty(),
-                arrivals: vec![None; self.sys.num_nodes()],
+                arrivals: Vec::new(),
                 self_arrival: 0,
             });
             // The L2 lookup detects the miss, then the request is injected.
@@ -296,21 +302,24 @@ impl System {
         now: u64,
         attempt: u8,
     ) {
-        let delivery = self.xbar.send(now, &Message { src, dests, class });
+        let order_time =
+            self.xbar
+                .send_into(now, &Message { src, dests, class }, &mut self.xbar_arrivals);
         self.record_traffic(req, class, dests.len() as u64);
         let p = &mut self.pending[req];
         p.attempt = attempt;
         p.current_dests = dests;
         p.arrivals.iter_mut().for_each(|a| *a = None);
-        for (node, t) in &delivery.arrivals {
-            p.arrivals[node.index()] = Some(*t);
+        for &(node, t) in &self.xbar_arrivals {
+            p.arrivals[node.index()] = Some(t);
         }
         let ser = self.xbar.serialization_ns(class);
-        p.self_arrival = delivery.order_time + self.target.interconnect.traversal_ns / 2 + ser;
-        self.push_req(req, delivery.order_time, Event::Ordered { req, attempt });
+        p.self_arrival = order_time + self.target.interconnect.traversal_ns / 2 + ser;
+        self.push_req(req, order_time, Event::Ordered { req, attempt });
         if self.sim.protocol.uses_predictors() {
             let requester = self.pending[req].rec.requester;
-            for (node, t) in delivery.arrivals {
+            for i in 0..self.xbar_arrivals.len() {
+                let (node, t) = self.xbar_arrivals[i];
                 if node != requester || class == MessageClass::Retry {
                     self.push_req(
                         req,
@@ -460,13 +469,14 @@ impl System {
                         }
                     };
                     if !invals.is_empty() {
-                        let _ = self.xbar.send(
+                        self.xbar.send_into(
                             now,
                             &Message {
                                 src: home,
                                 dests: invals,
                                 class: MessageClass::Forward,
                             },
+                            &mut self.xbar_arrivals,
                         );
                         self.record_traffic(req, MessageClass::Forward, invals.len() as u64);
                     }
@@ -478,13 +488,14 @@ impl System {
                         // totally ordered network), then respond.
                         let invals = info.sharers_before.without(rec.requester);
                         if rec.request().is_exclusive() && !invals.is_empty() {
-                            let _ = self.xbar.send(
+                            self.xbar.send_into(
                                 now,
                                 &Message {
                                     src: home,
                                     dests: invals,
                                     class: MessageClass::Forward,
                                 },
+                                &mut self.xbar_arrivals,
                             );
                             self.record_traffic(req, MessageClass::Forward, invals.len() as u64);
                         }
@@ -497,17 +508,18 @@ impl System {
                         if rec.request().is_exclusive() {
                             fwd |= info.sharers_before.without(rec.requester);
                         }
-                        let delivery = self.xbar.send(
+                        self.xbar.send_into(
                             now,
                             &Message {
                                 src: home,
                                 dests: fwd,
                                 class: MessageClass::Forward,
                             },
+                            &mut self.xbar_arrivals,
                         );
                         self.record_traffic(req, MessageClass::Forward, fwd.len() as u64);
-                        let arrive = delivery
-                            .arrivals
+                        let arrive = self
+                            .xbar_arrivals
                             .iter()
                             .find(|(n, _)| *n == owner)
                             .map(|(_, t)| *t)
@@ -580,16 +592,17 @@ impl System {
             self.push_req(req, t, Event::Complete { req });
             return;
         }
-        let delivery = self.xbar.send(
+        self.xbar.send_into(
             now,
             &Message {
                 src: responder,
                 dests: DestSet::single(requester),
                 class,
             },
+            &mut self.xbar_arrivals,
         );
         self.record_traffic(req, class, 1);
-        let arrive = delivery.arrivals[0].1;
+        let arrive = self.xbar_arrivals[0].1;
         self.push_req(req, arrive, Event::Complete { req });
     }
 
@@ -653,13 +666,14 @@ impl System {
                 if eviction == dsp_coherence::Eviction::Writeback {
                     let victim_home = victim.block.home(self.sys.num_nodes());
                     if victim_home != rec.requester {
-                        let _ = self.xbar.send(
+                        self.xbar.send_into(
                             now,
                             &Message {
                                 src: rec.requester,
                                 dests: DestSet::single(victim_home),
                                 class: MessageClass::Writeback,
                             },
+                            &mut self.xbar_arrivals,
                         );
                         self.record_traffic(req, MessageClass::Writeback, 1);
                     }
@@ -733,11 +747,19 @@ impl System {
         }
     }
 
-    fn alloc_pending(&mut self, p: Pending) -> usize {
+    /// Installs `p` in a pending slot, recycling a completed slot's
+    /// arrival buffer when one is free so the steady-state miss path
+    /// performs no heap allocation. The recycled buffer may hold stale
+    /// entries: `send_request` clears it before the first read
+    /// (`arrival_at` is only reachable from events it schedules).
+    fn alloc_pending(&mut self, mut p: Pending) -> usize {
+        let n = self.sys.num_nodes();
         if let Some(slot) = self.free_slots.pop() {
+            p.arrivals = std::mem::take(&mut self.pending[slot].arrivals);
             self.pending[slot] = p;
             slot
         } else {
+            p.arrivals = vec![None; n];
             self.pending.push(p);
             self.pending.len() - 1
         }

@@ -92,6 +92,27 @@ pub enum MessageClass {
 }
 
 impl MessageClass {
+    /// Number of distinct message classes.
+    pub const COUNT: usize = 6;
+
+    /// Every class, ordered by [`MessageClass::index`].
+    pub const ALL: [MessageClass; MessageClass::COUNT] = [
+        MessageClass::Request,
+        MessageClass::Forward,
+        MessageClass::Retry,
+        MessageClass::DataResponse,
+        MessageClass::Control,
+        MessageClass::Writeback,
+    ];
+
+    /// Dense index of this class in `0..COUNT`, for per-class lookup
+    /// tables on hot paths (traffic counters, precomputed serialization
+    /// delays).
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
     /// Size on the wire, in bytes: 8 B for control-like messages and
     /// 72 B (64 B data + 8 B header) for messages carrying a block.
     #[inline]
@@ -155,6 +176,14 @@ mod tests {
         assert_eq!(MessageClass::Control.bytes(), 8);
         assert_eq!(MessageClass::DataResponse.bytes(), 72);
         assert_eq!(MessageClass::Writeback.bytes(), 72);
+    }
+
+    #[test]
+    fn class_indices_are_dense_and_match_all() {
+        for (i, class) in MessageClass::ALL.iter().enumerate() {
+            assert_eq!(class.index(), i);
+        }
+        assert_eq!(MessageClass::ALL.len(), MessageClass::COUNT);
     }
 
     #[test]

@@ -119,9 +119,19 @@ impl BlockAddr {
     /// Memory is interleaved across nodes at macroblock (1 KiB)
     /// granularity, matching the per-node memory-controller organization
     /// of the target system.
+    ///
+    /// This runs once per simulated miss; all practical system sizes
+    /// are powers of two, where the modulo reduces to a mask instead of
+    /// a hardware divide.
     #[inline]
     pub fn home(self, num_nodes: usize) -> crate::NodeId {
-        crate::NodeId::new(((self.0 >> 4) % num_nodes as u64) as usize)
+        let n = num_nodes as u64;
+        let macroblock = self.0 >> 4;
+        if n.is_power_of_two() && num_nodes <= crate::MAX_NODES {
+            crate::NodeId::new_unchecked((macroblock & (n - 1)) as u8)
+        } else {
+            crate::NodeId::new((macroblock % n) as usize)
+        }
     }
 }
 

@@ -1,0 +1,280 @@
+//! A fixed-capacity vector stored entirely inline (no heap allocation).
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// A vector with a compile-time capacity of `N`, stored inline.
+///
+/// The hot paths of the simulator produce small, bounded collections —
+/// most prominently the per-destination arrival times of one crossbar
+/// message, bounded by [`crate::MAX_NODES`] — millions of times per run.
+/// `InlineVec` gives them `Vec`-like ergonomics (push, deref to slice,
+/// iteration) without a heap allocation per message.
+///
+/// `T` must be `Copy + Default` so the backing array can be initialized
+/// eagerly and elements moved out by value; that matches the plain-data
+/// payloads this crate deals in.
+///
+/// # Example
+///
+/// ```
+/// use dsp_types::InlineVec;
+///
+/// let mut v: InlineVec<u64, 8> = InlineVec::new();
+/// v.push(3);
+/// v.push(5);
+/// assert_eq!(v.len(), 2);
+/// assert_eq!(v[1], 5);
+/// assert_eq!(v.iter().sum::<u64>(), 8);
+/// ```
+#[derive(Clone, Copy)]
+pub struct InlineVec<T, const N: usize> {
+    len: usize,
+    items: [T; N],
+}
+
+impl<T: Copy + Default, const N: usize> InlineVec<T, N> {
+    /// Creates an empty vector.
+    #[inline]
+    pub fn new() -> Self {
+        InlineVec {
+            len: 0,
+            items: [T::default(); N],
+        }
+    }
+
+    /// The compile-time capacity `N`.
+    #[inline]
+    pub const fn capacity(&self) -> usize {
+        N
+    }
+
+    /// Appends an element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector already holds `N` elements.
+    #[inline]
+    pub fn push(&mut self, item: T) {
+        assert!(self.len < N, "InlineVec capacity {N} exceeded");
+        self.items[self.len] = item;
+        self.len += 1;
+    }
+
+    /// Removes all elements (O(1); elements are `Copy`, nothing drops).
+    #[inline]
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// The initialized elements as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.items[..self.len]
+    }
+
+    /// The initialized elements as a mutable slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.items[..self.len]
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Default for InlineVec<T, N> {
+    fn default() -> Self {
+        InlineVec::new()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Deref for InlineVec<T, N> {
+    type Target = [T];
+
+    #[inline]
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> DerefMut for InlineVec<T, N> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<T: Copy + Default + fmt::Debug, const N: usize> fmt::Debug for InlineVec<T, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq for InlineVec<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default + Eq, const N: usize> Eq for InlineVec<T, N> {}
+
+impl<T: Copy + Default + PartialEq, const N: usize, const M: usize> PartialEq<[T; M]>
+    for InlineVec<T, N>
+{
+    fn eq(&self, other: &[T; M]) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq<&[T]> for InlineVec<T, N> {
+    fn eq(&self, other: &&[T]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq<Vec<T>> for InlineVec<T, N> {
+    fn eq(&self, other: &Vec<T>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> FromIterator<T> for InlineVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut v = InlineVec::new();
+        for item in iter {
+            v.push(item);
+        }
+        v
+    }
+}
+
+impl<'a, T: Copy + Default, const N: usize> IntoIterator for &'a InlineVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> IntoIterator for InlineVec<T, N> {
+    type Item = T;
+    type IntoIter = InlineVecIter<T, N>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        InlineVecIter { vec: self, next: 0 }
+    }
+}
+
+/// By-value iterator over an [`InlineVec`].
+#[derive(Clone, Debug)]
+pub struct InlineVecIter<T: Copy + Default, const N: usize> {
+    vec: InlineVec<T, N>,
+    next: usize,
+}
+
+impl<T: Copy + Default, const N: usize> Iterator for InlineVecIter<T, N> {
+    type Item = T;
+
+    #[inline]
+    fn next(&mut self) -> Option<T> {
+        if self.next < self.vec.len {
+            let item = self.vec.items[self.next];
+            self.next += 1;
+            Some(item)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.vec.len - self.next;
+        (n, Some(n))
+    }
+}
+
+impl<T: Copy + Default, const N: usize> ExactSizeIterator for InlineVecIter<T, N> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_empty() {
+        let v: InlineVec<u32, 4> = InlineVec::new();
+        assert!(v.is_empty());
+        assert_eq!(v.len(), 0);
+        assert_eq!(v.capacity(), 4);
+        assert_eq!(v.iter().count(), 0);
+    }
+
+    #[test]
+    fn push_and_index() {
+        let mut v: InlineVec<u32, 4> = InlineVec::new();
+        v.push(10);
+        v.push(20);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0], 10);
+        assert_eq!(v[1], 20);
+        assert_eq!(v, [10, 20]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity 2 exceeded")]
+    fn push_past_capacity_panics() {
+        let mut v: InlineVec<u32, 2> = InlineVec::new();
+        v.push(1);
+        v.push(2);
+        v.push(3);
+    }
+
+    #[test]
+    fn clear_resets_length() {
+        let mut v: InlineVec<u32, 4> = InlineVec::new();
+        v.push(1);
+        v.clear();
+        assert!(v.is_empty());
+        v.push(7);
+        assert_eq!(v, [7]);
+    }
+
+    #[test]
+    fn by_value_and_by_ref_iteration_agree() {
+        let v: InlineVec<u64, 8> = [1u64, 2, 3].into_iter().collect();
+        let by_ref: Vec<u64> = (&v).into_iter().copied().collect();
+        let by_val: Vec<u64> = v.into_iter().collect();
+        assert_eq!(by_ref, by_val);
+        assert_eq!(by_val, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equality_against_vec_and_slice() {
+        let v: InlineVec<u32, 4> = [1u32, 2].into_iter().collect();
+        assert_eq!(v, vec![1, 2]);
+        assert_eq!(v, [1, 2]);
+        assert_eq!(v, [1u32, 2].as_slice());
+        let w: InlineVec<u32, 4> = [1u32, 2].into_iter().collect();
+        assert_eq!(v, w);
+    }
+
+    #[test]
+    fn exact_size_iterator() {
+        let v: InlineVec<u32, 4> = [1u32, 2, 3].into_iter().collect();
+        let mut it = v.into_iter();
+        assert_eq!(it.len(), 3);
+        it.next();
+        assert_eq!(it.len(), 2);
+    }
+
+    #[test]
+    fn mutable_slice_access() {
+        let mut v: InlineVec<u32, 4> = [5u32, 6].into_iter().collect();
+        v.as_mut_slice()[0] = 50;
+        v[1] = 60;
+        assert_eq!(v, [50, 60]);
+    }
+
+    #[test]
+    fn debug_formats_as_list() {
+        let v: InlineVec<u32, 4> = [1u32, 2].into_iter().collect();
+        assert_eq!(format!("{v:?}"), "[1, 2]");
+    }
+}

@@ -37,6 +37,7 @@ mod addr;
 mod config;
 mod dest_set;
 mod error;
+mod inline_vec;
 mod mosi;
 mod node;
 
@@ -45,5 +46,6 @@ pub use addr::{Address, BlockAddr, MacroblockAddr, Pc, BLOCK_BYTES, BLOCK_SHIFT}
 pub use config::{SystemConfig, SystemConfigBuilder};
 pub use dest_set::{DestSet, DestSetIter};
 pub use error::ConfigError;
+pub use inline_vec::{InlineVec, InlineVecIter};
 pub use mosi::{LineState, Owner};
 pub use node::{NodeId, MAX_NODES};

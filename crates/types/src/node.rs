@@ -75,6 +75,14 @@ impl NodeId {
     }
 }
 
+impl Default for NodeId {
+    /// Node `P0`, so plain-data aggregates containing a `NodeId` (such
+    /// as inline arrival buffers) can be eagerly initialized.
+    fn default() -> Self {
+        NodeId(0)
+    }
+}
+
 impl fmt::Display for NodeId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "P{}", self.0)
