@@ -1,0 +1,69 @@
+//! Event-queue throughput: the timing wheel vs the seed binary heap.
+//!
+//! The schedule is the simulator's steady state — the queue holds
+//! `depth` events and every pop schedules a successor at a small delta,
+//! with a far-future tail (every 16th delta) exercising the wheel's
+//! overflow level. Depths bracket the regimes the scaling study hits:
+//! 64 ≈ a 16-node run, 1024 ≈ a 256-node run with multiple outstanding
+//! misses per node.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use dsp_sim::{Event, ReferenceQueue, WheelQueue};
+
+fn deltas(n: usize) -> Vec<u64> {
+    let mut x = 0x2545_f491_4f6c_dd1du64;
+    (0..n)
+        .map(|i| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let near = 1 + (x >> 33) % 431;
+            if i % 16 == 0 {
+                near + 6000
+            } else {
+                near
+            }
+        })
+        .collect()
+}
+
+fn bench_queues(c: &mut Criterion) {
+    let schedule = deltas(20_000);
+    let mut group = c.benchmark_group("event_queue");
+    group.throughput(Throughput::Elements(schedule.len() as u64));
+    for depth in [64usize, 1024] {
+        group.bench_function(BenchmarkId::new("wheel", depth), |b| {
+            b.iter(|| {
+                let mut q = WheelQueue::new();
+                let mut acc = 0u64;
+                for (i, &d) in schedule.iter().take(depth).enumerate() {
+                    q.push(d, Event::Complete { req: i });
+                }
+                for &d in &schedule {
+                    let (now, _) = q.pop().expect("primed");
+                    acc = acc.wrapping_add(now);
+                    q.push(now + d, Event::Complete { req: 0 });
+                }
+                std::hint::black_box(acc)
+            })
+        });
+        group.bench_function(BenchmarkId::new("heap", depth), |b| {
+            b.iter(|| {
+                let mut q = ReferenceQueue::new();
+                let mut acc = 0u64;
+                for (i, &d) in schedule.iter().take(depth).enumerate() {
+                    q.push(d, Event::Complete { req: i });
+                }
+                for &d in &schedule {
+                    let (now, _) = q.pop().expect("primed");
+                    acc = acc.wrapping_add(now);
+                    q.push(now + d, Event::Complete { req: 0 });
+                }
+                std::hint::black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queues);
+criterion_main!(benches);

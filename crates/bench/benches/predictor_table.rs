@@ -1,0 +1,64 @@
+//! Predictor-table throughput: flat set arrays + open addressing vs
+//! the seed `Vec<Vec<Way>>` + `HashMap` implementation.
+//!
+//! The operation mix mirrors the policy layer: a lookup per predict,
+//! a train every other access (allocating on every sixth, the paper's
+//! allocate-on-insufficient policy firing), over a colliding key
+//! stream sized like a real predictor working set (a few thousand
+//! distinct macroblocks).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use dsp_core::{Capacity, PredictorTable, ReferencePredictorTable};
+
+fn keys(n: usize) -> Vec<u64> {
+    let mut x = dsp_types::hash::FX_MIX;
+    (0..n)
+        .map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (x >> 33) % 4_096
+        })
+        .collect()
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let stream = keys(20_000);
+    let capacities = [
+        ("isca03-8k-4way", Capacity::ISCA03),
+        ("unbounded", Capacity::Unbounded),
+    ];
+    let mut group = c.benchmark_group("predictor_table");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    for (name, capacity) in capacities {
+        group.bench_function(BenchmarkId::new("flat", name), |b| {
+            b.iter(|| {
+                let mut t: PredictorTable<u64> = PredictorTable::new(capacity);
+                let mut acc = 0u64;
+                for (i, &key) in stream.iter().enumerate() {
+                    acc = acc.wrapping_add(t.lookup(key).copied().unwrap_or(0));
+                    if i % 2 == 0 {
+                        t.train(key, i % 6 == 0, |e| *e = e.wrapping_add(1));
+                    }
+                }
+                std::hint::black_box(acc)
+            })
+        });
+        group.bench_function(BenchmarkId::new("seed", name), |b| {
+            b.iter(|| {
+                let mut t: ReferencePredictorTable<u64> = ReferencePredictorTable::new(capacity);
+                let mut acc = 0u64;
+                for (i, &key) in stream.iter().enumerate() {
+                    acc = acc.wrapping_add(t.lookup(key).copied().unwrap_or(0));
+                    if i % 2 == 0 {
+                        t.train(key, i % 6 == 0, |e| *e = e.wrapping_add(1));
+                    }
+                }
+                std::hint::black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

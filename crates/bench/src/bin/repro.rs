@@ -14,8 +14,9 @@
 //! each workload trace once and shares it across every table and
 //! figure. `sweep-bench` times the sweep engine serial vs parallel and
 //! writes `BENCH_sweep.json` to the output directory; `hotpath-bench`
-//! times the per-miss hot paths (tracker, crossbar, end-to-end timing
-//! simulation) and writes `BENCH_hotpath.json` alongside it.
+//! times the per-miss hot paths (tracker, crossbar, event queue,
+//! predictor table, end-to-end timing simulation) and writes
+//! `BENCH_hotpath.json` alongside it.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -137,8 +138,9 @@ fn best_time<T>(budget_s: f64, mut routine: impl FnMut() -> T) -> (f64, T) {
 }
 
 /// Times the per-miss hot paths — the coherence tracker, the crossbar
-/// send path, and the fig7/fig8-style timing simulation end to end —
-/// and returns the `BENCH_hotpath.json` payload.
+/// send path, the event queue, the predictor table, and the
+/// fig7/fig8-style timing simulation end to end — and returns the
+/// `BENCH_hotpath.json` payload.
 ///
 /// The tracker microloop runs the same OLTP access sequence through the
 /// open-addressing [`dsp_coherence::CoherenceTracker`] and through
@@ -149,12 +151,21 @@ fn best_time<T>(budget_s: f64, mut routine: impl FnMut() -> T) -> (f64, T) {
 /// against [`dsp_interconnect::ReferenceCrossbar`], the in-tree copy of
 /// the seed implementation (per-send float `ceil`, heap-allocated
 /// arrival `Vec` per delivery), cross-checked for identical timings in
-/// the same run.
+/// the same run. The queue microloop replays a steady-state hold-N
+/// schedule (trace-derived deltas, far-future tail) through
+/// [`dsp_sim::WheelQueue`] and the seed [`dsp_sim::ReferenceQueue`]
+/// heap, pinning identical pop order in-run; the predictor-table
+/// microloop replays the policy layer's lookup/train mix through
+/// [`dsp_core::PredictorTable`] (flat set arrays + open addressing) and
+/// the seed [`dsp_core::ReferencePredictorTable`] (`Vec<Vec>` +
+/// `HashMap`), asserting identical [`dsp_core::TableStats`].
 fn hotpath_bench(scale: &Scale) -> String {
     use dsp_coherence::{CoherenceTracker, ReferenceTracker};
-    use dsp_core::{Indexing, PredictorConfig};
+    use dsp_core::{Capacity, Indexing, PredictorConfig, PredictorTable, ReferencePredictorTable};
     use dsp_interconnect::{Crossbar, InterconnectConfig, Message, ReferenceCrossbar};
-    use dsp_sim::{ProtocolKind, SimConfig, System, TargetSystem};
+    use dsp_sim::{
+        Event, ProtocolKind, ReferenceQueue, SimConfig, System, TargetSystem, WheelQueue,
+    };
     use dsp_trace::{TraceRecord, Workload, WorkloadSpec};
     use dsp_types::{DestSet, MessageClass, SystemConfig};
 
@@ -256,6 +267,139 @@ fn hotpath_bench(scale: &Scale) -> String {
     let inline_msgs = msgs.len() as f64 / inline_s.max(1e-9);
     let alloc_msgs = msgs.len() as f64 / seed_s.max(1e-9);
 
+    // --- Event-queue microloop: timing wheel vs the seed heap --------
+    // A steady-state hold-N schedule, the shape the simulator's event
+    // loop produces: the queue holds ~depth events (128+-node runs keep
+    // hundreds in flight), each pop schedules a successor at a
+    // trace-derived delta, and every 16th delta jumps past the wheel
+    // horizon like the exponential tail of CPU computation gaps.
+    const QUEUE_DEPTH: usize = 1024;
+    let deltas: Vec<u64> = accesses
+        .iter()
+        .enumerate()
+        .map(|(i, rec)| {
+            let near = 1 + rec.block().number() % 431;
+            if i % 16 == 0 {
+                near + 6000
+            } else {
+                near
+            }
+        })
+        .collect();
+    // Equivalence first: identical pop order on the same schedule.
+    {
+        let mut wheel = WheelQueue::new();
+        let mut heap = ReferenceQueue::new();
+        for (i, &d) in deltas.iter().take(QUEUE_DEPTH).enumerate() {
+            wheel.push(d, Event::Complete { req: i });
+            heap.push(d, Event::Complete { req: i });
+        }
+        for &d in &deltas {
+            let a = wheel.pop();
+            let b = heap.pop();
+            assert_eq!(a, b, "wheel queue diverged from the seed heap");
+            let (now, _) = a.expect("queue primed");
+            wheel.push(now + d, Event::Complete { req: 0 });
+            heap.push(now + d, Event::Complete { req: 0 });
+        }
+        while let Some(a) = wheel.pop() {
+            assert_eq!(Some(a), heap.pop(), "drain diverged");
+        }
+        assert!(heap.is_empty());
+    }
+    let queue_events = (deltas.len() + QUEUE_DEPTH) as f64;
+    let (wheel_s, wheel_sum) = best_time(budget, || {
+        let mut q = WheelQueue::new();
+        let mut acc = 0u64;
+        for (i, &d) in deltas.iter().take(QUEUE_DEPTH).enumerate() {
+            q.push(d, Event::Complete { req: i });
+        }
+        for &d in &deltas {
+            let (now, _) = q.pop().expect("primed");
+            acc = acc.wrapping_add(now);
+            q.push(now + d, Event::Complete { req: 0 });
+        }
+        while let Some((t, _)) = q.pop() {
+            acc = acc.wrapping_add(t);
+        }
+        acc
+    });
+    let (heap_s, heap_sum) = best_time(budget, || {
+        let mut q = ReferenceQueue::new();
+        let mut acc = 0u64;
+        for (i, &d) in deltas.iter().take(QUEUE_DEPTH).enumerate() {
+            q.push(d, Event::Complete { req: i });
+        }
+        for &d in &deltas {
+            let (now, _) = q.pop().expect("primed");
+            acc = acc.wrapping_add(now);
+            q.push(now + d, Event::Complete { req: 0 });
+        }
+        while let Some((t, _)) = q.pop() {
+            acc = acc.wrapping_add(t);
+        }
+        acc
+    });
+    assert_eq!(wheel_sum, heap_sum, "queue pop-time checksums diverged");
+    let wheel_eps = queue_events / wheel_s.max(1e-9);
+    let heap_eps = queue_events / heap_s.max(1e-9);
+    let queue_speedup = wheel_eps / heap_eps.max(1e-9);
+
+    // --- Predictor-table microloop: flat arrays vs Vec<Vec> + HashMap
+    // The lookup/train mix the policy layer issues, over
+    // macroblock-indexed keys from the same trace, against both the
+    // paper's finite configuration and the unbounded idealization.
+    let mb_keys: Vec<u64> = accesses
+        .iter()
+        .map(|rec| rec.block().number() >> 4)
+        .collect();
+    let run_fast = |mb_keys: &[u64]| {
+        let mut finite: PredictorTable<u64> = PredictorTable::new(Capacity::ISCA03);
+        let mut unbounded: PredictorTable<u64> = PredictorTable::new(Capacity::Unbounded);
+        let mut acc = 0u64;
+        for (i, &key) in mb_keys.iter().enumerate() {
+            acc = acc.wrapping_add(finite.lookup(key).copied().unwrap_or(0));
+            acc = acc.wrapping_add(unbounded.lookup(key).copied().unwrap_or(0));
+            if i % 2 == 0 {
+                finite.train(key, i % 6 == 0, |e| *e = e.wrapping_add(1));
+                unbounded.train(key, i % 6 == 0, |e| *e = e.wrapping_add(1));
+            }
+        }
+        (acc, finite.stats(), unbounded.stats())
+    };
+    let run_seed = |mb_keys: &[u64]| {
+        let mut finite: ReferencePredictorTable<u64> =
+            ReferencePredictorTable::new(Capacity::ISCA03);
+        let mut unbounded: ReferencePredictorTable<u64> =
+            ReferencePredictorTable::new(Capacity::Unbounded);
+        let mut acc = 0u64;
+        for (i, &key) in mb_keys.iter().enumerate() {
+            acc = acc.wrapping_add(finite.lookup(key).copied().unwrap_or(0));
+            acc = acc.wrapping_add(unbounded.lookup(key).copied().unwrap_or(0));
+            if i % 2 == 0 {
+                finite.train(key, i % 6 == 0, |e| *e = e.wrapping_add(1));
+                unbounded.train(key, i % 6 == 0, |e| *e = e.wrapping_add(1));
+            }
+        }
+        (acc, finite.stats(), unbounded.stats())
+    };
+    // Equivalence first: identical hit sums and stats on both storages.
+    {
+        let (fast_acc, fast_fin, fast_unb) = run_fast(&mb_keys);
+        let (seed_acc, seed_fin, seed_unb) = run_seed(&mb_keys);
+        assert_eq!(fast_acc, seed_acc, "table lookup results diverged");
+        assert_eq!(fast_fin, seed_fin, "finite-table stats diverged");
+        assert_eq!(fast_unb, seed_unb, "unbounded-table stats diverged");
+    }
+    // 2 lookups per record + 2 trains every other record.
+    let table_op_count = (mb_keys.len() * 2 + mb_keys.len().div_ceil(2) * 2) as f64;
+    let (flat_s, flat_out) = best_time(budget, || run_fast(&mb_keys).0);
+    let (seedtab_s, seedtab_out) = best_time(budget, || run_seed(&mb_keys).0);
+    assert_eq!(flat_out, seedtab_out, "timed table runs diverged");
+    let flat_ops = table_op_count / flat_s.max(1e-9);
+    let seedtab_ops = table_op_count / seedtab_s.max(1e-9);
+    let table_speedup = flat_ops / seedtab_ops.max(1e-9);
+
     // --- End-to-end fig7/fig8-style timing simulation ----------------
     let protocols = [
         ("snooping", ProtocolKind::Snooping),
@@ -269,7 +413,10 @@ fn hotpath_bench(scale: &Scale) -> String {
     let mut sim_misses = 0u64;
     let mut sim_wall = 0f64;
     for (_, protocol) in &protocols {
-        let (wall, misses) = best_time(budget, || {
+        // The end-to-end number is the PR-over-PR trend line, so it
+        // gets a larger best-of budget than the microloops to damp
+        // noisy-neighbor variance on shared CI machines.
+        let (wall, misses) = best_time(budget * 2.0, || {
             let sim = SimConfig::new(*protocol)
                 .misses(scale.sim_warmup, scale.sim_measured)
                 .seed(experiments::SEED);
@@ -283,11 +430,17 @@ fn hotpath_bench(scale: &Scale) -> String {
 
     println!(
         "hotpath-bench: tracker {:.2}M acc/s vs hashmap {:.2}M acc/s ({tracker_speedup:.2}x) | \
-         crossbar {:.2}M msg/s (seed {:.2}M) | sim {:.0} misses/s",
+         crossbar {:.2}M msg/s (seed {:.2}M) | queue {:.2}M ev/s vs heap {:.2}M \
+         ({queue_speedup:.2}x) | table {:.2}M op/s vs seed {:.2}M ({table_speedup:.2}x) | \
+         sim {:.0} misses/s",
         fast_mps / 1e6,
         hash_mps / 1e6,
         inline_msgs / 1e6,
         alloc_msgs / 1e6,
+        wheel_eps / 1e6,
+        heap_eps / 1e6,
+        flat_ops / 1e6,
+        seedtab_ops / 1e6,
         sim_mps,
     );
     format!(
@@ -299,6 +452,14 @@ fn hotpath_bench(scale: &Scale) -> String {
          \"inline_msgs_per_s\": {inline_msgs:.0},\n    \
          \"seed_msgs_per_s\": {alloc_msgs:.0},\n    \
          \"speedup\": {:.3}\n  }},\n  \
+         \"queue\": {{\n    \"events_per_rep\": {},\n    \
+         \"wheel_events_per_s\": {wheel_eps:.0},\n    \
+         \"heap_events_per_s\": {heap_eps:.0},\n    \
+         \"speedup\": {queue_speedup:.3},\n    \"pop_order_equivalent\": true\n  }},\n  \
+         \"predictor-table\": {{\n    \"ops_per_rep\": {},\n    \
+         \"flat_ops_per_s\": {flat_ops:.0},\n    \
+         \"seed_ops_per_s\": {seedtab_ops:.0},\n    \
+         \"speedup\": {table_speedup:.3},\n    \"stats_equivalent\": true\n  }},\n  \
          \"sim\": {{\n    \"workload\": \"OLTP\",\n    \
          \"protocols\": [\"snooping\", \"multicast-owner-group\"],\n    \
          \"measured_misses\": {sim_misses},\n    \
@@ -306,6 +467,8 @@ fn hotpath_bench(scale: &Scale) -> String {
         accesses.len(),
         msgs.len(),
         inline_msgs / alloc_msgs.max(1e-9),
+        queue_events as u64,
+        table_op_count as u64,
     )
 }
 

@@ -561,7 +561,7 @@ pub fn scaling_plan(scale: &Scale) -> ExperimentPlan {
         ],
         scale,
     );
-    for nodes in [8usize, 16, 32, 64] {
+    for nodes in [8usize, 16, 32, 64, 128, 256] {
         let config = SystemConfig::builder()
             .num_nodes(nodes)
             .build()
@@ -611,8 +611,11 @@ pub fn scaling_plan(scale: &Scale) -> ExperimentPlan {
 }
 
 /// Scaling study: how the predictors behave as the machine grows from
-/// 8 to 64 nodes (broadcast cost grows linearly; Group's advantage —
-/// tracking sub-machine sharing groups — grows with it).
+/// 8 to 256 nodes (broadcast cost grows linearly; Group's advantage —
+/// tracking sub-machine sharing groups — grows with it). The 128- and
+/// 256-node rows exercise the multi-word `DestSet` representation and
+/// the queue/table pressure the related work (criticality-aware
+/// multiprocessors, cache-level prediction) motivates.
 pub fn scaling(scale: &Scale) -> TextTable {
     SweepRunner::new().run(&scaling_plan(scale))
 }
@@ -999,8 +1002,8 @@ mod tests {
 
     #[test]
     fn scaling_rows() {
-        // 4 sizes x (2 baselines + 3 predictors).
-        assert_eq!(scaling(&tiny()).len(), 20);
+        // 6 sizes (8..=256 nodes) x (2 baselines + 3 predictors).
+        assert_eq!(scaling(&tiny()).len(), 30);
     }
 
     #[test]

@@ -149,11 +149,11 @@ fn runner_shares_traces_across_plans() {
         "fig5 reuses the characterization traces"
     );
     runner.run(&experiments::scaling_plan(&scale));
-    // Scaling adds 8/32/64-node OLTP traces; the 16-node default config
-    // differs from SystemConfig::isca03() only if the builder diverges,
-    // so allow either 9 or 10 cached traces.
+    // Scaling adds 8/32/64/128/256-node OLTP traces; the 16-node
+    // default config differs from SystemConfig::isca03() only if the
+    // builder diverges, so allow either 11 or 12 cached traces.
     assert!(
-        (9..=10).contains(&runner.cached_traces()),
+        (11..=12).contains(&runner.cached_traces()),
         "scaling adds per-node-count traces, got {}",
         runner.cached_traces()
     );

@@ -1,0 +1,51 @@
+//! Golden check: experiment output is byte-identical to the
+//! pre-refactor (PR 2) outputs.
+//!
+//! The goldens under `tests/goldens/` were captured at `--scale quick`
+//! immediately before the scheduling-core rebuild (timing-wheel event
+//! queue, shared open-addressing table family, 256-bit `DestSet`), so
+//! this test proves the whole refactor — queue, tables, set widening,
+//! and the trace-generator storage swap — is observationally invisible
+//! to every table and figure it touches: the trace-driven Table 2 and
+//! Figure 5 paths and the timing-simulated Figure 7/8 paths.
+//!
+//! Compiled only into release test runs (CI's `cargo test --release
+//! --workspace`): the quick-scale timing simulations behind fig7/fig8
+//! are release-speed workloads, and a byte-identity check on debug
+//! builds would add minutes to the tier-1 loop without adding coverage.
+
+#![cfg(not(debug_assertions))]
+
+use dsp_bench::engine::SweepRunner;
+use dsp_bench::{experiments, Scale};
+
+fn check(name: &str, golden: &str) {
+    let scale = Scale::quick();
+    let plan = experiments::plan_for(name, &scale).expect("known experiment");
+    let table = SweepRunner::new().run(&plan);
+    assert_eq!(
+        table.to_csv(),
+        golden,
+        "{name} output diverged from the pre-refactor golden"
+    );
+}
+
+#[test]
+fn table2_matches_pre_refactor_golden() {
+    check("table2", include_str!("goldens/table2.csv"));
+}
+
+#[test]
+fn fig5_matches_pre_refactor_golden() {
+    check("fig5", include_str!("goldens/fig5.csv"));
+}
+
+#[test]
+fn fig7_matches_pre_refactor_golden() {
+    check("fig7", include_str!("goldens/fig7.csv"));
+}
+
+#[test]
+fn fig8_matches_pre_refactor_golden() {
+    check("fig8", include_str!("goldens/fig8.csv"));
+}

@@ -57,8 +57,15 @@ impl MissInfo {
     /// Whether a directory protocol must forward this request to at
     /// least one other processor (a "directory indirection", Table 2
     /// rightmost column).
+    ///
+    /// Equivalent to `!self.required_observers().is_empty()` but
+    /// decided without materializing the set — this runs once per miss
+    /// in the tracker's statistics path.
     pub fn is_directory_indirection(&self) -> bool {
-        !self.required_observers().is_empty()
+        if self.is_cache_to_cache() {
+            return true;
+        }
+        self.req.is_exclusive() && !self.sharers_before.without(self.requester).is_empty()
     }
 
     /// Whether the data response comes from another cache rather than

@@ -1,53 +1,25 @@
-//! An open-addressing block-number → [`BlockState`] table.
+//! The block-number → [`BlockState`] table.
 //!
 //! [`CoherenceTracker`](crate::CoherenceTracker) performs exactly one
 //! state lookup per simulated miss, so the table behind it *is* the
 //! simulator's hot path. `std::collections::HashMap` pays for SipHash's
 //! DoS resistance on every probe; block numbers are not
-//! attacker-controlled, so this table swaps it for a two-instruction
-//! multiply-xor mixer over a power-of-two slot array with linear
-//! probing. Entries are never removed (evictions only rewrite a block's
-//! state), which keeps probe chains tombstone-free.
+//! attacker-controlled, so this table is a thin domain wrapper over
+//! [`dsp_types::OpenTable`] — the workspace's shared open-addressing
+//! core (FxHash-style mixer from [`dsp_types::hash`], power-of-two
+//! linear probing, growth at ¾ load). Entries are never removed
+//! (evictions only rewrite a block's state), which keeps probe chains
+//! tombstone-free.
+
+use dsp_types::OpenTable;
 
 use crate::tracker::BlockState;
 
-/// Multiplicative mixer constant (2^64 / φ, the same odd constant
-/// FxHash-style hashers use). Block numbers are sequential-ish, so the
-/// high-bit avalanche of one multiply plus a fold of the high half into
-/// the low half spreads them across the table.
-const MIX: u64 = 0x9E37_79B9_7F4A_7C15;
-
-#[inline]
-fn mix(key: u64) -> u64 {
-    let h = key.wrapping_mul(MIX);
-    h ^ (h >> 32)
-}
-
-/// One slot: the key, its state, and whether the slot is occupied.
-///
-/// An explicit flag (rather than a reserved sentinel key) keeps every
-/// `u64` usable as a block number.
-#[derive(Clone, Copy, Debug)]
-struct Slot {
-    key: u64,
-    used: bool,
-    state: BlockState,
-}
-
-const EMPTY_SLOT: Slot = Slot {
-    key: 0,
-    used: false,
-    state: BlockState {
-        owner: dsp_types::Owner::Memory,
-        sharers: dsp_types::DestSet::empty(),
-    },
-};
-
 /// Open-addressing hash table mapping block numbers to [`BlockState`].
 ///
-/// Power-of-two capacity, linear probing, grows at ¾ load. Absent keys
-/// read as the default state (memory-owned, no sharers), matching the
-/// tracker's "blocks never touched are memory-owned" semantics.
+/// Absent keys read as the default state (memory-owned, no sharers),
+/// matching the tracker's "blocks never touched are memory-owned"
+/// semantics.
 ///
 /// # Example
 ///
@@ -60,10 +32,9 @@ const EMPTY_SLOT: Slot = Slot {
 /// assert_eq!(table.get(42), Some(BlockState::default()));
 /// assert_eq!(table.len(), 1);
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct BlockStateTable {
-    slots: Vec<Slot>,
-    len: usize,
+    table: OpenTable<BlockState>,
 }
 
 impl BlockStateTable {
@@ -71,58 +42,32 @@ impl BlockStateTable {
     /// insertion).
     pub fn new() -> Self {
         BlockStateTable {
-            slots: Vec::new(),
-            len: 0,
+            table: OpenTable::new(),
         }
     }
 
     /// Number of blocks with recorded state.
     #[inline]
     pub fn len(&self) -> usize {
-        self.len
+        self.table.len()
     }
 
     /// Whether no block has recorded state.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.len == 0
-    }
-
-    /// Index of `key`'s slot: either the slot holding it or the first
-    /// empty slot of its probe chain. Requires a non-empty slot array
-    /// with at least one free slot (guaranteed by the ¾ load cap).
-    #[inline]
-    fn probe(&self, key: u64) -> usize {
-        let mask = self.slots.len() - 1;
-        let mut idx = mix(key) as usize & mask;
-        loop {
-            let slot = &self.slots[idx];
-            if !slot.used || slot.key == key {
-                return idx;
-            }
-            idx = (idx + 1) & mask;
-        }
+        self.table.is_empty()
     }
 
     /// Current state of `key`, if it was ever inserted.
     #[inline]
     pub fn get(&self, key: u64) -> Option<BlockState> {
-        if self.slots.is_empty() {
-            return None;
-        }
-        let slot = &self.slots[self.probe(key)];
-        slot.used.then_some(slot.state)
+        self.table.get(key).copied()
     }
 
     /// Mutable state of `key`, if it was ever inserted.
     #[inline]
     pub fn get_mut(&mut self, key: u64) -> Option<&mut BlockState> {
-        if self.slots.is_empty() {
-            return None;
-        }
-        let idx = self.probe(key);
-        let slot = &mut self.slots[idx];
-        slot.used.then_some(&mut slot.state)
+        self.table.get_mut(key)
     }
 
     /// The combined lookup: returns `key`'s state, inserting the default
@@ -130,51 +75,12 @@ impl BlockStateTable {
     /// chain — this is the only table operation on the per-miss path.
     #[inline]
     pub fn get_or_insert_default(&mut self, key: u64) -> &mut BlockState {
-        // Grow at ¾ load, *before* probing, so the probe index stays
-        // valid and a free slot always terminates the chain.
-        if (self.len + 1) * 4 > self.slots.len() * 3 {
-            self.grow();
-        }
-        let idx = self.probe(key);
-        let slot = &mut self.slots[idx];
-        if !slot.used {
-            slot.key = key;
-            slot.used = true;
-            slot.state = BlockState::default();
-            self.len += 1;
-        }
-        &mut slot.state
+        self.table.get_or_insert_default(key).0
     }
 
     /// Iterates over `(key, state)` pairs in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, BlockState)> + '_ {
-        self.slots
-            .iter()
-            .filter(|s| s.used)
-            .map(|s| (s.key, s.state))
-    }
-
-    /// Doubles the slot array (from a 1024-slot floor, so building a
-    /// typical multi-thousand-block working set pays only a handful of
-    /// rehashes) and reinserts every occupied slot.
-    #[cold]
-    fn grow(&mut self) {
-        let new_cap = (self.slots.len() * 2).max(1024);
-        let old = std::mem::replace(&mut self.slots, vec![EMPTY_SLOT; new_cap]);
-        let mask = new_cap - 1;
-        for slot in old.into_iter().filter(|s| s.used) {
-            let mut idx = mix(slot.key) as usize & mask;
-            while self.slots[idx].used {
-                idx = (idx + 1) & mask;
-            }
-            self.slots[idx] = slot;
-        }
-    }
-}
-
-impl Default for BlockStateTable {
-    fn default() -> Self {
-        BlockStateTable::new()
+        self.table.iter().map(|(k, s)| (k, *s))
     }
 }
 

@@ -69,7 +69,7 @@ pub use config::{PolicyKind, PredictorConfig};
 pub use counters::{RolloverCounter, SatCounter2};
 pub use events::{PredictQuery, TrainEvent};
 pub use index::Indexing;
-pub use table::{Capacity, PredictorTable, TableStats};
+pub use table::{Capacity, PredictorTable, ReferencePredictorTable, TableStats};
 
 use dsp_types::DestSet;
 

@@ -36,7 +36,7 @@ impl RandomPredictor {
 
     fn next_mask(&mut self, salt: u64) -> u64 {
         // xorshift64* keyed by query identity and call count.
-        let mut x = self.state ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ self.seed;
+        let mut x = self.state ^ salt.wrapping_mul(dsp_types::hash::FX_MIX) ^ self.seed;
         x ^= x << 13;
         x ^= x >> 7;
         x ^= x << 17;
@@ -47,13 +47,21 @@ impl RandomPredictor {
 
 impl DestSetPredictor for RandomPredictor {
     fn predict(&mut self, query: &PredictQuery) -> DestSet {
-        let mask = self.next_mask(query.block.number());
-        let members = if self.nodes >= 64 {
-            u64::MAX
+        let broadcast = DestSet::broadcast(self.nodes);
+        let random = if self.nodes <= 64 {
+            // One draw, as the predictor always did for paper-sized
+            // systems (keeps existing seeded streams identical).
+            DestSet::from_bits(self.next_mask(query.block.number()))
         } else {
-            (1u64 << self.nodes) - 1
+            // Wider systems draw one mask word per set word so nodes
+            // 64..=255 are stressed too.
+            let mut words = [0u64; 4];
+            for w in &mut words {
+                *w = self.next_mask(query.block.number());
+            }
+            DestSet::from_words(words)
         };
-        query.minimal | DestSet::from_bits(mask & members)
+        query.minimal | (random & broadcast)
     }
 
     fn train(&mut self, _event: &TrainEvent) {}
@@ -120,6 +128,27 @@ mod tests {
             RandomPredictor::new(5, &sys).predict(&query(blk)) != c.predict(&query(blk))
         });
         assert!(differs);
+    }
+
+    #[test]
+    fn wide_systems_stress_upper_nodes() {
+        let cfg = SystemConfig::builder()
+            .num_nodes(256)
+            .build()
+            .expect("valid");
+        let mut p = RandomPredictor::new(17, &cfg);
+        let mut upper = DestSet::empty();
+        for b in 0..200 {
+            let mut q = query(b);
+            q.minimal = DestSet::single(NodeId::new(0)).with(BlockAddr::new(b).home(256));
+            let set = p.predict(&q);
+            assert!(set.is_subset(DestSet::broadcast(256)));
+            upper |= set - DestSet::broadcast(64);
+        }
+        assert!(
+            upper.len() > 50,
+            "random stress must reach nodes 64..=255, got {upper}"
+        );
     }
 
     #[test]

@@ -40,11 +40,11 @@
 #![warn(missing_debug_implementations)]
 
 mod config;
-mod event;
+pub mod queue;
 mod report;
 mod system;
 
 pub use config::{CpuModel, ProtocolKind, SimConfig, TargetSystem};
-pub use event::{Event, EventQueue};
+pub use queue::{Event, EventQueue, ReferenceQueue, WheelQueue};
 pub use report::{ClassCounts, LatencyHistogram, SimReport};
 pub use system::System;

@@ -1,58 +1,9 @@
-//! The discrete-event queue.
+//! The seed event queue: a binary heap with a sequence tie-breaker.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-/// Events driving the simulation. `req` indexes the pending-request
-/// table; `node` is a node index.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Event {
-    /// A node is ready to issue its next miss (subject to its window).
-    CpuIssue {
-        /// Node index.
-        node: usize,
-    },
-    /// The L2 detected the miss; the request enters the interconnect.
-    Inject {
-        /// Pending-request index.
-        req: usize,
-    },
-    /// A request (attempt `attempt`) passed the ordering point.
-    Ordered {
-        /// Pending-request index.
-        req: usize,
-        /// 1 = initial multicast, 2 = first reissue, 3 = broadcast.
-        attempt: u8,
-    },
-    /// A request-class message arrived at a node (predictor training).
-    RequestArrive {
-        /// Pending-request index.
-        req: usize,
-        /// Receiving node.
-        node: usize,
-        /// Whether this was a directory reissue.
-        retry: bool,
-    },
-    /// The home directory is ready to forward / respond / reissue.
-    HomeReady {
-        /// Pending-request index.
-        req: usize,
-        /// Attempt being processed.
-        attempt: u8,
-    },
-    /// The cache owner is ready to inject the data response.
-    OwnerReady {
-        /// Pending-request index.
-        req: usize,
-        /// The owner node injecting the response.
-        owner: usize,
-    },
-    /// The data (or upgrade ack) arrived at the requester.
-    Complete {
-        /// Pending-request index.
-        req: usize,
-    },
-}
+use super::Event;
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 struct Queued {
@@ -77,17 +28,23 @@ impl PartialOrd for Queued {
     }
 }
 
-/// A time-ordered event queue with FIFO tie-breaking.
+/// The seed time-ordered event queue with FIFO tie-breaking: a
+/// `BinaryHeap` over `(time, seq)`.
+///
+/// Kept as the oracle for [`super::WheelQueue`]'s pop-order equivalence
+/// property tests and as the recorded baseline of the `queue` hot-path
+/// benchmark — every pop pays O(log n) sift with pointer-chasing
+/// comparisons, which is exactly the cost the timing wheel removes.
 #[derive(Debug, Default)]
-pub struct EventQueue {
+pub struct ReferenceQueue {
     heap: BinaryHeap<Queued>,
     seq: u64,
 }
 
-impl EventQueue {
+impl ReferenceQueue {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        EventQueue::default()
+        ReferenceQueue::default()
     }
 
     /// Schedules `event` at absolute time `time`.
@@ -122,7 +79,7 @@ mod tests {
 
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
+        let mut q = ReferenceQueue::new();
         q.push(30, Event::CpuIssue { node: 3 });
         q.push(10, Event::CpuIssue { node: 1 });
         q.push(20, Event::CpuIssue { node: 2 });
@@ -132,7 +89,7 @@ mod tests {
 
     #[test]
     fn equal_times_are_fifo() {
-        let mut q = EventQueue::new();
+        let mut q = ReferenceQueue::new();
         q.push(5, Event::CpuIssue { node: 0 });
         q.push(5, Event::CpuIssue { node: 1 });
         q.push(5, Event::CpuIssue { node: 2 });
@@ -148,7 +105,7 @@ mod tests {
 
     #[test]
     fn len_and_empty() {
-        let mut q = EventQueue::new();
+        let mut q = ReferenceQueue::new();
         assert!(q.is_empty());
         q.push(1, Event::Complete { req: 0 });
         assert_eq!(q.len(), 1);

@@ -11,7 +11,7 @@ use dsp_trace::{TraceRecord, WorkloadSpec};
 use dsp_types::{DestSet, LineState, MessageClass, NodeId, Owner, ReqType, SystemConfig};
 
 use crate::config::{CpuModel, ProtocolKind, SimConfig, TargetSystem};
-use crate::event::{Event, EventQueue};
+use crate::queue::{Event, EventQueue};
 use crate::report::SimReport;
 
 /// In-flight miss bookkeeping.
@@ -342,21 +342,35 @@ impl System {
 
     fn ordered(&mut self, req: usize, attempt: u8, _now: u64) {
         let rec = self.pending[req].rec;
-        let info = self
-            .tracker
-            .classify(rec.requester, rec.request(), rec.block());
+        // Snooping and the directory protocols apply the MOSI
+        // transition unconditionally at the ordering point, so they use
+        // the tracker's single combined classify+apply probe; multicast
+        // must classify first (an insufficient request leaves the state
+        // untouched until the reissue succeeds) and pays the second
+        // probe only when it applies.
+        let info = match self.sim.protocol {
+            ProtocolKind::Multicast(_) => {
+                self.tracker
+                    .classify(rec.requester, rec.request(), rec.block())
+            }
+            _ => {
+                let info = self
+                    .tracker
+                    .access(rec.requester, rec.request(), rec.block());
+                self.mirror_transition(&info);
+                info
+            }
+        };
         if attempt == 1 {
             self.pending[req].minimal_sufficient = info.is_sufficient(info.minimal_set());
         }
         let home = info.home;
         match self.sim.protocol {
             ProtocolKind::Snooping => {
-                self.apply_transition(&info);
                 self.pending[req].info = Some(info);
                 self.schedule_response(req, &info, home);
             }
             ProtocolKind::Directory => {
-                self.apply_transition(&info);
                 if info.is_directory_indirection() {
                     self.pending[req].indirected = true;
                 }
@@ -388,7 +402,6 @@ impl System {
                 }
             }
             ProtocolKind::DirectoryPredicted(_) => {
-                self.apply_transition(&info);
                 self.pending[req].info = Some(info);
                 match info.owner_before {
                     Owner::Node(owner) if self.pending[req].current_dests.contains(owner) => {
@@ -721,9 +734,15 @@ impl System {
     // ---- Plumbing -------------------------------------------------------
 
     /// Applies the MOSI transition to the global tracker and mirrors it
-    /// into the per-node caches (invalidations / owner demotion).
+    /// into the per-node caches.
     fn apply_transition(&mut self, info: &MissInfo) {
         let _ = self.tracker.access(info.requester, info.req, info.block);
+        self.mirror_transition(info);
+    }
+
+    /// Mirrors an already-applied MOSI transition into the per-node
+    /// caches (invalidations / owner demotion).
+    fn mirror_transition(&mut self, info: &MissInfo) {
         match info.req {
             ReqType::GetShared => {
                 if let Owner::Node(owner) = info.owner_before {

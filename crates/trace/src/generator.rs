@@ -1,11 +1,9 @@
 //! The synthetic miss-stream generator.
 
-use std::collections::HashMap;
-
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use dsp_types::{AccessKind, Address, BlockAddr, NodeId, Pc};
+use dsp_types::{AccessKind, Address, BlockAddr, NodeId, OpenTable, Pc};
 
 use crate::holders::HolderMap;
 use crate::record::TraceRecord;
@@ -21,7 +19,7 @@ const PC_REGION_BASE: u64 = 0x0040_0000;
 const PC_REGION_STRIDE: u64 = 1 << 24;
 
 fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = x.wrapping_add(dsp_types::hash::FX_MIX);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     x ^ (x >> 31)
@@ -53,7 +51,7 @@ const RW_WRITER_ROTATE_P: f64 = 0.18;
 /// spatial correlation macroblock-indexed predictors exploit (paper
 /// §3.4). `pending_store_off` remembers which block of the unit awaits
 /// the store half of its read-modify-write.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default)]
 struct MigratoryState {
     holder_slot: u8,
     prev_slot: u8,
@@ -67,7 +65,13 @@ enum PcPhase {
     Consuming { consumer_slot: u8, next_block: u8 },
 }
 
-#[derive(Clone, Copy, Debug)]
+impl Default for PcPhase {
+    fn default() -> Self {
+        PcPhase::Producing { next_block: 0 }
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
 struct ProducerConsumerState {
     producer_slot: u8,
     phase: PcPhase,
@@ -78,9 +82,9 @@ struct ProducerConsumerState {
 struct ClassState {
     mb_zipf: ZipfSampler,
     pc_zipf: ZipfSampler,
-    migratory: HashMap<u64, MigratoryState>,
-    prodcons: HashMap<u64, ProducerConsumerState>,
-    rw_writer: HashMap<u64, u8>,
+    migratory: OpenTable<MigratoryState>,
+    prodcons: OpenTable<ProducerConsumerState>,
+    rw_writer: OpenTable<u8>,
     cold_cursor: u64,
 }
 
@@ -133,9 +137,9 @@ impl TraceGenerator {
             .map(|c| ClassState {
                 mb_zipf: ZipfSampler::new(c.macroblocks, c.zipf_exponent),
                 pc_zipf: ZipfSampler::new(c.pcs, 0.7),
-                migratory: HashMap::new(),
-                prodcons: HashMap::new(),
-                rw_writer: HashMap::new(),
+                migratory: OpenTable::new(),
+                prodcons: OpenTable::new(),
+                rw_writer: OpenTable::new(),
                 cold_cursor: 0,
             })
             .collect();
@@ -277,12 +281,12 @@ impl TraceGenerator {
         let mb = self.classes[ci].mb_zipf.sample(&mut self.rng);
         let mut state = *self.classes[ci]
             .migratory
-            .entry(mb as u64)
-            .or_insert(MigratoryState {
+            .get_or_insert_with(mb as u64, || MigratoryState {
                 holder_slot: 0,
                 prev_slot: (1 % g) as u8,
                 pending_store_off: None,
-            });
+            })
+            .0;
         let (slot, kind, off) = if let Some(off) = state.pending_store_off.take() {
             (state.holder_slot, AccessKind::Store, off)
         } else {
@@ -334,7 +338,10 @@ impl TraceGenerator {
             state.pending_store_off = Some(off);
             (next, AccessKind::Load, off)
         };
-        self.classes[ci].migratory.insert(mb as u64, state);
+        *self.classes[ci]
+            .migratory
+            .get_mut(mb as u64)
+            .expect("inserted above") = state;
         let requester = self.group_member(ci, mb, slot as usize);
         let block = self.block_addr(ci, mb, off as u64);
         self.emit(ci, requester, kind, block)
@@ -347,11 +354,11 @@ impl TraceGenerator {
         let rotate_producer = self.rng.gen_bool(PRODUCER_ROTATE_P);
         let state = self.classes[ci]
             .prodcons
-            .entry(mb as u64)
-            .or_insert(ProducerConsumerState {
+            .get_or_insert_with(mb as u64, || ProducerConsumerState {
                 producer_slot: 0,
                 phase: PcPhase::Producing { next_block: 0 },
-            });
+            })
+            .0;
         let (slot, kind, off) = match state.phase {
             PcPhase::Producing { next_block } => {
                 let off = next_block;
@@ -426,8 +433,8 @@ impl TraceGenerator {
             let fresh = self.rng.gen_range(0..g) as u8;
             let writer = self.classes[ci]
                 .rw_writer
-                .entry(mb as u64)
-                .or_insert(seeded);
+                .get_or_insert_with(mb as u64, || seeded)
+                .0;
             if rotate {
                 *writer = fresh;
             }

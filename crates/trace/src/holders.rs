@@ -8,9 +8,7 @@
 //! `dsp-coherence` performs downstream, but stays private to trace
 //! generation so the crate graph remains a clean DAG.
 
-use std::collections::HashMap;
-
-use dsp_types::{AccessKind, BlockAddr, DestSet, NodeId, Owner};
+use dsp_types::{AccessKind, BlockAddr, DestSet, NodeId, OpenTable, Owner};
 
 /// Who currently holds a block, from the generator's point of view.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -40,9 +38,14 @@ impl Holders {
 }
 
 /// Map from block to current holders, with MOSI update rules.
+///
+/// Backed by [`dsp_types::OpenTable`] — the generator applies one
+/// holder update per emitted record, so this map is the trace
+/// generator's hot path exactly as the block-state table is the
+/// tracker's.
 #[derive(Clone, Debug, Default)]
 pub struct HolderMap {
-    map: HashMap<u64, Holders>,
+    map: OpenTable<Holders>,
 }
 
 impl HolderMap {
@@ -53,7 +56,7 @@ impl HolderMap {
 
     /// Current holders of `block` (memory-owned if never touched).
     pub fn get(&self, block: BlockAddr) -> Holders {
-        self.map.get(&block.number()).copied().unwrap_or_default()
+        self.map.get(block.number()).copied().unwrap_or_default()
     }
 
     /// Number of blocks with non-default state tracked.
@@ -75,7 +78,7 @@ impl HolderMap {
     /// * Load: requester joins the sharers; an M owner demotes to O.
     /// * Store: requester becomes the M owner; all other copies die.
     pub fn apply(&mut self, node: NodeId, kind: AccessKind, block: BlockAddr) -> Holders {
-        let entry = self.map.entry(block.number()).or_default();
+        let entry = self.map.get_or_insert_default(block.number()).0;
         let before = *entry;
         // The requester missing implies any copy it held has been evicted.
         if entry.owner.node() == Some(node) {
@@ -99,7 +102,7 @@ impl HolderMap {
     /// Models an eviction of `node`'s copy of `block` (silent drop for a
     /// sharer, writeback for an owner).
     pub fn evict(&mut self, node: NodeId, block: BlockAddr) {
-        if let Some(entry) = self.map.get_mut(&block.number()) {
+        if let Some(entry) = self.map.get_mut(block.number()) {
             if entry.owner.node() == Some(node) {
                 entry.owner = Owner::Memory;
             }

@@ -25,7 +25,19 @@ use rand::Rng;
 #[derive(Clone, Debug)]
 pub struct ZipfSampler {
     cdf: Vec<f64>,
+    /// First-level index over the CDF: `coarse[b]` is the lower bound
+    /// (first rank whose cumulative probability reaches `b / 256`), so
+    /// a sample only binary-searches the narrow range between two
+    /// adjacent `coarse` entries — a handful of adjacent cache lines
+    /// instead of O(log n) scattered probes over a multi-thousand-entry
+    /// CDF. Trace generation samples twice per record, which makes this
+    /// the generator's hottest data structure.
+    coarse: Vec<u32>,
 }
+
+/// Buckets in the first-level index (`coarse` has `BUCKETS + 1`
+/// entries).
+const BUCKETS: usize = 256;
 
 impl ZipfSampler {
     /// Builds a sampler over `n` ranks with the given exponent.
@@ -51,7 +63,16 @@ impl ZipfSampler {
         for v in &mut cdf {
             *v /= total;
         }
-        ZipfSampler { cdf }
+        let mut coarse = Vec::with_capacity(BUCKETS + 1);
+        let mut i = 0usize;
+        for b in 0..=BUCKETS {
+            let threshold = b as f64 / BUCKETS as f64;
+            while i < n && cdf[i] < threshold {
+                i += 1;
+            }
+            coarse.push(i.min(n - 1) as u32);
+        }
+        ZipfSampler { cdf, coarse }
     }
 
     /// Number of ranks.
@@ -66,16 +87,18 @@ impl ZipfSampler {
         false
     }
 
-    /// Draws one rank in `0..len()`.
+    /// Draws one rank in `0..len()`: the first rank whose cumulative
+    /// probability reaches the uniform draw, found by a bucket lookup
+    /// plus a binary search of the bucket's narrow CDF range.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.gen();
-        match self
-            .cdf
-            .binary_search_by(|p| p.partial_cmp(&u).expect("cdf is finite"))
-        {
-            Ok(i) => i,
-            Err(i) => i.min(self.cdf.len() - 1),
-        }
+        let b = ((u * BUCKETS as f64) as usize).min(BUCKETS - 1);
+        let lo = self.coarse[b] as usize;
+        // The lower bound for `u` lies in `lo..=hi` by construction of
+        // the index (`u < (b + 1) / BUCKETS <= cdf[coarse[b + 1]]`).
+        let hi = (self.coarse[b + 1] as usize + 1).min(self.cdf.len());
+        let pos = self.cdf[lo..hi].partition_point(|&p| p < u);
+        (lo + pos).min(self.cdf.len() - 1)
     }
 
     /// Probability mass of the given rank.

@@ -7,6 +7,9 @@ use serde::{Deserialize, Serialize};
 
 use crate::node::{NodeId, MAX_NODES};
 
+/// Number of `u64` words backing a [`DestSet`] (`MAX_NODES / 64`).
+pub(crate) const WORDS: usize = MAX_NODES / 64;
+
 /// A set of nodes that should receive a coherence request.
 ///
 /// The *destination set* is the collection of processors (or nodes) that
@@ -14,7 +17,10 @@ use crate::node::{NodeId, MAX_NODES};
 /// maximal destination set (all nodes); directory protocols use the
 /// minimal one; destination-set predictors pick something in between.
 ///
-/// Implemented as a `u64` bitmask, so all operations are O(1).
+/// Implemented as a fixed `[u64; 4]` bitmask (bit *i* of word *i / 64*
+/// = node *i*), so all operations are O(1) word-parallel — wide enough
+/// for the 128- and 256-node scaling studies while staying `Copy` and
+/// allocation-free on the per-miss hot paths.
 ///
 /// # Example
 ///
@@ -29,19 +35,21 @@ use crate::node::{NodeId, MAX_NODES};
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 #[serde(transparent)]
-pub struct DestSet(u64);
+pub struct DestSet([u64; WORDS]);
 
 impl DestSet {
     /// The empty destination set.
     #[inline]
     pub const fn empty() -> Self {
-        DestSet(0)
+        DestSet([0; WORDS])
     }
 
     /// The set containing exactly one node.
     #[inline]
     pub fn single(node: NodeId) -> Self {
-        DestSet(1u64 << node.index())
+        let mut words = [0; WORDS];
+        words[node.index() >> 6] = 1u64 << (node.index() & 63);
+        DestSet(words)
     }
 
     /// The maximal destination set of an `n`-node system (what broadcast
@@ -56,58 +64,96 @@ impl DestSet {
             n <= MAX_NODES,
             "system size {n} out of range (max {MAX_NODES})"
         );
-        if n == MAX_NODES {
-            DestSet(u64::MAX)
-        } else {
-            DestSet((1u64 << n) - 1)
+        let mut words = [0; WORDS];
+        let full = n / 64;
+        words[..full].fill(u64::MAX);
+        if !n.is_multiple_of(64) {
+            words[full] = (1u64 << (n % 64)) - 1;
         }
+        DestSet(words)
     }
 
-    /// Builds a set from a raw bitmask (bit *i* = node *i*).
+    /// Builds a set of the first 64 nodes from a raw bitmask (bit *i* =
+    /// node *i*); the convenient constructor for tests and synthetic
+    /// workloads on paper-sized systems. Use [`DestSet::from_words`]
+    /// when nodes 64+ are in play.
     #[inline]
     pub const fn from_bits(bits: u64) -> Self {
-        DestSet(bits)
+        let mut words = [0; WORDS];
+        words[0] = bits;
+        DestSet(words)
     }
 
-    /// The raw bitmask (bit *i* = node *i*).
+    /// The raw bitmask of the first 64 nodes (bit *i* = node *i*); the
+    /// low word of [`DestSet::words`]. Lossless for systems of up to 64
+    /// nodes.
     #[inline]
     pub const fn bits(self) -> u64 {
+        self.0[0]
+    }
+
+    /// Builds a set from its full word representation (bit *i* of word
+    /// *i / 64* = node *i*).
+    #[inline]
+    pub const fn from_words(words: [u64; WORDS]) -> Self {
+        DestSet(words)
+    }
+
+    /// The full word representation (bit *i* of word *i / 64* = node
+    /// *i*).
+    #[inline]
+    pub const fn words(self) -> [u64; WORDS] {
         self.0
     }
 
     /// Whether the set contains no nodes.
     #[inline]
     pub const fn is_empty(self) -> bool {
-        self.0 == 0
+        let mut i = 0;
+        while i < WORDS {
+            if self.0[i] != 0 {
+                return false;
+            }
+            i += 1;
+        }
+        true
     }
 
     /// Number of nodes in the set.
     #[inline]
     pub const fn len(self) -> usize {
-        self.0.count_ones() as usize
+        let mut total = 0;
+        let mut i = 0;
+        while i < WORDS {
+            total += self.0[i].count_ones() as usize;
+            i += 1;
+        }
+        total
     }
 
     /// Whether `node` is in the set.
     #[inline]
     pub fn contains(self, node: NodeId) -> bool {
-        self.0 & (1u64 << node.index()) != 0
+        self.0[node.index() >> 6] & (1u64 << (node.index() & 63)) != 0
     }
 
     /// Adds `node` to the set. Returns `true` if it was newly inserted.
     #[inline]
     pub fn insert(&mut self, node: NodeId) -> bool {
-        let bit = 1u64 << node.index();
-        let newly = self.0 & bit == 0;
-        self.0 |= bit;
+        let word = &mut self.0[node.index() >> 6];
+        let bit = 1u64 << (node.index() & 63);
+        let newly = *word & bit == 0;
+        *word |= bit;
         newly
     }
 
     /// Removes `node` from the set. Returns `true` if it was present.
     #[inline]
     pub fn remove(&mut self, node: NodeId) -> bool {
-        let bit = 1u64 << node.index();
-        let present = self.0 & bit != 0;
-        self.0 &= !bit;
+        let word = &mut self.0[node.index() >> 6];
+        let bit = 1u64 << (node.index() & 63);
+        let present = *word & bit != 0;
+        *word &= !bit;
         present
     }
 
@@ -130,7 +176,14 @@ impl DestSet {
     /// Whether every node of `other` is in `self`.
     #[inline]
     pub const fn is_superset(self, other: DestSet) -> bool {
-        self.0 & other.0 == other.0
+        let mut i = 0;
+        while i < WORDS {
+            if self.0[i] & other.0[i] != other.0[i] {
+                return false;
+            }
+            i += 1;
+        }
+        true
     }
 
     /// Whether every node of `self` is in `other`.
@@ -143,37 +196,74 @@ impl DestSet {
     #[inline]
     #[must_use]
     pub const fn union(self, other: DestSet) -> Self {
-        DestSet(self.0 | other.0)
+        let mut words = self.0;
+        let mut i = 0;
+        while i < WORDS {
+            words[i] |= other.0[i];
+            i += 1;
+        }
+        DestSet(words)
     }
 
     /// Set intersection.
     #[inline]
     #[must_use]
     pub const fn intersection(self, other: DestSet) -> Self {
-        DestSet(self.0 & other.0)
+        let mut words = self.0;
+        let mut i = 0;
+        while i < WORDS {
+            words[i] &= other.0[i];
+            i += 1;
+        }
+        DestSet(words)
     }
 
     /// Set difference (`self` minus `other`).
     #[inline]
     #[must_use]
     pub const fn difference(self, other: DestSet) -> Self {
-        DestSet(self.0 & !other.0)
+        let mut words = self.0;
+        let mut i = 0;
+        while i < WORDS {
+            words[i] &= !other.0[i];
+            i += 1;
+        }
+        DestSet(words)
+    }
+
+    /// The complement within an `n`-node system: every node of the
+    /// system not in `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > MAX_NODES`.
+    #[inline]
+    #[must_use]
+    pub fn complement(self, n: usize) -> Self {
+        DestSet::broadcast(n).difference(self)
     }
 
     /// Iterates over the members in increasing node-index order.
     #[inline]
     pub fn iter(self) -> DestSetIter {
-        DestSetIter(self.0)
+        DestSetIter {
+            words: self.0,
+            word: 0,
+        }
     }
 
     /// The lowest-indexed node in the set, if any.
     #[inline]
     pub fn first(self) -> Option<NodeId> {
-        if self.0 == 0 {
-            None
-        } else {
-            Some(NodeId::new_unchecked(self.0.trailing_zeros() as u8))
+        let mut i = 0;
+        while i < WORDS {
+            if self.0[i] != 0 {
+                let idx = i * 64 + self.0[i].trailing_zeros() as usize;
+                return Some(NodeId::new_unchecked(idx as u8));
+            }
+            i += 1;
         }
+        None
     }
 }
 
@@ -213,7 +303,7 @@ impl BitOr for DestSet {
 
 impl BitOrAssign for DestSet {
     fn bitor_assign(&mut self, rhs: DestSet) {
-        self.0 |= rhs.0;
+        *self = self.union(rhs);
     }
 }
 
@@ -226,7 +316,7 @@ impl BitAnd for DestSet {
 
 impl BitAndAssign for DestSet {
     fn bitand_assign(&mut self, rhs: DestSet) {
-        self.0 &= rhs.0;
+        *self = self.intersection(rhs);
     }
 }
 
@@ -239,7 +329,7 @@ impl Sub for DestSet {
 
 impl SubAssign for DestSet {
     fn sub_assign(&mut self, rhs: DestSet) {
-        self.0 &= !rhs.0;
+        *self = self.difference(rhs);
     }
 }
 
@@ -262,50 +352,100 @@ impl fmt::Debug for DestSet {
     }
 }
 
+/// The `digit`-th group of `width` bits of the 256-bit value, LSB
+/// first; groups may straddle word boundaries (octal's 3-bit groups
+/// do). Bits beyond the top word read as zero.
+#[inline]
+fn radix_digit(words: &[u64; WORDS], digit: usize, width: usize) -> u64 {
+    let lo = digit * width;
+    let word = lo / 64;
+    if word >= WORDS {
+        return 0;
+    }
+    let off = lo % 64;
+    let mut v = words[word] >> off;
+    if off + width > 64 && word + 1 < WORDS {
+        v |= words[word + 1] << (64 - off);
+    }
+    v & ((1u64 << width) - 1)
+}
+
+/// Formats the set's 256-bit mask in a power-of-two radix (`width` bits
+/// per digit), skipping leading zeros — identical to `u64` formatting
+/// whenever only the low word is populated. Routed through
+/// [`fmt::Formatter::pad_integral`] so alternate (`#`), width, and
+/// zero-padding flags behave like the primitive integer impls.
+fn fmt_radix(
+    words: &[u64; WORDS],
+    f: &mut fmt::Formatter<'_>,
+    width: usize,
+    prefix: &str,
+    digits: &[u8],
+) -> fmt::Result {
+    let positions = MAX_NODES.div_ceil(width);
+    let mut out = String::with_capacity(positions);
+    for digit in (0..positions).rev() {
+        let v = radix_digit(words, digit, width) as usize;
+        if v != 0 || !out.is_empty() || digit == 0 {
+            out.push(digits[v] as char);
+        }
+    }
+    f.pad_integral(true, prefix, &out)
+}
+
 impl fmt::Binary for DestSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        fmt::Binary::fmt(&self.0, f)
+        fmt_radix(&self.0, f, 1, "0b", b"01")
     }
 }
 
 impl fmt::LowerHex for DestSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        fmt::LowerHex::fmt(&self.0, f)
+        fmt_radix(&self.0, f, 4, "0x", b"0123456789abcdef")
     }
 }
 
 impl fmt::UpperHex for DestSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        fmt::UpperHex::fmt(&self.0, f)
+        fmt_radix(&self.0, f, 4, "0x", b"0123456789ABCDEF")
     }
 }
 
 impl fmt::Octal for DestSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        fmt::Octal::fmt(&self.0, f)
+        fmt_radix(&self.0, f, 3, "0o", b"01234567")
     }
 }
 
 /// Iterator over the members of a [`DestSet`], in node-index order.
 #[derive(Clone, Debug)]
-pub struct DestSetIter(u64);
+pub struct DestSetIter {
+    words: [u64; WORDS],
+    word: usize,
+}
 
 impl Iterator for DestSetIter {
     type Item = NodeId;
 
     #[inline]
     fn next(&mut self) -> Option<NodeId> {
-        if self.0 == 0 {
-            None
-        } else {
-            let idx = self.0.trailing_zeros();
-            self.0 &= self.0 - 1;
-            Some(NodeId::new_unchecked(idx as u8))
+        while self.word < WORDS {
+            let w = self.words[self.word];
+            if w != 0 {
+                let idx = self.word * 64 + w.trailing_zeros() as usize;
+                self.words[self.word] = w & (w - 1);
+                return Some(NodeId::new_unchecked(idx as u8));
+            }
+            self.word += 1;
         }
+        None
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let n = self.0.count_ones() as usize;
+        let n: usize = self.words[self.word..]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum();
         (n, Some(n))
     }
 }
@@ -341,7 +481,21 @@ mod tests {
 
     #[test]
     fn broadcast_max_nodes_is_full_mask() {
-        assert_eq!(DestSet::broadcast(MAX_NODES).bits(), u64::MAX);
+        assert_eq!(DestSet::broadcast(MAX_NODES).words(), [u64::MAX; WORDS]);
+        assert_eq!(DestSet::broadcast(64).bits(), u64::MAX);
+        assert_eq!(DestSet::broadcast(64).words()[1..], [0; WORDS - 1]);
+    }
+
+    #[test]
+    fn broadcast_straddles_word_boundaries() {
+        for nodes in [63, 64, 65, 127, 128, 129, 255, 256] {
+            let s = DestSet::broadcast(nodes);
+            assert_eq!(s.len(), nodes, "broadcast({nodes})");
+            assert!(s.contains(n(nodes - 1)));
+            if nodes < MAX_NODES {
+                assert!(!s.contains(n(nodes)));
+            }
+        }
     }
 
     #[test]
@@ -356,18 +510,41 @@ mod tests {
     }
 
     #[test]
+    fn high_nodes_round_trip() {
+        let mut s = DestSet::empty();
+        for i in [0usize, 63, 64, 127, 128, 191, 192, 255] {
+            assert!(s.insert(n(i)));
+        }
+        assert_eq!(s.len(), 8);
+        for i in [0usize, 63, 64, 127, 128, 191, 192, 255] {
+            assert!(s.contains(n(i)));
+            assert!(s.remove(n(i)));
+        }
+        assert!(s.is_empty());
+    }
+
+    #[test]
     fn union_intersection_difference() {
-        let a = DestSet::from_iter([n(1), n(2), n(3)]);
-        let b = DestSet::from_iter([n(3), n(4)]);
-        assert_eq!(a | b, DestSet::from_iter([n(1), n(2), n(3), n(4)]));
-        assert_eq!(a & b, DestSet::single(n(3)));
+        let a = DestSet::from_iter([n(1), n(2), n(3), n(200)]);
+        let b = DestSet::from_iter([n(3), n(4), n(200)]);
+        assert_eq!(a | b, DestSet::from_iter([n(1), n(2), n(3), n(4), n(200)]));
+        assert_eq!(a & b, DestSet::from_iter([n(3), n(200)]));
         assert_eq!(a - b, DestSet::from_iter([n(1), n(2)]));
+    }
+
+    #[test]
+    fn complement_within_system() {
+        let a = DestSet::from_iter([n(1), n(100)]);
+        let c = a.complement(128);
+        assert_eq!(c.len(), 126);
+        assert!(!c.contains(n(1)) && !c.contains(n(100)));
+        assert!(c.contains(n(0)) && c.contains(n(127)));
     }
 
     #[test]
     fn subset_superset() {
         let a = DestSet::from_iter([n(1), n(2)]);
-        let b = DestSet::from_iter([n(1), n(2), n(9)]);
+        let b = DestSet::from_iter([n(1), n(2), n(9), n(70)]);
         assert!(a.is_subset(b));
         assert!(b.is_superset(a));
         assert!(!a.is_superset(b));
@@ -376,16 +553,18 @@ mod tests {
 
     #[test]
     fn iter_in_index_order() {
-        let s = DestSet::from_iter([n(9), n(0), n(33)]);
+        let s = DestSet::from_iter([n(9), n(0), n(33), n(130), n(64)]);
         let order: Vec<_> = s.iter().map(NodeId::index).collect();
-        assert_eq!(order, vec![0, 9, 33]);
-        assert_eq!(s.iter().len(), 3);
+        assert_eq!(order, vec![0, 9, 33, 64, 130]);
+        assert_eq!(s.iter().len(), 5);
     }
 
     #[test]
     fn first_is_lowest_index() {
         let s = DestSet::from_iter([n(7), n(3)]);
         assert_eq!(s.first(), Some(n(3)));
+        let high = DestSet::from_iter([n(200), n(90)]);
+        assert_eq!(high.first(), Some(n(90)));
     }
 
     #[test]
@@ -428,5 +607,49 @@ mod tests {
         assert_eq!(format!("{s:b}"), "101");
         assert_eq!(format!("{s:x}"), "5");
         assert_eq!(format!("{s:o}"), "5");
+    }
+
+    #[test]
+    fn numeric_formatting_matches_u64_for_low_words() {
+        for bits in [0u64, 1, 5, 0xdead_beef, u64::MAX, 1 << 63] {
+            let s = DestSet::from_bits(bits);
+            assert_eq!(format!("{s:b}"), format!("{bits:b}"));
+            assert_eq!(format!("{s:x}"), format!("{bits:x}"));
+            assert_eq!(format!("{s:X}"), format!("{bits:X}"));
+            assert_eq!(format!("{s:o}"), format!("{bits:o}"));
+            // Formatter flags route through pad_integral like u64's.
+            assert_eq!(format!("{s:#x}"), format!("{bits:#x}"));
+            assert_eq!(format!("{s:#b}"), format!("{bits:#b}"));
+            assert_eq!(format!("{s:08x}"), format!("{bits:08x}"));
+            assert_eq!(format!("{s:>12o}"), format!("{bits:>12o}"));
+        }
+    }
+
+    #[test]
+    fn numeric_formatting_above_64_nodes() {
+        // Node 64 is bit 0 of word 1: 2^64 = 0x1_0000_0000_0000_0000.
+        let s = DestSet::single(n(64));
+        assert_eq!(format!("{s:x}"), "10000000000000000");
+        assert_eq!(format!("{s:X}"), "10000000000000000");
+        // 2^64 in octal: bits 63..66 straddle the word boundary.
+        assert_eq!(format!("{s:o}"), "2000000000000000000000");
+        let top = DestSet::single(n(255));
+        assert_eq!(
+            format!("{top:x}"),
+            format!("8{}", "0".repeat(63)),
+            "bit 255 is the top hex nibble"
+        );
+    }
+
+    #[test]
+    fn words_round_trip() {
+        let words = [0x5u64, 0, 1 << 63, 0xffff];
+        let s = DestSet::from_words(words);
+        assert_eq!(s.words(), words);
+        assert_eq!(s.bits(), 0x5);
+        assert_eq!(
+            s.len(),
+            words.iter().map(|w| w.count_ones() as usize).sum::<usize>()
+        );
     }
 }

@@ -37,9 +37,11 @@ mod addr;
 mod config;
 mod dest_set;
 mod error;
+pub mod hash;
 mod inline_vec;
 mod mosi;
 mod node;
+mod open_table;
 
 pub use access::{AccessKind, MessageClass, ReqType};
 pub use addr::{Address, BlockAddr, MacroblockAddr, Pc, BLOCK_BYTES, BLOCK_SHIFT};
@@ -49,3 +51,4 @@ pub use error::ConfigError;
 pub use inline_vec::{InlineVec, InlineVecIter};
 pub use mosi::{LineState, Owner};
 pub use node::{NodeId, MAX_NODES};
+pub use open_table::OpenTable;

@@ -6,10 +6,11 @@ use serde::{Deserialize, Serialize};
 
 /// Maximum number of nodes a [`crate::DestSet`] can represent.
 ///
-/// Destination sets are stored as a single `u64` bitmask, so the stack
-/// supports systems of up to 64 processor/memory nodes. The paper
-/// evaluates 16-node systems.
-pub const MAX_NODES: usize = 64;
+/// Destination sets are stored as a fixed four-word (`4 × u64`)
+/// bitmask, so the stack supports systems of up to 256 processor/memory
+/// nodes — enough headroom for the 128- and 256-node scaling studies.
+/// The paper evaluates 16-node systems.
+pub const MAX_NODES: usize = 256;
 
 /// Identifier of a processor/memory node.
 ///
@@ -47,9 +48,9 @@ impl NodeId {
 
     /// Creates a node id without the range check.
     ///
-    /// Callers must guarantee `index < MAX_NODES`; violating that breaks
-    /// [`crate::DestSet`] bit operations (it is still memory-safe, hence
-    /// this constructor is not `unsafe`).
+    /// Every `u8` is a valid index now that [`MAX_NODES`] is 256; the
+    /// "unchecked" name survives from the 64-node era and marks the
+    /// hot-path constructors that skip the `usize` range assert.
     #[inline]
     pub const fn new_unchecked(index: u8) -> Self {
         NodeId(index)

@@ -2,10 +2,11 @@
 
 use proptest::prelude::*;
 
-use dsp_types::{DestSet, NodeId};
+use dsp_types::{DestSet, NodeId, MAX_NODES};
 
 fn set() -> impl Strategy<Value = DestSet> {
-    any::<u64>().prop_map(DestSet::from_bits)
+    (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>())
+        .prop_map(|(a, b, c, d)| DestSet::from_words([a, b, c, d]))
 }
 
 proptest! {
@@ -24,7 +25,7 @@ proptest! {
 
     #[test]
     fn difference_laws(a in set(), b in set()) {
-        prop_assert_eq!(a - b, a & DestSet::from_bits(!b.bits()));
+        prop_assert_eq!(a - b, a & b.complement(MAX_NODES));
         prop_assert!(((a - b) & b).is_empty());
         prop_assert_eq!((a - b) | (a & b), a);
     }
@@ -45,7 +46,7 @@ proptest! {
     }
 
     #[test]
-    fn insert_remove_inverse(a in set(), node in 0usize..64) {
+    fn insert_remove_inverse(a in set(), node in 0usize..MAX_NODES) {
         let node = NodeId::new(node);
         let mut s = a;
         let had = s.contains(node);
@@ -84,7 +85,7 @@ proptest! {
     }
 
     #[test]
-    fn broadcast_is_universe(n in 1usize..=64, a in set()) {
+    fn broadcast_is_universe(n in 1usize..=MAX_NODES, a in set()) {
         let all = DestSet::broadcast(n);
         let clipped = a & all;
         prop_assert!(clipped.is_subset(all));
