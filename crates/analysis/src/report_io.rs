@@ -131,6 +131,54 @@ mod tests {
     }
 
     #[test]
+    fn round_trip_runtime_point() {
+        use crate::RuntimeEvaluator;
+        let config = SystemConfig::isca03();
+        let spec = WorkloadSpec::preset(Workload::Oltp, &config).scaled(1.0 / 256.0);
+        let points = RuntimeEvaluator::new(&config)
+            .misses(50, 200)
+            .run(&spec, &[]);
+        let dir = tmpdir("runtime");
+        let path = dir.join("points.json");
+        save_json(&path, &points).expect("save");
+        let back: Vec<crate::RuntimePoint> = load_json(&path).expect("load");
+        assert_eq!(back, points, "RuntimePoint must round-trip exactly");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn round_trip_check_report() {
+        use dsp_verify::{check, Bug, CheckReport, ModelConfig};
+        let dir = tmpdir("check");
+        // A clean report and one with a violation (counterexample trace
+        // and model state exercise the nested enums).
+        for (name, config) in [
+            ("clean", ModelConfig::new(2)),
+            (
+                "buggy",
+                ModelConfig::new(2).with_bug(Bug::AcceptInsufficient),
+            ),
+        ] {
+            let report = check(&config);
+            let path = dir.join(format!("{name}.json"));
+            save_json(&path, &report).expect("save");
+            let back: CheckReport = load_json(&path).expect("load");
+            assert_eq!(back.states_explored, report.states_explored);
+            assert_eq!(back.transitions, report.transitions);
+            match (&back.violation, &report.violation) {
+                (None, None) => {}
+                (Some(b), Some(r)) => {
+                    assert_eq!(b.invariant, r.invariant);
+                    assert_eq!(b.state, r.state);
+                    assert_eq!(b.trace, r.trace);
+                }
+                other => panic!("violation did not round-trip: {other:?}"),
+            }
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
     fn load_rejects_garbage() {
         let dir = tmpdir("garbage");
         std::fs::create_dir_all(&dir).expect("mkdir");

@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use dsp_sim::{CpuModel, ProtocolKind, SimConfig, SimReport, System, TargetSystem};
+use dsp_sim::{CpuModel, ProtocolKind, SimConfig, SimReport, System, TargetSystem, TracePartition};
 use dsp_trace::WorkloadSpec;
 use dsp_types::SystemConfig;
 
@@ -109,14 +109,46 @@ impl RuntimeEvaluator {
         self
     }
 
-    fn simulate(&self, spec: &WorkloadSpec, protocol: ProtocolKind) -> SimReport {
+    /// Builds the per-run trace partitions every protocol of this
+    /// evaluator replays: one per perturbed-seed repetition.
+    ///
+    /// The partition depends only on the workload, the seed, the node
+    /// count, and the miss quota — not on the protocol — so [`run`]
+    /// builds this set once and shares it across the baselines and
+    /// every extra protocol. Sweep harnesses evaluating several
+    /// protocol sets over one workload can build it themselves and call
+    /// [`run_partitioned`] to also share it across cells.
+    ///
+    /// [`run`]: RuntimeEvaluator::run
+    /// [`run_partitioned`]: RuntimeEvaluator::run_partitioned
+    pub fn partitions(&self, spec: &WorkloadSpec) -> Vec<TracePartition> {
+        (0..self.runs)
+            .map(|r| {
+                TracePartition::build(
+                    spec,
+                    self.seed + r as u64 * 7919,
+                    self.config.num_nodes(),
+                    self.warmup + self.measured,
+                )
+            })
+            .collect()
+    }
+
+    fn simulate(
+        &self,
+        spec: &WorkloadSpec,
+        protocol: ProtocolKind,
+        partitions: &[TracePartition],
+    ) -> SimReport {
         let mut total = SimReport::default();
-        for r in 0..self.runs {
+        for (r, partition) in partitions.iter().enumerate() {
             let sim = SimConfig::new(protocol)
                 .cpu(self.cpu)
                 .misses(self.warmup, self.measured)
                 .seed(self.seed + r as u64 * 7919);
-            let rep = System::new(&self.config, self.target, spec, sim).run();
+            let rep =
+                System::with_partition(&self.config, self.target, spec, sim, partition.clone())
+                    .run();
             total.runtime_ns += rep.runtime_ns;
             total.measured_misses += rep.measured_misses;
             total.instructions += rep.instructions;
@@ -136,8 +168,30 @@ impl RuntimeEvaluator {
     /// Runs snooping, directory, and every protocol in `extra`,
     /// returning normalized points in that order.
     pub fn run(&self, spec: &WorkloadSpec, extra: &[ProtocolKind]) -> Vec<RuntimePoint> {
-        let snoop = self.simulate(spec, ProtocolKind::Snooping);
-        let dir = self.simulate(spec, ProtocolKind::Directory);
+        self.run_partitioned(spec, extra, &self.partitions(spec))
+    }
+
+    /// [`run`](RuntimeEvaluator::run) over precomputed per-run trace
+    /// partitions (from [`partitions`](RuntimeEvaluator::partitions),
+    /// possibly shared with other evaluations of the same workload).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partitions` does not hold exactly one partition per
+    /// configured repetition.
+    pub fn run_partitioned(
+        &self,
+        spec: &WorkloadSpec,
+        extra: &[ProtocolKind],
+        partitions: &[TracePartition],
+    ) -> Vec<RuntimePoint> {
+        assert_eq!(
+            partitions.len(),
+            self.runs,
+            "need one trace partition per repetition"
+        );
+        let snoop = self.simulate(spec, ProtocolKind::Snooping, partitions);
+        let dir = self.simulate(spec, ProtocolKind::Directory, partitions);
         let dir_runtime = dir.runtime_ns.max(1) as f64;
         let snoop_traffic = snoop.bytes_per_miss().max(1e-9);
         let mk = |label: String, report: SimReport| RuntimePoint {
@@ -151,7 +205,7 @@ impl RuntimeEvaluator {
             mk(ProtocolKind::Directory.label(), dir),
         ];
         for protocol in extra {
-            let rep = self.simulate(spec, *protocol);
+            let rep = self.simulate(spec, *protocol, partitions);
             points.push(mk(protocol.label(), rep));
         }
         points
@@ -218,6 +272,17 @@ mod tests {
         assert!(pred.normalized_runtime >= snoop.normalized_runtime * 0.95);
         assert!(pred.report.measured_misses > 0);
         let _ = dir;
+    }
+
+    #[test]
+    fn shared_partitions_match_fresh_run() {
+        let e = eval().runs(2);
+        let spec = spec(Workload::Oltp);
+        let parts = e.partitions(&spec);
+        assert_eq!(parts.len(), 2, "one partition per repetition");
+        let fresh = e.run(&spec, &[]);
+        let shared = e.run_partitioned(&spec, &[], &parts);
+        assert_eq!(fresh, shared, "shared partitions must change nothing");
     }
 
     #[test]

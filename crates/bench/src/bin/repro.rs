@@ -2,6 +2,8 @@
 //!
 //! ```bash
 //! repro <experiment> [--scale quick|standard|paper] [--out DIR] [--threads N]
+//!                    [--shard i/N] [--checkpoint FILE] [--resume]
+//! repro merge <experiment> [--scale ...] [--out DIR] JOURNAL...
 //!
 //! experiments: table2 fig2 fig3 fig4 fig5 fig6a fig6b fig6c fig7 fig8
 //!              ablations extensions scaling claims bandwidth verify
@@ -12,23 +14,35 @@
 //! the same rows under the output directory (created if absent). All
 //! experiments run on one [`SweepRunner`], so `repro all` generates
 //! each workload trace once and shares it across every table and
-//! figure. `sweep-bench` times the sweep engine serial vs parallel and
-//! writes `BENCH_sweep.json` to the output directory; `hotpath-bench`
-//! times the per-miss hot paths (tracker, crossbar, event queue,
-//! predictor table, end-to-end timing simulation) and writes
-//! `BENCH_hotpath.json` alongside it.
+//! figure.
+//!
+//! Long or multi-machine runs use the session flags: `--shard i/N`
+//! executes only the cells assigned to shard `i` of `N` and journals
+//! them (default `<out>/<experiment>.shard<i>of<N>.jsonl`, override
+//! with `--checkpoint`); `--checkpoint FILE` alone journals a full run;
+//! `--resume` re-runs only the cells missing from an existing journal;
+//! and `repro merge <experiment> J1 J2 ...` folds shard journals into
+//! the table, byte-identical to an unsharded run.
+//!
+//! `sweep-bench` times the sweep engine serial vs parallel vs 2-process
+//! sharded and writes `BENCH_sweep.json` to the output directory;
+//! `hotpath-bench` times the per-miss hot paths (tracker, crossbar,
+//! event queue, predictor table, end-to-end timing simulation) and
+//! writes `BENCH_hotpath.json` alongside it.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
 
 use dsp_analysis::TextTable;
-use dsp_bench::engine::SweepRunner;
+use dsp_bench::engine::{merge_journals, ProgressSink, ShardSpec, SweepRunner};
 use dsp_bench::{experiments, Scale};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: repro <experiment> [--scale quick|standard|paper] [--out DIR] [--threads N]\n\
+         \x20      [--shard i/N] [--checkpoint FILE] [--resume]\n\
+         \x20      repro merge <experiment> [--scale ...] [--out DIR] JOURNAL...\n\
          experiments: {} sweep-bench hotpath-bench all",
         experiments::ALL_EXPERIMENTS.join(" ")
     );
@@ -50,12 +64,75 @@ fn save_csv(out_dir: &Path, name: &str, table: &TextTable) -> bool {
     save(out_dir, &format!("{name}.csv"), &table.to_csv())
 }
 
+/// Times the `fig5` plan split across two single-threaded `repro`
+/// child processes (shard 1/2 + shard 2/2, each journaling to a temp
+/// file) against one single-threaded in-process run, merges the
+/// journals, and verifies the merged table is byte-identical. This is
+/// the multi-machine trajectory row: on a 1-CPU container the two
+/// processes time-slice, so the interesting numbers are the
+/// journal/merge overhead and, on real multi-core runners, the
+/// process-level speedup.
+fn sharded_sweep_bench(scale: &Scale, scale_name: &str) -> Result<(usize, f64, f64, bool), String> {
+    use std::process::{Command, Stdio};
+
+    let exe = std::env::current_exe().map_err(|e| format!("cannot locate repro binary: {e}"))?;
+    let dir = std::env::temp_dir().join(format!("dsp-sharded-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let journals: Vec<PathBuf> = (1..=2)
+        .map(|i| dir.join(format!("shard{i}.jsonl")))
+        .collect();
+
+    // Single-process reference (one thread, like each shard process).
+    let plan = experiments::fig5_plan(scale);
+    let started = Instant::now();
+    let reference = SweepRunner::serial().run(&plan);
+    let single_s = started.elapsed().as_secs_f64();
+
+    // Two concurrent shard processes.
+    let started = Instant::now();
+    let mut children = Vec::new();
+    for (i, journal) in journals.iter().enumerate() {
+        let child = Command::new(&exe)
+            .args([
+                "fig5",
+                "--scale",
+                scale_name,
+                "--shard",
+                &format!("{}/2", i + 1),
+                "--checkpoint",
+            ])
+            .arg(journal)
+            .args(["--threads", "1", "--out"])
+            .arg(&dir)
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .map_err(|e| format!("cannot spawn shard process: {e}"))?;
+        children.push(child);
+    }
+    for mut child in children {
+        let status = child
+            .wait()
+            .map_err(|e| format!("shard process failed: {e}"))?;
+        if !status.success() {
+            return Err(format!("shard process exited with {status}"));
+        }
+    }
+    let two_process_s = started.elapsed().as_secs_f64();
+
+    let merged = merge_journals(&plan, &journals).map_err(|e| format!("merge failed: {e}"))?;
+    let byte_identical = merged.to_csv() == reference.to_csv();
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok((plan.len(), single_s, two_process_s, byte_identical))
+}
+
 /// Times `table2 + fig5` (the Table 2 / Figure 5 reproduction path)
 /// three ways — seed-style (one thread, traces shared within a driver
 /// but regenerated across drivers, as the pre-engine code behaved),
-/// the engine single-threaded, and the engine parallel — and returns
-/// the `BENCH_sweep.json` payload.
-fn sweep_bench(scale: &Scale, threads: Option<usize>) -> String {
+/// the engine single-threaded, and the engine parallel — plus the
+/// 2-process sharded run, and returns the `BENCH_sweep.json` payload.
+fn sweep_bench(scale: &Scale, scale_name: &str, threads: Option<usize>) -> Result<String, String> {
     let plans = || {
         vec![
             experiments::table2_plan(scale),
@@ -108,17 +185,33 @@ fn sweep_bench(scale: &Scale, threads: Option<usize>) -> String {
         cells as f64 / seed_s.max(1e-9),
         cells as f64 / parallel_s.max(1e-9),
     );
-    format!(
+
+    let (shard_cells, single_s, two_process_s, merge_identical) =
+        sharded_sweep_bench(scale, scale_name)?;
+    println!(
+        "sharded-sweep: fig5 ({shard_cells} cells) | single-process {single_s:.2}s | \
+         2-process {two_process_s:.2}s | merge byte-identical: {merge_identical}",
+    );
+    if !merge_identical {
+        return Err("sharded merge diverged from the single-process table".to_string());
+    }
+
+    Ok(format!(
         "{{\n  \"benchmark\": \"sweep\",\n  \"plans\": [\"table2\", \"fig5\"],\n  \
          \"cells\": {cells},\n  \"threads\": {threads},\n  \
          \"seed_style_serial_wall_s\": {seed_s:.4},\n  \
          \"shared_trace_serial_wall_s\": {serial_s:.4},\n  \
          \"parallel_wall_s\": {parallel_s:.4},\n  \
          \"seed_style_cells_per_s\": {:.3},\n  \"parallel_cells_per_s\": {:.3},\n  \
-         \"speedup\": {speedup:.3},\n  \"byte_identical\": true\n}}\n",
+         \"speedup\": {speedup:.3},\n  \"byte_identical\": true,\n  \
+         \"sharded-sweep\": {{\n    \"plan\": \"fig5\",\n    \"cells\": {shard_cells},\n    \
+         \"shards\": 2,\n    \"single_process_wall_s\": {single_s:.4},\n    \
+         \"two_process_wall_s\": {two_process_s:.4},\n    \
+         \"process_speedup\": {:.3},\n    \"merge_byte_identical\": {merge_identical}\n  }}\n}}\n",
         cells as f64 / seed_s.max(1e-9),
         cells as f64 / parallel_s.max(1e-9),
-    )
+        single_s / two_process_s.max(1e-9),
+    ))
 }
 
 /// Runs `routine` repeatedly until `budget_s` seconds elapse (at least
@@ -164,7 +257,8 @@ fn hotpath_bench(scale: &Scale) -> String {
     use dsp_core::{Capacity, Indexing, PredictorConfig, PredictorTable, ReferencePredictorTable};
     use dsp_interconnect::{Crossbar, InterconnectConfig, Message, ReferenceCrossbar};
     use dsp_sim::{
-        Event, ProtocolKind, ReferenceQueue, SimConfig, System, TargetSystem, WheelQueue,
+        Event, ProtocolKind, ReferenceQueue, SimConfig, System, TargetSystem, TracePartition,
+        WheelQueue,
     };
     use dsp_trace::{TraceRecord, Workload, WorkloadSpec};
     use dsp_types::{DestSet, MessageClass, SystemConfig};
@@ -410,6 +504,16 @@ fn hotpath_bench(scale: &Scale) -> String {
             ),
         ),
     ];
+    // The per-run trace partition is hoisted out of the timed loop:
+    // it depends only on (spec, seed, nodes, quota), so the sweep
+    // engine builds it once per workload and every repeated cell
+    // shares it — the benchmark measures what production runs pay.
+    let sim_partition = TracePartition::build(
+        &spec,
+        experiments::SEED,
+        sys.num_nodes(),
+        scale.sim_warmup + scale.sim_measured,
+    );
     let mut sim_misses = 0u64;
     let mut sim_wall = 0f64;
     for (_, protocol) in &protocols {
@@ -420,7 +524,14 @@ fn hotpath_bench(scale: &Scale) -> String {
             let sim = SimConfig::new(*protocol)
                 .misses(scale.sim_warmup, scale.sim_measured)
                 .seed(experiments::SEED);
-            let report = System::new(&sys, TargetSystem::isca03_default(), &spec, sim).run();
+            let report = System::with_partition(
+                &sys,
+                TargetSystem::isca03_default(),
+                &spec,
+                sim,
+                sim_partition.clone(),
+            )
+            .run();
             report.measured_misses
         });
         sim_misses += misses;
@@ -472,99 +583,243 @@ fn hotpath_bench(scale: &Scale) -> String {
     )
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut experiment: Option<String> = None;
-    let mut scale = Scale::standard();
-    let mut out_dir = PathBuf::from("results");
-    let mut threads: Option<usize> = None;
+/// Parsed command line.
+struct Args {
+    /// First positional: experiment name or `merge`.
+    experiment: String,
+    /// For `merge`: the experiment name (second positional).
+    merge_target: Option<String>,
+    /// For `merge`: journal paths (remaining positionals).
+    journals: Vec<PathBuf>,
+    scale: Scale,
+    scale_name: String,
+    out_dir: PathBuf,
+    threads: Option<usize>,
+    shard: Option<ShardSpec>,
+    checkpoint: Option<PathBuf>,
+    resume: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    let mut parsed = Args {
+        experiment: String::new(),
+        merge_target: None,
+        journals: Vec::new(),
+        scale: Scale::standard(),
+        scale_name: "standard".to_string(),
+        out_dir: PathBuf::from("results"),
+        threads: None,
+        shard: None,
+        checkpoint: None,
+        resume: false,
+    };
+    let mut positionals: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--scale" => {
                 i += 1;
-                let Some(name) = args.get(i) else {
-                    return usage();
-                };
-                match Scale::parse(name) {
-                    Some(s) => scale = s,
-                    None => {
-                        eprintln!("unknown scale '{name}'");
-                        return usage();
-                    }
-                }
+                let name = args.get(i).ok_or("--scale needs a value")?;
+                parsed.scale = Scale::parse(name).ok_or(format!("unknown scale '{name}'"))?;
+                parsed.scale_name = name.clone();
             }
             "--out" => {
                 i += 1;
-                let Some(dir) = args.get(i) else {
-                    return usage();
-                };
-                out_dir = PathBuf::from(dir);
+                let dir = args.get(i).ok_or("--out needs a directory")?;
+                parsed.out_dir = PathBuf::from(dir);
             }
             "--threads" => {
                 i += 1;
-                let Some(n) = args.get(i).and_then(|n| n.parse().ok()).filter(|n| *n > 0) else {
-                    eprintln!("--threads needs a positive integer");
-                    return usage();
-                };
-                threads = Some(n);
+                let n: usize = args
+                    .get(i)
+                    .and_then(|n| n.parse().ok())
+                    .filter(|n| *n > 0)
+                    .ok_or("--threads needs a positive integer")?;
+                parsed.threads = Some(n);
             }
-            name if experiment.is_none() => experiment = Some(name.to_string()),
-            other => {
-                eprintln!("unexpected argument '{other}'");
-                return usage();
+            "--shard" => {
+                i += 1;
+                let spec = args.get(i).ok_or("--shard needs i/N (e.g. 1/2)")?;
+                parsed.shard =
+                    Some(ShardSpec::parse(spec).ok_or(format!("bad shard spec '{spec}'"))?);
             }
+            "--checkpoint" => {
+                i += 1;
+                let path = args.get(i).ok_or("--checkpoint needs a file path")?;
+                parsed.checkpoint = Some(PathBuf::from(path));
+            }
+            "--resume" => parsed.resume = true,
+            other if other.starts_with("--") => return Err(format!("unknown flag '{other}'")),
+            positional => positionals.push(positional.to_string()),
         }
         i += 1;
     }
-    let Some(experiment) = experiment else {
+    let mut positionals = positionals.into_iter();
+    parsed.experiment = positionals.next().ok_or("missing experiment name")?;
+    if parsed.experiment == "merge" {
+        parsed.merge_target = Some(positionals.next().ok_or("merge needs an experiment name")?);
+        parsed.journals = positionals.map(PathBuf::from).collect();
+        if parsed.journals.is_empty() {
+            return Err("merge needs at least one journal file".to_string());
+        }
+    } else if let Some(extra) = positionals.next() {
+        return Err(format!("unexpected argument '{extra}'"));
+    }
+    Ok(parsed)
+}
+
+/// Runs `repro merge <experiment> J1 J2 ...`.
+fn run_merge(args: &Args) -> ExitCode {
+    let name = args.merge_target.as_deref().expect("merge target parsed");
+    let Some(plan) = experiments::plan_for(name, &args.scale) else {
+        eprintln!("unknown experiment '{name}'");
         return usage();
     };
-    let names: Vec<&str> = if experiment == "all" {
-        experiments::ALL_EXPERIMENTS.to_vec()
-    } else if experiment == "sweep-bench"
-        || experiment == "hotpath-bench"
-        || experiments::ALL_EXPERIMENTS.contains(&experiment.as_str())
-    {
-        vec![experiment.as_str()]
+    let table = match merge_journals(&plan, &args.journals) {
+        Ok(table) => table,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{table}");
+    println!(
+        "[merged {} journal(s) into {} rows]\n",
+        args.journals.len(),
+        table.len()
+    );
+    if !save_csv(&args.out_dir, name, &table) {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Runs one experiment through a checkpointed/sharded session. Renders
+/// the table only when the session covers the whole plan; a partial
+/// shard prints progress and the journal path instead.
+fn run_session(name: &str, args: &Args, runner: &SweepRunner) -> Result<(), String> {
+    let plan =
+        experiments::plan_for(name, &args.scale).ok_or(format!("unknown experiment '{name}'"))?;
+    let shard = args.shard.unwrap_or(ShardSpec::full());
+    let journal = args.checkpoint.clone().unwrap_or_else(|| {
+        args.out_dir.join(format!(
+            "{name}.shard{}of{}.jsonl",
+            shard.index() + 1,
+            shard.count()
+        ))
+    });
+    let session = runner
+        .session(&plan)
+        .shard(shard)
+        .checkpoint(&journal)
+        .resume(args.resume);
+    let started = Instant::now();
+    let mut progress = ProgressSink::new(session.owned_indices().len());
+    let report = session
+        .run(&mut [&mut progress])
+        .map_err(|e| e.to_string())?;
+    println!(
+        "[{name} shard {shard}: {} of {} cells owned, replayed {}, executed {} in {:.1}s -> {}]",
+        report.owned,
+        report.cells,
+        report.replayed,
+        report.executed,
+        started.elapsed().as_secs_f64(),
+        journal.display(),
+    );
+    if shard.is_full() {
+        let table = merge_journals(&plan, &[journal]).map_err(|e| e.to_string())?;
+        println!("{table}");
+        if !save_csv(&args.out_dir, name, &table) {
+            return Err("cannot save CSV".to_string());
+        }
     } else {
-        eprintln!("unknown experiment '{experiment}'");
-        return usage();
+        println!("[partial shard: merge every shard's journal with `repro merge {name} ...`]\n");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&raw) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
     };
-    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+    if let Err(e) = std::fs::create_dir_all(&args.out_dir) {
         eprintln!(
             "error: cannot create output directory {}: {e}",
-            out_dir.display()
+            args.out_dir.display()
         );
         return ExitCode::FAILURE;
     }
-    let runner = match threads {
+    if args.experiment == "merge" {
+        return run_merge(&args);
+    }
+    let names: Vec<&str> = if args.experiment == "all" {
+        experiments::ALL_EXPERIMENTS.to_vec()
+    } else if args.experiment == "sweep-bench"
+        || args.experiment == "hotpath-bench"
+        || experiments::ALL_EXPERIMENTS.contains(&args.experiment.as_str())
+    {
+        vec![args.experiment.as_str()]
+    } else {
+        eprintln!("unknown experiment '{}'", args.experiment);
+        return usage();
+    };
+    if args.experiment == "all" && args.checkpoint.is_some() {
+        // One shared journal would be truncated (or, with --resume,
+        // rejected as a plan mismatch) by every experiment after the
+        // first; `all` always journals per experiment under --out.
+        eprintln!(
+            "error: --checkpoint cannot be combined with 'all'; each experiment journals \
+             to <out>/<name>.shard<i>of<N>.jsonl"
+        );
+        return ExitCode::FAILURE;
+    }
+    let runner = match args.threads {
         Some(n) => SweepRunner::with_threads(n),
         None => SweepRunner::new(),
     };
+    let session_mode = args.shard.is_some() || args.checkpoint.is_some() || args.resume;
     for name in names {
         let started = Instant::now();
         if name == "sweep-bench" {
-            let json = sweep_bench(&scale, threads);
+            let json = match sweep_bench(&args.scale, &args.scale_name, args.threads) {
+                Ok(json) => json,
+                Err(e) => {
+                    eprintln!("error: sweep-bench failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
             // The perf-trajectory artifact lives at the repo root so
             // successive PRs can diff it; a copy lands in --out too.
             if !save(Path::new("."), "BENCH_sweep.json", &json)
-                || !save(&out_dir, "BENCH_sweep.json", &json)
+                || !save(&args.out_dir, "BENCH_sweep.json", &json)
             {
                 return ExitCode::FAILURE;
             }
             continue;
         }
         if name == "hotpath-bench" {
-            let json = hotpath_bench(&scale);
+            let json = hotpath_bench(&args.scale);
             if !save(Path::new("."), "BENCH_hotpath.json", &json)
-                || !save(&out_dir, "BENCH_hotpath.json", &json)
+                || !save(&args.out_dir, "BENCH_hotpath.json", &json)
             {
                 return ExitCode::FAILURE;
             }
             continue;
         }
-        let Some(table) = experiments::run_with(name, &scale, &runner) else {
+        if session_mode {
+            if let Err(e) = run_session(name, &args, &runner) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+            continue;
+        }
+        let Some(table) = experiments::run_with(name, &args.scale, &runner) else {
             return usage();
         };
         println!("{table}");
@@ -575,7 +830,7 @@ fn main() -> ExitCode {
             runner.threads(),
             runner.cached_traces(),
         );
-        if !save_csv(&out_dir, name, &table) {
+        if !save_csv(&args.out_dir, name, &table) {
             return ExitCode::FAILURE;
         }
     }

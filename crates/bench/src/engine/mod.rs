@@ -1,35 +1,44 @@
-//! The sweep engine: declarative experiment plans executed by a
-//! parallel, trace-sharing runner.
+//! The sweep engine: declarative experiment plans executed as
+//! streaming, shardable, resumable *sessions*.
 //!
 //! The paper's evaluation is a cross-product — predictor policy ×
 //! workload × table size × indexing granularity × protocol — and every
 //! table/figure driver used to walk its slice of that product serially,
 //! regenerating the full synthetic trace for each cell. This module
-//! factors the sweep into three pieces:
+//! factors the sweep into:
 //!
 //! * [`Cell`] — one unit of evaluation (a characterization, a pair of
 //!   protocol baselines, one predictor tradeoff point, a timing-sim
 //!   protocol set, or a model-checking run).
 //! * [`ExperimentPlan`] — an ordered list of cells plus a render
 //!   function that turns their outputs into [`TextTable`] rows. Every
-//!   `table*`/`fig*` driver in [`crate::experiments`] is now a plan
+//!   `table*`/`fig*` driver in [`crate::experiments`] is a plan
 //!   declaration plus a row formatter.
-//! * [`SweepRunner`] — executes a plan: it first materializes every
-//!   *distinct* trace the cells need (one `Arc<[TraceRecord]>` per
-//!   (workload, system config, footprint, seed, length) key, built in
-//!   parallel and cached across runs), then fans the cells out over a
-//!   scoped thread pool, each cell streaming the shared trace into its
-//!   own evaluator.
+//! * [`SweepSession`] ([`session`]) — executes one shard of a plan:
+//!   each cell is identified by a stable content-hash [`CellId`]
+//!   ([`shard`]), assigned to a shard by a [`ShardSpec`], streamed out
+//!   through [`CellSink`]s ([`sink`]) as it finishes, and journaled to
+//!   a checkpoint file ([`checkpoint`]) so a crashed run resumes from
+//!   its last completed cell and N shard journals merge into one table
+//!   byte-identical to a serial run.
+//! * [`SweepRunner`] — the batch convenience wrapper: a single-shard
+//!   in-memory session per plan, sharing one trace cache and one
+//!   timing-sim partition cache across plans (`repro all` generates
+//!   each workload's trace once).
 //!
 //! # Determinism
 //!
-//! Parallel output is byte-identical to single-threaded output:
+//! Output is byte-identical across thread counts, shard counts, and
+//! crash/resume points:
 //!
 //! * every trace is produced by a generator seeded from the plan's
 //!   fixed seed, never by a generator shared between cells or threads;
-//! * each cell builds its own evaluator/tracker/predictor state;
-//! * outputs land in a slot indexed by the cell's plan position, and
-//!   rendering walks the slots in plan order on the calling thread.
+//! * each cell builds its own evaluator/tracker/predictor state, so a
+//!   cell's output is a pure function of the plan — which is what makes
+//!   journaled outputs safe to replay and shards safe to merge;
+//! * rendering walks outputs in plan order on the calling thread,
+//!   whether they come from slots filled in parallel, a checkpoint
+//!   journal, or a merge of several shard journals.
 //!
 //! ```
 //! use dsp_bench::engine::SweepRunner;
@@ -42,15 +51,27 @@
 //! assert_eq!(parallel.to_csv(), serial.to_csv());
 //! ```
 
+pub mod checkpoint;
+pub mod session;
+pub mod shard;
+pub mod sink;
+
+pub use checkpoint::{merge_journals, JournalWriter};
+pub use session::{SessionError, SessionReport, SweepSession};
+pub use shard::{CellId, ShardSpec};
+pub use sink::{CellRecord, CellSink, Collector, ProgressSink};
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+
+use serde::{Deserialize, Serialize};
 
 use dsp_analysis::{
     characterize_trace, CharacterizationReport, RuntimeEvaluator, RuntimePoint, TextTable,
     TradeoffEvaluator, TradeoffPoint,
 };
 use dsp_core::PredictorConfig;
-use dsp_sim::{CpuModel, ProtocolKind, TargetSystem};
+use dsp_sim::{CpuModel, ProtocolKind, TargetSystem, TracePartition};
 use dsp_trace::{TraceRecord, Workload, WorkloadSpec};
 use dsp_types::SystemConfig;
 use dsp_verify::{check, Bug, CheckReport, ModelConfig};
@@ -133,8 +154,34 @@ impl Cell {
         }
     }
 
+    /// A short human-readable label for progress reporting.
+    pub fn summary(&self) -> String {
+        match self {
+            Cell::Characterize { workload, .. } => format!("characterize {}", workload.name()),
+            Cell::Baselines { workload, .. } => format!("baselines {}", workload.name()),
+            Cell::Tradeoff {
+                workload,
+                predictor,
+                ..
+            } => format!("tradeoff {} [{}]", workload.name(), predictor.label()),
+            Cell::Runtime {
+                workload,
+                protocols,
+                ..
+            } => format!(
+                "runtime {} (+{} protocols)",
+                workload.name(),
+                protocols.len()
+            ),
+            Cell::Verify { nodes, bug } => match bug {
+                None => format!("verify {nodes}-node"),
+                Some(bug) => format!("verify {nodes}-node + {bug:?}"),
+            },
+        }
+    }
+
     /// The trace this cell replays, if it is trace-driven.
-    fn trace_key(&self, plan: &ExperimentPlan) -> Option<TraceKey> {
+    pub(crate) fn trace_key(&self, plan: &ExperimentPlan) -> Option<TraceKey> {
         match self {
             Cell::Characterize { config, workload }
             | Cell::Baselines { config, workload }
@@ -154,7 +201,12 @@ impl Cell {
 
 /// The output of one executed [`Cell`], in the same order as the plan's
 /// cell list.
-#[derive(Clone, Debug)]
+///
+/// Serializes for the checkpoint journals: every payload round-trips
+/// through the JSON layer exactly (integers verbatim, floats via
+/// shortest-round-trip formatting), which is what makes a merged or
+/// resumed table byte-identical to a freshly computed one.
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub enum CellOutput {
     /// From [`Cell::Characterize`].
     Characterization(Box<CharacterizationReport>),
@@ -283,6 +335,17 @@ impl ExperimentPlan {
         self
     }
 
+    /// Renders `outputs` (one per cell, in plan order) into the plan's
+    /// table. This is the single formatting path every execution mode
+    /// funnels through — parallel slots, resumed journals, and merged
+    /// shards produce byte-identical tables because they all end here
+    /// with the same ordered outputs.
+    pub fn render_outputs(&self, outputs: &[CellOutput]) -> TextTable {
+        let mut table = TextTable::new(self.title.clone(), self.columns.iter().copied());
+        (self.render)(&self.cells, outputs, &mut table);
+        table
+    }
+
     /// Number of cells.
     pub fn len(&self) -> usize {
         self.cells.len()
@@ -311,7 +374,7 @@ pub struct TraceKey {
 }
 
 impl TraceKey {
-    fn generate(&self) -> Arc<[TraceRecord]> {
+    pub(crate) fn generate(&self) -> Arc<[TraceRecord]> {
         let spec = WorkloadSpec::preset(self.workload, &self.config)
             .scaled(f64::from_bits(self.footprint_bits));
         let records: Vec<TraceRecord> = spec.generator(self.seed).take(self.len).collect();
@@ -319,16 +382,17 @@ impl TraceKey {
     }
 }
 
-/// Cache of generated traces, keyed by [`TraceKey`]. Lives inside a
-/// [`SweepRunner`], so traces persist across plans run by the same
-/// runner (e.g. `repro all` generates each workload's trace once).
+/// Cache of generated traces, keyed by [`TraceKey`]. Shared (behind an
+/// `Arc`) by every session a [`SweepRunner`] spawns, so traces persist
+/// across plans run by the same runner (e.g. `repro all` generates each
+/// workload's trace once).
 #[derive(Debug, Default)]
-struct TraceStore {
+pub struct TraceStore {
     traces: Mutex<Vec<(TraceKey, Arc<[TraceRecord]>)>>,
 }
 
 impl TraceStore {
-    fn get(&self, key: &TraceKey) -> Option<Arc<[TraceRecord]>> {
+    pub(crate) fn get(&self, key: &TraceKey) -> Option<Arc<[TraceRecord]>> {
         let traces = self.traces.lock().expect("trace store poisoned");
         traces
             .iter()
@@ -338,7 +402,7 @@ impl TraceStore {
 
     /// Generates every missing key (in parallel when `threads > 1`) and
     /// inserts the results.
-    fn ensure(&self, keys: &[TraceKey], threads: usize) {
+    pub(crate) fn ensure(&self, keys: &[TraceKey], threads: usize) {
         let missing: Vec<TraceKey> = {
             let traces = self.traces.lock().expect("trace store poisoned");
             keys.iter()
@@ -355,14 +419,69 @@ impl TraceStore {
         traces.extend(missing.into_iter().zip(generated));
     }
 
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         self.traces.lock().expect("trace store poisoned").len()
+    }
+}
+
+/// Identity of one set of timing-sim trace partitions: everything the
+/// per-node programs depend on — and nothing they don't (the protocol
+/// set, CPU model, and target machine all replay the same programs).
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct PartitionKey {
+    workload: Workload,
+    config: SystemConfig,
+    footprint_bits: u64,
+    seed: u64,
+    warmup: usize,
+    measured: usize,
+    runs: usize,
+}
+
+/// Cache of timing-sim [`TracePartition`] sets (one partition per
+/// perturbed-seed repetition), shared across the [`Cell::Runtime`]
+/// cells of a runner's sessions. Partitioning the miss stream costs a
+/// sizeable fraction of short runs, so repeated cells over one
+/// workload — every design point of the bandwidth sweep, say — stop
+/// re-partitioning.
+#[derive(Debug, Default)]
+pub struct PartitionStore {
+    inner: Mutex<Vec<(PartitionKey, Vec<TracePartition>)>>,
+}
+
+impl PartitionStore {
+    /// Returns the cached partitions for `key`, building (outside the
+    /// lock) and inserting them if absent. Builds are deterministic, so
+    /// a racing duplicate build yields identical programs and either
+    /// copy may win.
+    fn get_or_build(
+        &self,
+        key: PartitionKey,
+        build: impl FnOnce() -> Vec<TracePartition>,
+    ) -> Vec<TracePartition> {
+        {
+            let cached = self.inner.lock().expect("partition store poisoned");
+            if let Some((_, parts)) = cached.iter().find(|(k, _)| *k == key) {
+                return parts.clone();
+            }
+        }
+        let built = build();
+        let mut cached = self.inner.lock().expect("partition store poisoned");
+        if let Some((_, parts)) = cached.iter().find(|(k, _)| *k == key) {
+            return parts.clone();
+        }
+        cached.push((key, built.clone()));
+        built
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.inner.lock().expect("partition store poisoned").len()
     }
 }
 
 /// Runs each index of `items` through `f` on a scoped worker pool,
 /// returning outputs in input order. Panics in workers propagate.
-fn parallel_map<T: Sync, O: Send + Sync>(
+pub(crate) fn parallel_map<T: Sync, O: Send + Sync>(
     items: &[T],
     threads: usize,
     f: impl Fn(&T) -> O + Sync,
@@ -389,14 +508,91 @@ fn parallel_map<T: Sync, O: Send + Sync>(
         .collect()
 }
 
-/// Executes [`ExperimentPlan`]s: builds the distinct traces the cells
-/// need, fans cells out across a scoped thread pool, and renders the
-/// outputs in plan order.
+/// Executes one cell. The cell's output is a pure function of `(cell,
+/// plan)`: `trace` and `partitions` are caches of deterministic
+/// derivations, never sources of new state.
+pub(crate) fn execute_cell(
+    cell: &Cell,
+    plan: &ExperimentPlan,
+    trace: Option<Arc<[TraceRecord]>>,
+    partitions: &PartitionStore,
+) -> CellOutput {
+    let scale = &plan.scale;
+    match cell {
+        Cell::Characterize { config, workload } => {
+            let trace = trace.expect("characterize is trace-driven");
+            let spec = WorkloadSpec::preset(*workload, config).scaled(scale.footprint);
+            CellOutput::Characterization(Box::new(characterize_trace(
+                trace.iter().copied(),
+                spec.name(),
+                spec.misses_per_kilo_instr(),
+                config,
+                scale.trace_warmup,
+            )))
+        }
+        Cell::Baselines { config, .. } => {
+            let trace = trace.expect("baselines are trace-driven");
+            let eval = TradeoffEvaluator::new(config).warmup(scale.trace_warmup);
+            let (snooping, directory) = eval.run_baselines(trace.iter().copied());
+            CellOutput::Baselines {
+                snooping,
+                directory,
+            }
+        }
+        Cell::Tradeoff {
+            config, predictor, ..
+        } => {
+            let trace = trace.expect("tradeoff is trace-driven");
+            let eval = TradeoffEvaluator::new(config).warmup(scale.trace_warmup);
+            CellOutput::Tradeoff(eval.run(trace.iter().copied(), predictor))
+        }
+        Cell::Runtime {
+            config,
+            workload,
+            cpu,
+            target,
+            protocols,
+        } => {
+            let spec = WorkloadSpec::preset(*workload, config).scaled(scale.footprint);
+            let mut eval = RuntimeEvaluator::new(config)
+                .cpu(*cpu)
+                .misses(scale.sim_warmup, scale.sim_measured)
+                .runs(scale.sim_runs)
+                .seed(plan.seed);
+            if let Some(target) = target {
+                eval = eval.target(*target);
+            }
+            let key = PartitionKey {
+                workload: *workload,
+                config: *config,
+                footprint_bits: scale.footprint.to_bits(),
+                seed: plan.seed,
+                warmup: scale.sim_warmup,
+                measured: scale.sim_measured,
+                runs: scale.sim_runs.max(1),
+            };
+            let parts = partitions.get_or_build(key, || eval.partitions(&spec));
+            CellOutput::Runtime(eval.run_partitioned(&spec, protocols, &parts))
+        }
+        Cell::Verify { nodes, bug } => {
+            let mut model = ModelConfig::new(*nodes);
+            if let Some(bug) = bug {
+                model = model.with_bug(*bug);
+            }
+            CellOutput::Verify(check(&model))
+        }
+    }
+}
+
+/// Batch front-end over [`SweepSession`]: runs whole plans in memory
+/// (single shard, no checkpoint), sharing one trace cache and one
+/// partition cache across every plan it executes.
 #[derive(Debug)]
 pub struct SweepRunner {
     threads: usize,
     share_traces: bool,
-    store: TraceStore,
+    store: Arc<TraceStore>,
+    partitions: Arc<PartitionStore>,
 }
 
 impl Default for SweepRunner {
@@ -419,7 +615,8 @@ impl SweepRunner {
         SweepRunner {
             threads: threads.max(1),
             share_traces: true,
-            store: TraceStore::default(),
+            store: Arc::new(TraceStore::default()),
+            partitions: Arc::new(PartitionStore::default()),
         }
     }
 
@@ -449,96 +646,33 @@ impl SweepRunner {
         self.store.len()
     }
 
+    /// Number of distinct timing-sim partition sets currently cached.
+    pub fn cached_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// A full-coverage in-memory session over `plan`, wired to this
+    /// runner's thread count and shared caches. Callers needing
+    /// sharding or checkpointing configure the returned session
+    /// further.
+    pub fn session<'p>(&self, plan: &'p ExperimentPlan) -> SweepSession<'p> {
+        SweepSession::new(plan)
+            .threads(self.threads)
+            .share_traces(self.share_traces)
+            .stores(Arc::clone(&self.store), Arc::clone(&self.partitions))
+    }
+
     /// Executes `plan` and renders its table.
     pub fn run(&self, plan: &ExperimentPlan) -> TextTable {
-        let outputs = self.run_cells(plan);
-        let mut table = TextTable::new(plan.title.clone(), plan.columns.iter().copied());
-        (plan.render)(&plan.cells, &outputs, &mut table);
-        table
+        plan.render_outputs(&self.run_cells(plan))
     }
 
     /// Executes `plan`'s cells without rendering, returning outputs
     /// ordered by plan index.
     pub fn run_cells(&self, plan: &ExperimentPlan) -> Vec<CellOutput> {
-        // Phase 1: materialize each distinct trace exactly once.
-        if self.share_traces {
-            let mut keys: Vec<TraceKey> = Vec::new();
-            for cell in &plan.cells {
-                if let Some(key) = cell.trace_key(plan) {
-                    if !keys.contains(&key) {
-                        keys.push(key);
-                    }
-                }
-            }
-            self.store.ensure(&keys, self.threads);
-        }
-        // Phase 2: evaluate cells in parallel; slot order = plan order.
-        parallel_map(&plan.cells, self.threads, |cell| self.execute(cell, plan))
-    }
-
-    fn execute(&self, cell: &Cell, plan: &ExperimentPlan) -> CellOutput {
-        let scale = &plan.scale;
-        let trace = cell.trace_key(plan).map(|key| {
-            if self.share_traces {
-                self.store.get(&key).expect("trace materialized in phase 1")
-            } else {
-                key.generate()
-            }
-        });
-        match cell {
-            Cell::Characterize { config, workload } => {
-                let trace = trace.expect("characterize is trace-driven");
-                let spec = WorkloadSpec::preset(*workload, config).scaled(scale.footprint);
-                CellOutput::Characterization(Box::new(characterize_trace(
-                    trace.iter().copied(),
-                    spec.name(),
-                    spec.misses_per_kilo_instr(),
-                    config,
-                    scale.trace_warmup,
-                )))
-            }
-            Cell::Baselines { config, .. } => {
-                let trace = trace.expect("baselines are trace-driven");
-                let eval = TradeoffEvaluator::new(config).warmup(scale.trace_warmup);
-                let (snooping, directory) = eval.run_baselines(trace.iter().copied());
-                CellOutput::Baselines {
-                    snooping,
-                    directory,
-                }
-            }
-            Cell::Tradeoff {
-                config, predictor, ..
-            } => {
-                let trace = trace.expect("tradeoff is trace-driven");
-                let eval = TradeoffEvaluator::new(config).warmup(scale.trace_warmup);
-                CellOutput::Tradeoff(eval.run(trace.iter().copied(), predictor))
-            }
-            Cell::Runtime {
-                config,
-                workload,
-                cpu,
-                target,
-                protocols,
-            } => {
-                let spec = WorkloadSpec::preset(*workload, config).scaled(scale.footprint);
-                let mut eval = RuntimeEvaluator::new(config)
-                    .cpu(*cpu)
-                    .misses(scale.sim_warmup, scale.sim_measured)
-                    .runs(scale.sim_runs)
-                    .seed(plan.seed);
-                if let Some(target) = target {
-                    eval = eval.target(*target);
-                }
-                CellOutput::Runtime(eval.run(&spec, protocols))
-            }
-            Cell::Verify { nodes, bug } => {
-                let mut model = ModelConfig::new(*nodes);
-                if let Some(bug) = bug {
-                    model = model.with_bug(*bug);
-                }
-                CellOutput::Verify(check(&model))
-            }
-        }
+        self.session(plan)
+            .run_collect()
+            .expect("in-memory full-shard session cannot fail")
     }
 }
 
@@ -642,5 +776,57 @@ mod tests {
         assert_eq!(table.len(), 1);
         assert_eq!(runner.cached_traces(), 0);
         assert!(table.to_csv().contains("true"));
+    }
+
+    #[test]
+    fn runtime_partitions_are_shared_across_cells() {
+        let scale = tiny();
+        let config = SystemConfig::isca03();
+        let mut plan = ExperimentPlan::new("rt", &["label"], &scale);
+        // Three Runtime cells over one workload (different protocol
+        // sets, one with a target override): one partition set total.
+        for protocols in [
+            Vec::new(),
+            vec![ProtocolKind::Multicast(PredictorConfig::owner())],
+            vec![ProtocolKind::Multicast(PredictorConfig::group())],
+        ] {
+            plan.push(Cell::Runtime {
+                config,
+                workload: Workload::Oltp,
+                cpu: CpuModel::Simple,
+                target: (protocols.len() == 1).then(TargetSystem::isca03_default),
+                protocols,
+            });
+        }
+        let runner = SweepRunner::serial();
+        runner.run_cells(&plan);
+        assert_eq!(runner.cached_partitions(), 1);
+    }
+
+    #[test]
+    fn cell_output_round_trips_through_json() {
+        let scale = tiny();
+        let outputs = SweepRunner::serial().run_cells(&small_plan(&scale));
+        for output in &outputs {
+            let json = serde_json::to_string(output).expect("serialize");
+            let back: CellOutput = serde_json::from_str(&json).expect("deserialize");
+            match (output, &back) {
+                (CellOutput::Tradeoff(a), CellOutput::Tradeoff(b)) => assert_eq!(a, b),
+                (
+                    CellOutput::Baselines {
+                        snooping: s1,
+                        directory: d1,
+                    },
+                    CellOutput::Baselines {
+                        snooping: s2,
+                        directory: d2,
+                    },
+                ) => {
+                    assert_eq!(s1, s2);
+                    assert_eq!(d1, d2);
+                }
+                other => panic!("variant changed across round-trip: {other:?}"),
+            }
+        }
     }
 }

@@ -1,0 +1,226 @@
+//! Stable cell identity and deterministic cell→shard assignment.
+//!
+//! A [`CellId`] is a content hash of a cell's parameters — workload,
+//! system configuration, predictor, protocol set, model size — not its
+//! plan position, so two processes that build the same plan
+//! independently agree on every id without exchanging anything, and
+//! reordering unrelated cells in a plan does not reshuffle which shard
+//! owns a cell. A [`ShardSpec`] then assigns each id to exactly one of
+//! `count` shards by residue, which is what lets N machines split one
+//! plan: every cell is owned by exactly one shard, and the union of all
+//! shards' journals covers the plan.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use dsp_types::hash::mix64;
+
+use super::Cell;
+
+/// Stable identity of one [`Cell`]: a content hash of its parameters.
+///
+/// The hash is FNV-1a over the cell's canonical debug rendering (all
+/// cell components are plain data with derived, platform-independent
+/// `Debug` output — enum names, integers, and shortest-round-trip
+/// floats), folded through [`mix64`] so shard residues see avalanched
+/// bits. When a plan contains several cells with *identical*
+/// parameters, each later duplicate mixes in its occurrence index so
+/// ids stay unique within the plan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CellId(u64);
+
+impl CellId {
+    /// Ids for every cell of a plan, in plan order, deduplicated by
+    /// occurrence index.
+    pub fn assign(cells: &[Cell]) -> Vec<CellId> {
+        let mut occurrences: HashMap<u64, u64> = HashMap::new();
+        cells
+            .iter()
+            .map(|cell| {
+                let content = content_hash(cell);
+                let occ = occurrences.entry(content).or_insert(0);
+                let id = mix64(content.wrapping_add(*occ));
+                *occ += 1;
+                CellId(id)
+            })
+            .collect()
+    }
+
+    /// The raw 64-bit id.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Fixed-width lowercase hex, the journal encoding.
+    pub fn to_hex(self) -> String {
+        format!("{:016x}", self.0)
+    }
+
+    /// Parses the journal encoding.
+    pub fn from_hex(text: &str) -> Option<CellId> {
+        if text.len() != 16 {
+            return None;
+        }
+        u64::from_str_radix(text, 16).ok().map(CellId)
+    }
+}
+
+impl fmt::Display for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+/// FNV-1a over the cell's debug rendering.
+fn content_hash(cell: &Cell) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in format!("{cell:?}").bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// One shard of a sharded sweep: this process owns every cell whose
+/// [`CellId`] lands on `index` modulo `count`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardSpec {
+    index: usize,
+    count: usize,
+}
+
+impl ShardSpec {
+    /// Shard `index` (0-based) of `count`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero or `index >= count`.
+    pub fn new(index: usize, count: usize) -> Self {
+        assert!(count > 0, "shard count must be positive");
+        assert!(index < count, "shard index {index} out of range 0..{count}");
+        ShardSpec { index, count }
+    }
+
+    /// The single shard covering the whole plan.
+    pub fn full() -> Self {
+        ShardSpec { index: 0, count: 1 }
+    }
+
+    /// 0-based shard index.
+    pub fn index(self) -> usize {
+        self.index
+    }
+
+    /// Total shard count.
+    pub fn count(self) -> usize {
+        self.count
+    }
+
+    /// Whether this spec covers the whole plan.
+    pub fn is_full(self) -> bool {
+        self.count == 1
+    }
+
+    /// Whether this shard owns the cell with id `id`.
+    pub fn owns(self, id: CellId) -> bool {
+        id.raw() % self.count as u64 == self.index as u64
+    }
+
+    /// Parses the CLI form `i/N` (1-based index, e.g. `1/2`, `2/2`).
+    pub fn parse(text: &str) -> Option<ShardSpec> {
+        let (i, n) = text.split_once('/')?;
+        let index: usize = i.parse().ok()?;
+        let count: usize = n.parse().ok()?;
+        if index == 0 || count == 0 || index > count {
+            return None;
+        }
+        Some(ShardSpec::new(index - 1, count))
+    }
+}
+
+impl fmt::Display for ShardSpec {
+    /// The 1-based CLI form, `i/N`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index + 1, self.count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsp_core::PredictorConfig;
+    use dsp_trace::Workload;
+    use dsp_types::SystemConfig;
+
+    fn cells() -> Vec<Cell> {
+        let config = SystemConfig::isca03();
+        let mut cells = Vec::new();
+        for workload in [Workload::Oltp, Workload::Apache] {
+            cells.push(Cell::Baselines { config, workload });
+            cells.push(Cell::Tradeoff {
+                config,
+                workload,
+                predictor: PredictorConfig::group(),
+            });
+        }
+        cells
+    }
+
+    #[test]
+    fn ids_are_content_based_not_positional() {
+        let forward = cells();
+        let mut reversed = cells();
+        reversed.reverse();
+        let a = CellId::assign(&forward);
+        let mut b = CellId::assign(&reversed);
+        b.reverse();
+        assert_eq!(a, b, "reordering distinct cells must not change ids");
+    }
+
+    #[test]
+    fn duplicate_cells_get_distinct_ids() {
+        let one = cells();
+        let mut twice = cells();
+        twice.extend(cells());
+        let ids = CellId::assign(&twice);
+        let mut unique: Vec<u64> = ids.iter().map(|id| id.raw()).collect();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), ids.len(), "ids must be unique within a plan");
+        // The first occurrence keeps the pure content hash.
+        assert_eq!(ids[..one.len()], CellId::assign(&one)[..]);
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        for id in CellId::assign(&cells()) {
+            assert_eq!(CellId::from_hex(&id.to_hex()), Some(id));
+        }
+        assert_eq!(CellId::from_hex("xyz"), None);
+        assert_eq!(CellId::from_hex(""), None);
+    }
+
+    #[test]
+    fn every_cell_owned_by_exactly_one_shard() {
+        let ids = CellId::assign(&cells());
+        for count in 1..=5 {
+            for &id in &ids {
+                let owners = (0..count)
+                    .filter(|&i| ShardSpec::new(i, count).owns(id))
+                    .count();
+                assert_eq!(owners, 1, "{id} under {count} shards");
+            }
+        }
+    }
+
+    #[test]
+    fn parse_is_one_based() {
+        assert_eq!(ShardSpec::parse("1/2"), Some(ShardSpec::new(0, 2)));
+        assert_eq!(ShardSpec::parse("2/2"), Some(ShardSpec::new(1, 2)));
+        assert_eq!(ShardSpec::parse("1/1"), Some(ShardSpec::full()));
+        assert_eq!(ShardSpec::parse("0/2"), None);
+        assert_eq!(ShardSpec::parse("3/2"), None);
+        assert_eq!(ShardSpec::parse("2"), None);
+        assert_eq!(ShardSpec::new(0, 2).to_string(), "1/2");
+    }
+}

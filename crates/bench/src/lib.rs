@@ -18,5 +18,8 @@ pub mod engine;
 pub mod experiments;
 mod scale;
 
-pub use engine::{Cell, CellOutput, ExperimentPlan, SweepRunner};
+pub use engine::{
+    merge_journals, Cell, CellId, CellOutput, CellRecord, CellSink, Collector, ExperimentPlan,
+    ProgressSink, SessionError, SessionReport, ShardSpec, SweepRunner, SweepSession,
+};
 pub use scale::Scale;

@@ -1,12 +1,19 @@
 //! Determinism and trace-sharing equivalence tests for the sweep
 //! engine (ISSUE 1 acceptance: parallel output must be byte-identical
-//! to single-threaded output, and shared traces must change nothing).
+//! to single-threaded output, and shared traces must change nothing;
+//! ISSUE 4 acceptance: any shard partition plus any crash/resume point
+//! must merge byte-identical to the serial path).
 
-use dsp_bench::engine::{Cell, CellOutput, ExperimentPlan, SweepRunner};
+use std::path::PathBuf;
+
+use dsp_bench::engine::{
+    merge_journals, Cell, CellOutput, ExperimentPlan, ShardSpec, SweepRunner, SweepSession,
+};
 use dsp_bench::{experiments, Scale};
 use dsp_core::{Capacity, Indexing, PredictorConfig};
 use dsp_trace::{TraceRecord, Workload, WorkloadSpec};
 use dsp_types::SystemConfig;
+use proptest::prelude::*;
 
 fn tiny() -> Scale {
     Scale {
@@ -131,6 +138,132 @@ fn shared_trace_equals_fresh_generation() {
         .warmup(scale.trace_warmup)
         .run(fresh.iter().copied(), &predictor);
     assert_eq!(*outputs[0].tradeoff(), direct);
+}
+
+/// Builds a randomized trace-driven plan: a nonempty subset of three
+/// workloads (from `workload_mask`), each with its baselines and the
+/// first `predictors` predictor configurations.
+fn random_plan(scale: &Scale, workload_mask: usize, predictors: usize) -> ExperimentPlan {
+    let config = SystemConfig::isca03();
+    let all_predictors = [
+        PredictorConfig::owner().indexing(Indexing::Macroblock { bytes: 1024 }),
+        PredictorConfig::group(),
+        PredictorConfig::broadcast_if_shared().entries(Capacity::ISCA03),
+    ];
+    let mut plan = ExperimentPlan::new(
+        "proptest-plan",
+        &["workload", "label", "msgs", "indirections"],
+        scale,
+    );
+    for (bit, workload) in [Workload::Oltp, Workload::Apache, Workload::Ocean]
+        .into_iter()
+        .enumerate()
+    {
+        if workload_mask & (1 << bit) == 0 {
+            continue;
+        }
+        plan.push(Cell::Baselines { config, workload });
+        for predictor in all_predictors.iter().take(predictors) {
+            plan.push(Cell::Tradeoff {
+                config,
+                workload,
+                predictor: *predictor,
+            });
+        }
+    }
+    plan.render(|cells, outputs, table| {
+        for (cell, output) in cells.iter().zip(outputs) {
+            let workload = cell.workload().expect("trace cell").name().to_string();
+            let mut row = |label: &str, msgs: u64, ind: u64| {
+                table.row([
+                    workload.clone(),
+                    label.to_string(),
+                    msgs.to_string(),
+                    ind.to_string(),
+                ]);
+            };
+            match output {
+                CellOutput::Baselines {
+                    snooping,
+                    directory,
+                } => {
+                    for p in [snooping, directory] {
+                        row(&p.label, p.request_messages, p.indirections);
+                    }
+                }
+                CellOutput::Tradeoff(p) => row(&p.label, p.request_messages, p.indirections),
+                other => panic!("unexpected output {other:?}"),
+            }
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// ISSUE 4 acceptance: for random plans, any `ShardSpec` partition
+    /// plus a simulated mid-run crash (journal truncated to an
+    /// arbitrary record boundary plus a torn fragment) and resume
+    /// merges byte-identical to the serial path.
+    #[test]
+    fn shard_crash_resume_merges_byte_identical(
+        workload_mask in 1usize..8,
+        predictors in 0usize..4,
+        shards in 1usize..5,
+        crash_keep in 0usize..4,
+        torn in proptest::arbitrary::any::<bool>(),
+    ) {
+        let scale = tiny();
+        let plan = random_plan(&scale, workload_mask, predictors);
+        let serial = SweepRunner::serial().run(&plan).to_csv();
+
+        let dir = std::env::temp_dir().join(format!(
+            "dsp-prop-shard-{}-{workload_mask}-{predictors}-{shards}-{crash_keep}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+
+        // Run every shard, journaling to its own file.
+        let paths: Vec<PathBuf> = (0..shards)
+            .map(|i| dir.join(format!("shard{i}.jsonl")))
+            .collect();
+        for (i, path) in paths.iter().enumerate() {
+            SweepSession::new(&plan)
+                .shard(ShardSpec::new(i, shards))
+                .threads(1 + i % 3)
+                .checkpoint(path)
+                .run(&mut [])
+                .expect("shard session");
+        }
+
+        // Crash shard 0 at an arbitrary point: keep the header plus
+        // `crash_keep` records, optionally with a torn fragment of the
+        // next record (a process killed mid-write), then resume it.
+        let text = std::fs::read_to_string(&paths[0]).expect("read journal");
+        let lines: Vec<&str> = text.lines().collect();
+        let keep = 1 + crash_keep.min(lines.len() - 1);
+        let kept: Vec<String> = lines[..keep].iter().map(|l| l.to_string()).collect();
+        let mut remnant = String::new();
+        if torn {
+            if let Some(next) = lines.get(keep) {
+                remnant = next[..next.len() / 2].to_string();
+            }
+        }
+        std::fs::write(&paths[0], format!("{}\n{remnant}", kept.join("\n"))).expect("truncate");
+        let resumed = SweepSession::new(&plan)
+            .shard(ShardSpec::new(0, shards))
+            .checkpoint(&paths[0])
+            .resume(true)
+            .run(&mut [])
+            .expect("resumed session");
+        prop_assert_eq!(resumed.replayed, keep - 1, "intact records replay");
+
+        // Any shard partition + any crash point merges byte-identical.
+        let merged = merge_journals(&plan, &paths).expect("merge");
+        prop_assert_eq!(merged.to_csv(), serial.clone());
+        std::fs::remove_dir_all(&dir).ok();
+    }
 }
 
 /// `repro all`-style reuse: one runner serving several plans caches

@@ -1,13 +1,25 @@
 //! Golden check: experiment output is byte-identical to the
-//! pre-refactor (PR 2) outputs.
+//! pre-refactor (PR 2) outputs — through every execution mode.
 //!
 //! The goldens under `tests/goldens/` were captured at `--scale quick`
 //! immediately before the scheduling-core rebuild (timing-wheel event
 //! queue, shared open-addressing table family, 256-bit `DestSet`), so
-//! this test proves the whole refactor — queue, tables, set widening,
-//! and the trace-generator storage swap — is observationally invisible
-//! to every table and figure it touches: the trace-driven Table 2 and
-//! Figure 5 paths and the timing-simulated Figure 7/8 paths.
+//! these tests prove the refactors since — queue, tables, set widening,
+//! the trace-generator storage swap, and now the streaming session API
+//! with its serde round-trip through checkpoint journals — are
+//! observationally invisible to every table and figure they touch: the
+//! trace-driven Table 2 and Figure 5 paths and the timing-simulated
+//! Figure 7/8 paths.
+//!
+//! Each artifact is checked four ways against the same golden bytes:
+//!
+//! 1. the batch path (`SweepRunner`, a single-shard in-memory session);
+//! 2. a 2-shard run — two sessions journaling to JSONL, then
+//!    `merge_journals`;
+//! 3. a crash-then-resume run — a full journal truncated mid-file, a
+//!    resumed session completing it, then a merge of the healed file;
+//! 4. (implicitly, by 2 and 3) the serde round-trip of every cell
+//!    output through the journal.
 //!
 //! Compiled only into release test runs (CI's `cargo test --release
 //! --workspace`): the quick-scale timing simulations behind fig7/fig8
@@ -16,18 +28,77 @@
 
 #![cfg(not(debug_assertions))]
 
-use dsp_bench::engine::SweepRunner;
+use std::path::PathBuf;
+
+use dsp_bench::engine::{merge_journals, ShardSpec, SweepRunner, SweepSession};
 use dsp_bench::{experiments, Scale};
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dsp-golden-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
 
 fn check(name: &str, golden: &str) {
     let scale = Scale::quick();
+
+    // 1. Batch path (single-shard in-memory session).
     let plan = experiments::plan_for(name, &scale).expect("known experiment");
     let table = SweepRunner::new().run(&plan);
     assert_eq!(
         table.to_csv(),
         golden,
-        "{name} output diverged from the pre-refactor golden"
+        "{name} batch output diverged from the pre-refactor golden"
     );
+
+    let dir = tmpdir(name);
+
+    // 2. Two shards journaled to disk, then merged.
+    let shard_paths: Vec<PathBuf> = (0..2).map(|i| dir.join(format!("s{i}.jsonl"))).collect();
+    for (i, path) in shard_paths.iter().enumerate() {
+        SweepSession::new(&plan)
+            .shard(ShardSpec::new(i, 2))
+            .threads(4)
+            .checkpoint(path)
+            .run(&mut [])
+            .expect("shard session");
+    }
+    let merged = merge_journals(&plan, &shard_paths).expect("merge");
+    assert_eq!(
+        merged.to_csv(),
+        golden,
+        "{name} 2-shard merged output diverged from the golden"
+    );
+
+    // 3. Crash after the first journaled cell, then resume.
+    let crash_path = dir.join("crash.jsonl");
+    SweepSession::new(&plan)
+        .checkpoint(&crash_path)
+        .run(&mut [])
+        .expect("full journaling run");
+    let text = std::fs::read_to_string(&crash_path).expect("read journal");
+    // Keep the header, the first record, and a torn fragment of the
+    // second — the on-disk state of a process killed mid-write.
+    let mut kept: Vec<&str> = text.lines().take(2).collect();
+    let torn = text.lines().nth(2).expect("at least two records");
+    kept.push(&torn[..torn.len() / 2]);
+    std::fs::write(&crash_path, kept.join("\n")).expect("truncate journal");
+    let resumed = SweepSession::new(&plan)
+        .checkpoint(&crash_path)
+        .resume(true)
+        .run(&mut [])
+        .expect("resumed session");
+    assert_eq!(resumed.replayed, 1, "{name}: one intact record replays");
+    assert_eq!(resumed.executed, plan.len() - 1);
+    let healed = merge_journals(&plan, &[crash_path]).expect("merge healed journal");
+    assert_eq!(
+        healed.to_csv(),
+        golden,
+        "{name} crash-then-resumed output diverged from the golden"
+    );
+
+    std::fs::remove_dir_all(dir).ok();
 }
 
 #[test]

@@ -47,4 +47,4 @@ mod system;
 pub use config::{CpuModel, ProtocolKind, SimConfig, TargetSystem};
 pub use queue::{Event, EventQueue, ReferenceQueue, WheelQueue};
 pub use report::{ClassCounts, LatencyHistogram, SimReport};
-pub use system::System;
+pub use system::{System, TracePartition};

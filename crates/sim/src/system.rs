@@ -1,5 +1,7 @@
 //! The full-system discrete-event timing simulator.
 
+use std::sync::Arc;
+
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -70,7 +72,7 @@ pub struct System {
     target: TargetSystem,
     sim: SimConfig,
     // Per node.
-    programs: Vec<Vec<TraceRecord>>,
+    programs: TracePartition,
     next_miss: Vec<usize>,
     outstanding: Vec<usize>,
     ready_at: Vec<u64>,
@@ -103,16 +105,49 @@ impl System {
         spec: &WorkloadSpec,
         sim: SimConfig,
     ) -> Self {
-        let n = sys.num_nodes();
         let quota = sim.warmup_misses_per_node + sim.measured_misses_per_node;
-        let programs = partition_trace(spec, sim.seed, n, quota);
+        let partition = TracePartition::build(spec, sim.seed, sys.num_nodes(), quota);
+        System::with_partition(sys, target, spec, sim, partition)
+    }
+
+    /// Builds a system over a precomputed [`TracePartition`].
+    ///
+    /// Partitioning the miss stream costs a sizeable fraction of short
+    /// runs (the generator is drawn until every node's program fills),
+    /// and the partition depends only on `(spec, seed, nodes, quota)` —
+    /// not on the protocol, CPU model, or target machine — so sweep
+    /// harnesses that simulate many protocols over one workload build
+    /// it once and clone it into every simulation. Behavior is
+    /// byte-identical to [`System::new`] with the same parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partition's node count, seed, or per-node quota
+    /// disagree with `sys`/`sim` (it would silently change the
+    /// simulated programs otherwise).
+    pub fn with_partition(
+        sys: &SystemConfig,
+        target: TargetSystem,
+        spec: &WorkloadSpec,
+        sim: SimConfig,
+        partition: TracePartition,
+    ) -> Self {
+        let n = sys.num_nodes();
+        assert_eq!(partition.nodes(), n, "partition built for another size");
+        assert_eq!(partition.seed(), sim.seed, "partition seed mismatch");
+        assert_eq!(
+            partition.quota(),
+            sim.warmup_misses_per_node + sim.measured_misses_per_node,
+            "partition quota mismatch"
+        );
+        let programs = partition;
+        let total_misses = programs.per_node().iter().map(|p| p.len() as u64).sum();
         let predictors: Vec<Box<dyn DestSetPredictor>> = match &sim.protocol {
             ProtocolKind::Multicast(cfg) | ProtocolKind::DirectoryPredicted(cfg) => {
                 (0..n).map(|_| cfg.build(sys)).collect()
             }
             _ => Vec::new(),
         };
-        let total_misses = programs.iter().map(|p| p.len() as u64).sum();
         System {
             sys: *sys,
             target,
@@ -790,6 +825,62 @@ impl System {
     }
 }
 
+/// A precomputed per-node partition of one workload's miss stream: the
+/// programs [`System`] replays, shareable across simulations.
+///
+/// The partition depends only on the workload spec, the seed, the node
+/// count, and the per-node miss quota — every protocol, CPU model, and
+/// target machine simulated over the same trace replays the *same*
+/// programs. Cloning is cheap (the programs live behind an `Arc`), so
+/// sweep harnesses build each distinct partition once and hand clones
+/// to [`System::with_partition`].
+#[derive(Clone, Debug)]
+pub struct TracePartition {
+    programs: Arc<Vec<Vec<TraceRecord>>>,
+    seed: u64,
+    quota: usize,
+}
+
+impl TracePartition {
+    /// Partitions `spec`'s miss stream (seeded with `seed`) into `n`
+    /// per-node programs of `quota` misses each.
+    pub fn build(spec: &WorkloadSpec, seed: u64, n: usize, quota: usize) -> Self {
+        TracePartition {
+            programs: Arc::new(partition_trace(spec, seed, n, quota)),
+            seed,
+            quota,
+        }
+    }
+
+    /// Number of per-node programs (= the node count it was built for).
+    pub fn nodes(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// The generator seed the partition was drawn with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The per-node miss quota (warmup + measured).
+    pub fn quota(&self) -> usize {
+        self.quota
+    }
+
+    /// The per-node programs.
+    pub fn per_node(&self) -> &[Vec<TraceRecord>] {
+        &self.programs
+    }
+}
+
+impl std::ops::Index<usize> for TracePartition {
+    type Output = [TraceRecord];
+
+    fn index(&self, node: usize) -> &[TraceRecord] {
+        &self.programs[node]
+    }
+}
+
 /// Splits a generated global miss stream into per-node programs of
 /// `quota` misses each. If the generator starves a node (it emitted too
 /// few misses for it), that node's program is padded by cycling its own
@@ -987,6 +1078,39 @@ mod tests {
         for p in &programs {
             assert_eq!(p.len(), 50);
         }
+    }
+
+    #[test]
+    fn shared_partition_is_byte_identical_to_fresh() {
+        let sys = SystemConfig::isca03();
+        let spec = spec();
+        let sim = |p| SimConfig::new(p).misses(50, 200).seed(11);
+        let partition = TracePartition::build(&spec, 11, sys.num_nodes(), 250);
+        for protocol in [ProtocolKind::Snooping, ProtocolKind::Directory] {
+            let fresh =
+                System::new(&sys, TargetSystem::isca03_default(), &spec, sim(protocol)).run();
+            let shared = System::with_partition(
+                &sys,
+                TargetSystem::isca03_default(),
+                &spec,
+                sim(protocol),
+                partition.clone(),
+            )
+            .run();
+            assert_eq!(fresh, shared, "{protocol:?} diverged on a shared partition");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "partition seed mismatch")]
+    fn partition_seed_mismatch_is_rejected() {
+        let sys = SystemConfig::isca03();
+        let spec = spec();
+        let partition = TracePartition::build(&spec, 12, sys.num_nodes(), 250);
+        let sim = SimConfig::new(ProtocolKind::Snooping)
+            .misses(50, 200)
+            .seed(11);
+        let _ = System::with_partition(&sys, TargetSystem::isca03_default(), &spec, sim, partition);
     }
 
     #[test]

@@ -106,22 +106,38 @@ impl DestSet {
         self.0
     }
 
+    /// OR of every word above word 0 — zero exactly when the set is
+    /// confined to nodes 0..64.
+    ///
+    /// Every paper-scale system (16 nodes) and most scaling rows live
+    /// entirely in word 0, so the word loops below test this first and
+    /// take a single-word path: the `[u64; 4]` widening for 256-node
+    /// systems then costs small systems three ORs instead of a
+    /// four-word scan per operation (the ROADMAP's "upper-words-zero
+    /// fast path" item).
+    #[inline]
+    const fn upper_or(self) -> u64 {
+        let mut acc = 0;
+        let mut i = 1;
+        while i < WORDS {
+            acc |= self.0[i];
+            i += 1;
+        }
+        acc
+    }
+
     /// Whether the set contains no nodes.
     #[inline]
     pub const fn is_empty(self) -> bool {
-        let mut i = 0;
-        while i < WORDS {
-            if self.0[i] != 0 {
-                return false;
-            }
-            i += 1;
-        }
-        true
+        self.0[0] | self.upper_or() == 0
     }
 
     /// Number of nodes in the set.
     #[inline]
     pub const fn len(self) -> usize {
+        if self.upper_or() == 0 {
+            return self.0[0].count_ones() as usize;
+        }
         let mut total = 0;
         let mut i = 0;
         while i < WORDS {
@@ -176,6 +192,9 @@ impl DestSet {
     /// Whether every node of `other` is in `self`.
     #[inline]
     pub const fn is_superset(self, other: DestSet) -> bool {
+        if self.upper_or() | other.upper_or() == 0 {
+            return self.0[0] & other.0[0] == other.0[0];
+        }
         let mut i = 0;
         while i < WORDS {
             if self.0[i] & other.0[i] != other.0[i] {
@@ -244,18 +263,36 @@ impl DestSet {
     }
 
     /// Iterates over the members in increasing node-index order.
+    ///
+    /// The iterator carries the index just past the highest populated
+    /// word, so sets confined to word 0 (every ≤64-node system) never
+    /// scan the three empty upper words — neither per step nor when the
+    /// iteration drains.
     #[inline]
     pub fn iter(self) -> DestSetIter {
+        let limit = if self.upper_or() == 0 {
+            usize::from(self.0[0] != 0)
+        } else {
+            let mut l = WORDS;
+            while self.0[l - 1] == 0 {
+                l -= 1;
+            }
+            l
+        };
         DestSetIter {
             words: self.0,
             word: 0,
+            limit,
         }
     }
 
     /// The lowest-indexed node in the set, if any.
     #[inline]
     pub fn first(self) -> Option<NodeId> {
-        let mut i = 0;
+        if self.0[0] != 0 {
+            return Some(NodeId::new_unchecked(self.0[0].trailing_zeros() as u8));
+        }
+        let mut i = 1;
         while i < WORDS {
             if self.0[i] != 0 {
                 let idx = i * 64 + self.0[i].trailing_zeros() as usize;
@@ -422,6 +459,9 @@ impl fmt::Octal for DestSet {
 pub struct DestSetIter {
     words: [u64; WORDS],
     word: usize,
+    /// One past the highest populated word at construction; words at
+    /// and beyond it are zero and are never scanned.
+    limit: usize,
 }
 
 impl Iterator for DestSetIter {
@@ -429,7 +469,7 @@ impl Iterator for DestSetIter {
 
     #[inline]
     fn next(&mut self) -> Option<NodeId> {
-        while self.word < WORDS {
+        while self.word < self.limit {
             let w = self.words[self.word];
             if w != 0 {
                 let idx = self.word * 64 + w.trailing_zeros() as usize;
@@ -442,7 +482,7 @@ impl Iterator for DestSetIter {
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let n: usize = self.words[self.word..]
+        let n: usize = self.words[self.word..self.limit]
             .iter()
             .map(|w| w.count_ones() as usize)
             .sum();
@@ -639,6 +679,36 @@ mod tests {
             format!("8{}", "0".repeat(63)),
             "bit 255 is the top hex nibble"
         );
+    }
+
+    #[test]
+    fn fast_path_agrees_with_wide_sets() {
+        // The upper-words-zero fast paths must be observationally
+        // invisible: low-word sets, straddling sets, and upper-only
+        // sets answer identically through every word loop.
+        let cases = [
+            DestSet::empty(),
+            DestSet::from_bits(0b1011),
+            DestSet::from_bits(u64::MAX),
+            DestSet::single(n(64)),
+            DestSet::from_iter([n(3), n(64), n(200)]),
+            DestSet::from_words([0, 0, 0, 1 << 63]),
+        ];
+        for s in cases {
+            let members: Vec<NodeId> = s.iter().collect();
+            assert_eq!(members.len(), s.len());
+            assert_eq!(s.iter().len(), s.len(), "size_hint respects limit");
+            assert_eq!(s.is_empty(), members.is_empty());
+            assert_eq!(s.first(), members.first().copied());
+            assert!(s.is_superset(s));
+            for &m in &members {
+                assert!(s.is_superset(DestSet::single(m)));
+            }
+            assert!(DestSet::broadcast(MAX_NODES).is_superset(s));
+            if !s.is_empty() {
+                assert!(!DestSet::empty().is_superset(s));
+            }
+        }
     }
 
     #[test]

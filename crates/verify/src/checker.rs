@@ -3,10 +3,12 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 
+use serde::{Deserialize, Serialize};
+
 use crate::model::{successors, ModelConfig, ModelState, NodeState, ProtocolEvent};
 
 /// An invariant violation found by the checker.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Violation {
     /// Human-readable description of the violated invariant.
     pub invariant: String,
@@ -29,7 +31,7 @@ impl fmt::Display for Violation {
 }
 
 /// The result of an exhaustive exploration.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct CheckReport {
     /// Reachable states visited.
     pub states_explored: usize,

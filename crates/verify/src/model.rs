@@ -15,12 +15,14 @@
 //! predicts (any subset of the other nodes), and the interleaving of
 //! channel processing vs. response delivery.
 
+use serde::{Deserialize, Serialize};
+
 /// Maximum nodes the packed state representation supports.
 pub const MAX_NODES: usize = 4;
 
 /// Per-node cache state for the single modeled block, including the
 /// transient waiting states.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum NodeState {
     /// No copy.
     Invalid,
@@ -57,7 +59,7 @@ impl NodeState {
 }
 
 /// A coherence request in the ordered channel.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct Request {
     /// Issuing node.
     pub from: u8,
@@ -75,7 +77,7 @@ pub struct Request {
 /// can logically demote or invalidate the not-yet-received copy (the
 /// receiver still gets its use-once data, so its own access completes —
 /// standard ordered-protocol semantics).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum GrantOutcome {
     /// Delivers the full requested permission.
     Full,
@@ -86,7 +88,7 @@ pub enum GrantOutcome {
 }
 
 /// An in-flight grant (data or upgrade ack) to a requester.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct Grant {
     /// Destination node.
     pub to: u8,
@@ -97,7 +99,7 @@ pub struct Grant {
 }
 
 /// One global protocol state.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct ModelState {
     /// Per-node cache state.
     pub nodes: Vec<NodeState>,
@@ -125,7 +127,7 @@ impl ModelState {
 }
 
 /// A transition label, used in counterexample traces.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ProtocolEvent {
     /// `node` issued a request with the given predicted destinations.
     Issue {
