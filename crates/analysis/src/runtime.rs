@@ -2,7 +2,10 @@
 
 use serde::{Deserialize, Serialize};
 
-use dsp_sim::{CpuModel, ProtocolKind, SimConfig, SimReport, System, TargetSystem, TracePartition};
+use dsp_sim::{
+    CpuModel, ProtocolKind, SimConfig, SimReport, System, TargetSystem, TracePartition,
+    TrainingMode,
+};
 use dsp_trace::WorkloadSpec;
 use dsp_types::SystemConfig;
 
@@ -52,6 +55,7 @@ pub struct RuntimeEvaluator {
     measured: usize,
     seed: u64,
     runs: usize,
+    training: TrainingMode,
 }
 
 impl RuntimeEvaluator {
@@ -66,6 +70,7 @@ impl RuntimeEvaluator {
             measured: 1_000,
             seed: 1,
             runs: 1,
+            training: TrainingMode::default(),
         }
     }
 
@@ -109,6 +114,15 @@ impl RuntimeEvaluator {
         self
     }
 
+    /// Selects the predictor-training delivery mode (lazy by default;
+    /// eager is the seed reference path — the two are observationally
+    /// identical, and the golden-output suite runs both).
+    #[must_use]
+    pub fn training(mut self, training: TrainingMode) -> Self {
+        self.training = training;
+        self
+    }
+
     /// Builds the per-run trace partitions every protocol of this
     /// evaluator replays: one per perturbed-seed repetition.
     ///
@@ -145,7 +159,8 @@ impl RuntimeEvaluator {
             let sim = SimConfig::new(protocol)
                 .cpu(self.cpu)
                 .misses(self.warmup, self.measured)
-                .seed(self.seed + r as u64 * 7919);
+                .seed(self.seed + r as u64 * 7919)
+                .training(self.training);
             let rep =
                 System::with_partition(&self.config, self.target, spec, sim, partition.clone())
                     .run();
@@ -283,6 +298,20 @@ mod tests {
         let fresh = e.run(&spec, &[]);
         let shared = e.run_partitioned(&spec, &[], &parts);
         assert_eq!(fresh, shared, "shared partitions must change nothing");
+    }
+
+    #[test]
+    fn eager_and_lazy_training_produce_identical_points() {
+        let protocol = ProtocolKind::Multicast(
+            PredictorConfig::owner_group().indexing(Indexing::Macroblock { bytes: 1024 }),
+        );
+        let spec = spec(Workload::Oltp);
+        let lazy = eval().training(TrainingMode::Lazy).run(&spec, &[protocol]);
+        let eager = eval().training(TrainingMode::Eager).run(&spec, &[protocol]);
+        assert_eq!(
+            lazy, eager,
+            "training mode must be observationally invisible"
+        );
     }
 
     #[test]

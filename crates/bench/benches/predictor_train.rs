@@ -1,0 +1,72 @@
+//! Training-delivery throughput: lazy per-node inboxes vs the eager
+//! per-arrival events, swept across destination-set fan-out.
+//!
+//! Each benchmark runs the full timing simulator on one shared trace
+//! partition under both [`TrainingMode`]s. The protocols span the
+//! fan-out regimes of the paper's design space: `Always-Minimal` is the
+//! unicast-like endpoint (requester + home only — almost nothing to
+//! train), `Owner-Group` is the balanced policy (small multicast sets),
+//! and `Broadcast-if-Shared` is the latency-conscious endpoint whose
+//! shared-data broadcasts produce one training arrival per node per
+//! miss — the regime where the eager path queues O(misses × nodes)
+//! wheel events and the lazy inboxes win most.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use dsp_core::{Indexing, PredictorConfig};
+use dsp_sim::{ProtocolKind, SimConfig, System, TargetSystem, TracePartition, TrainingMode};
+use dsp_trace::{Workload, WorkloadSpec};
+use dsp_types::SystemConfig;
+
+const SEED: u64 = 0x15CA_2003;
+const WARMUP: usize = 50;
+const MEASURED: usize = 200;
+
+fn bench_training(c: &mut Criterion) {
+    let mb = Indexing::Macroblock { bytes: 1024 };
+    let fanouts = [
+        ("unicast", PredictorConfig::always_minimal()),
+        ("owner-group", PredictorConfig::owner_group().indexing(mb)),
+        (
+            "broadcast",
+            PredictorConfig::broadcast_if_shared().indexing(mb),
+        ),
+    ];
+    let mut group = c.benchmark_group("predictor_train");
+    for nodes in [16usize, 64] {
+        let config = SystemConfig::builder()
+            .num_nodes(nodes)
+            .build()
+            .expect("valid node count");
+        let spec = WorkloadSpec::preset(Workload::Oltp, &config).scaled(1.0 / 64.0);
+        let partition = TracePartition::build(&spec, SEED, nodes, WARMUP + MEASURED);
+        group.throughput(Throughput::Elements((MEASURED * nodes) as u64));
+        for (fanout, predictor) in &fanouts {
+            for (mode_name, mode) in [("eager", TrainingMode::Eager), ("lazy", TrainingMode::Lazy)]
+            {
+                let id = BenchmarkId::new(format!("{fanout}/{mode_name}"), nodes);
+                group.bench_function(id, |b| {
+                    b.iter(|| {
+                        let sim = SimConfig::new(ProtocolKind::Multicast(*predictor))
+                            .misses(WARMUP, MEASURED)
+                            .seed(SEED)
+                            .training(mode);
+                        let report = System::with_partition(
+                            &config,
+                            TargetSystem::isca03_default(),
+                            &spec,
+                            sim,
+                            partition.clone(),
+                        )
+                        .run();
+                        std::hint::black_box(report.measured_misses)
+                    })
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

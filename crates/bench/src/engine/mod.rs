@@ -71,7 +71,7 @@ use dsp_analysis::{
     TradeoffEvaluator, TradeoffPoint,
 };
 use dsp_core::PredictorConfig;
-use dsp_sim::{CpuModel, ProtocolKind, TargetSystem, TracePartition};
+use dsp_sim::{CpuModel, ProtocolKind, TargetSystem, TracePartition, TrainingMode};
 use dsp_trace::{TraceRecord, Workload, WorkloadSpec};
 use dsp_types::SystemConfig;
 use dsp_verify::{check, Bug, CheckReport, ModelConfig};
@@ -284,6 +284,10 @@ pub struct ExperimentPlan {
     pub scale: Scale,
     /// Base seed for trace generation and the timing simulator.
     pub seed: u64,
+    /// Predictor-training delivery for the plan's timing simulations
+    /// (lazy by default; the eager seed path is selectable so the
+    /// golden suite can diff both modes through whole experiments).
+    pub training: TrainingMode,
     /// The cells, in output order.
     pub cells: Vec<Cell>,
     render: RenderFn,
@@ -296,6 +300,7 @@ impl std::fmt::Debug for ExperimentPlan {
             .field("columns", &self.columns)
             .field("scale", &self.scale)
             .field("seed", &self.seed)
+            .field("training", &self.training)
             .field("cells", &self.cells.len())
             .finish()
     }
@@ -309,9 +314,19 @@ impl ExperimentPlan {
             columns: columns.to_vec(),
             scale: *scale,
             seed: crate::experiments::SEED,
+            training: TrainingMode::default(),
             cells: Vec::new(),
             render: Box::new(|_, _, _| {}),
         }
+    }
+
+    /// Selects the training-delivery mode for the plan's timing
+    /// simulations. Output must not change — `golden_outputs.rs` pins
+    /// every experiment golden under both modes.
+    #[must_use]
+    pub fn training(mut self, training: TrainingMode) -> Self {
+        self.training = training;
+        self
     }
 
     /// Appends a cell, returning its plan index.
@@ -558,7 +573,8 @@ pub(crate) fn execute_cell(
                 .cpu(*cpu)
                 .misses(scale.sim_warmup, scale.sim_measured)
                 .runs(scale.sim_runs)
-                .seed(plan.seed);
+                .seed(plan.seed)
+                .training(plan.training);
             if let Some(target) = target {
                 eval = eval.target(*target);
             }

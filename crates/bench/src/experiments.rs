@@ -582,28 +582,70 @@ pub fn scaling_plan(scale: &Scale) -> ExperimentPlan {
             });
         }
     }
+    // Timing-sim (fig7-style) rows at the large node counts: the full
+    // discrete-event simulator, not just the trace-driven evaluator.
+    // Affordable since predictor training stopped queuing one wheel
+    // event per request destination — event-loop traffic is O(misses)
+    // instead of O(misses × destinations), which is what used to grow
+    // quadratically with the broadcast fan-out at 256 nodes.
+    for nodes in [64usize, 128, 256] {
+        let config = SystemConfig::builder()
+            .num_nodes(nodes)
+            .build()
+            .expect("valid");
+        plan.push(Cell::Runtime {
+            config,
+            workload: Workload::Oltp,
+            cpu: CpuModel::Simple,
+            target: None,
+            protocols: vec![ProtocolKind::Multicast(
+                PredictorConfig::owner_group().indexing(MB),
+            )],
+        });
+    }
     plan.render(|cells, outputs, table| {
-        let mut row = |nodes: usize, point: &TradeoffPoint| {
+        let mut row = |nodes: usize, label: &str, msgs_per_miss: f64, indirection_pct: f64| {
             let broadcast_cost = (nodes - 1) as f64;
             table.row([
                 nodes.to_string(),
-                point.label.clone(),
-                fmt_f(point.request_messages_per_miss(), 2),
-                fmt_f(point.indirection_pct(), 1),
-                fmt_f(point.request_messages_per_miss() / broadcast_cost, 3),
+                label.to_string(),
+                fmt_f(msgs_per_miss, 2),
+                fmt_f(indirection_pct, 1),
+                fmt_f(msgs_per_miss / broadcast_cost, 3),
             ]);
         };
         for (cell, output) in cells.iter().zip(outputs) {
-            let nodes = cell.config().expect("trace-driven cell").num_nodes();
+            let nodes = cell.config().expect("scaling cell").num_nodes();
             match output {
                 CellOutput::Baselines {
                     snooping,
                     directory,
                 } => {
-                    row(nodes, snooping);
-                    row(nodes, directory);
+                    for point in [snooping, directory] {
+                        row(
+                            nodes,
+                            &point.label,
+                            point.request_messages_per_miss(),
+                            point.indirection_pct(),
+                        );
+                    }
                 }
-                CellOutput::Tradeoff(point) => row(nodes, point),
+                CellOutput::Tradeoff(point) => row(
+                    nodes,
+                    &point.label,
+                    point.request_messages_per_miss(),
+                    point.indirection_pct(),
+                ),
+                CellOutput::Runtime(points) => {
+                    for point in points {
+                        row(
+                            nodes,
+                            &format!("{} (timing sim)", point.label),
+                            point.report.request_messages_per_miss(),
+                            point.report.indirection_pct(),
+                        );
+                    }
+                }
                 other => panic!("unexpected output in scaling table: {other:?}"),
             }
         }
@@ -615,7 +657,11 @@ pub fn scaling_plan(scale: &Scale) -> ExperimentPlan {
 /// tracking sub-machine sharing groups — grows with it). The 128- and
 /// 256-node rows exercise the multi-word `DestSet` representation and
 /// the queue/table pressure the related work (criticality-aware
-/// multiprocessors, cache-level prediction) motivates.
+/// multiprocessors, cache-level prediction) motivates. The `(timing
+/// sim)` rows at 64/128/256 nodes run the full discrete-event
+/// simulator — the fig7-style path — at sizes that lazy predictor
+/// training made affordable (wheel traffic no longer scales with the
+/// request fan-out).
 pub fn scaling(scale: &Scale) -> TextTable {
     SweepRunner::new().run(&scaling_plan(scale))
 }
@@ -1002,8 +1048,9 @@ mod tests {
 
     #[test]
     fn scaling_rows() {
-        // 6 sizes (8..=256 nodes) x (2 baselines + 3 predictors).
-        assert_eq!(scaling(&tiny()).len(), 30);
+        // 6 sizes (8..=256 nodes) x (2 baselines + 3 predictors), plus
+        // 3 timing-sim cells (64/128/256) x 3 protocols each.
+        assert_eq!(scaling(&tiny()).len(), 39);
     }
 
     #[test]

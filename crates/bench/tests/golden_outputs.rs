@@ -11,9 +11,10 @@
 //! trace-driven Table 2 and Figure 5 paths and the timing-simulated
 //! Figure 7/8 paths.
 //!
-//! Each artifact is checked four ways against the same golden bytes:
+//! Each artifact is checked five ways against the same golden bytes:
 //!
-//! 1. the batch path (`SweepRunner`, a single-shard in-memory session);
+//! 1. the batch path (`SweepRunner`, a single-shard in-memory session),
+//!    under both the lazy (default) and eager training-delivery modes;
 //! 2. a 2-shard run — two sessions journaling to JSONL, then
 //!    `merge_journals`;
 //! 3. a crash-then-resume run — a full journal truncated mid-file, a
@@ -30,8 +31,9 @@
 
 use std::path::PathBuf;
 
-use dsp_bench::engine::{merge_journals, ShardSpec, SweepRunner, SweepSession};
+use dsp_bench::engine::{merge_journals, Cell, ShardSpec, SweepRunner, SweepSession};
 use dsp_bench::{experiments, Scale};
+use dsp_sim::TrainingMode;
 
 fn tmpdir(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("dsp-golden-{}-{name}", std::process::id()));
@@ -43,14 +45,33 @@ fn tmpdir(name: &str) -> PathBuf {
 fn check(name: &str, golden: &str) {
     let scale = Scale::quick();
 
-    // 1. Batch path (single-shard in-memory session).
+    // 1. Batch path (single-shard in-memory session), under BOTH
+    //    training-delivery modes: the lazy per-node inboxes (the
+    //    default) and the eager per-arrival reference events must
+    //    render byte-identical tables — to each other and to the
+    //    pre-refactor golden. The eager re-run only happens for plans
+    //    with timing-sim cells (fig7/fig8): trace-driven experiments
+    //    never touch the simulator, so both modes would execute
+    //    identical code there. This is the whole-experiment end of
+    //    the eager/lazy equivalence argument; the per-call end lives
+    //    in `dsp-sim/tests/train_equivalence.rs`.
     let plan = experiments::plan_for(name, &scale).expect("known experiment");
     let table = SweepRunner::new().run(&plan);
     assert_eq!(
         table.to_csv(),
         golden,
-        "{name} batch output diverged from the pre-refactor golden"
+        "{name} batch output (lazy training) diverged from the pre-refactor golden"
     );
+    if plan.cells.iter().any(|c| matches!(c, Cell::Runtime { .. })) {
+        let eager_plan = experiments::plan_for(name, &scale)
+            .expect("known experiment")
+            .training(TrainingMode::Eager);
+        assert_eq!(
+            SweepRunner::new().run(&eager_plan).to_csv(),
+            golden,
+            "{name} batch output (eager training) diverged from the pre-refactor golden"
+        );
+    }
 
     let dir = tmpdir(name);
 

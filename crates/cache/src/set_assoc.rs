@@ -28,23 +28,52 @@ pub struct CacheStats {
     pub writebacks: u64,
 }
 
-#[derive(Clone, Copy, Debug)]
-struct Line {
-    tag: u64,
-    state: LineState,
-    last_use: u64,
-}
-
 /// A set-associative, LRU, write-back cache indexed by block address,
 /// tracking a MOSI [`LineState`] per line.
 ///
 /// This structure does not move data; it tracks presence and coherence
 /// permission, which is what the timing simulator and the coherence
 /// substrate need.
+///
+/// # Storage
+///
+/// Way slots are materialized *lazily, per set, from one growable
+/// arena*. The only full-size structure is `set_base` — one `u32` per
+/// set, allocator-zeroed (0 = "set never filled") — and a set's block
+/// of `ways` contiguous slots (parallel `tags`/`last_use`/`states`
+/// arena entries, `tags` holding `tag + 1` with 0 marking an empty
+/// slot) is appended to the arena on the set's first fill.
+///
+/// The timing simulator builds one cache per node per run; at the
+/// paper's 4 MB / 4-way geometry, both the seed per-set `Vec<Line>`
+/// layout (16 384 inner `Vec`s to build, fill, and free) and a flat
+/// slots array (~1 MB to zero per node) made construction and teardown
+/// a measurable slice of short runs. With the arena, construction is
+/// one 64 KB zeroed allocation, cost scales with the sets a run
+/// actually touches, probing an untouched set is a single load, and a
+/// set probe scans ≤ `ways` adjacent tags.
+///
+/// Behavior is identical to the per-set layout: tags are unique within
+/// a set and LRU stamps are unique within the cache (the tick advances
+/// on every `touch`/`fill`), so hit lookup and victim selection do not
+/// depend on slot order — pinned by the model-equivalence property
+/// test in `tests/properties.rs`.
 #[derive(Clone, Debug)]
 pub struct SetAssocCache {
     config: CacheConfig,
-    sets: Vec<Vec<Line>>,
+    ways: usize,
+    /// Per set: 1 + the base slot of its arena block, 0 = not yet
+    /// materialized.
+    set_base: Vec<u32>,
+    /// `tag + 1` per materialized way slot, 0 = empty.
+    tags: Vec<u64>,
+    /// LRU stamp per materialized way slot (meaningful only where
+    /// `tags` is non-zero).
+    last_use: Vec<u64>,
+    /// Line state per materialized way slot (same validity).
+    states: Vec<LineState>,
+    /// Valid lines currently held.
+    live: usize,
     tick: u64,
     stats: CacheStats,
 }
@@ -52,11 +81,36 @@ pub struct SetAssocCache {
 impl SetAssocCache {
     /// Creates an empty cache with the given geometry.
     pub fn new(config: CacheConfig) -> Self {
+        assert!(
+            (config.num_sets() * config.ways() as u64) < u32::MAX as u64,
+            "cache geometry exceeds the arena index range"
+        );
         SetAssocCache {
             config,
-            sets: vec![Vec::new(); config.num_sets() as usize],
+            ways: config.ways(),
+            set_base: vec![0; config.num_sets() as usize],
+            tags: Vec::new(),
+            last_use: Vec::new(),
+            states: Vec::new(),
+            live: 0,
             tick: 0,
             stats: CacheStats::default(),
+        }
+    }
+
+    /// The arena block of `set`, materializing it on demand.
+    #[inline]
+    fn materialize(&mut self, set: usize) -> usize {
+        match self.set_base[set] {
+            0 => {
+                let base = self.tags.len();
+                self.tags.resize(base + self.ways, 0);
+                self.last_use.resize(base + self.ways, 0);
+                self.states.resize(base + self.ways, LineState::Invalid);
+                self.set_base[set] = (base + 1) as u32;
+                base
+            }
+            b => b as usize - 1,
         }
     }
 
@@ -67,12 +121,12 @@ impl SetAssocCache {
 
     /// Number of valid lines currently held.
     pub fn len(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.live
     }
 
     /// Whether no valid lines are held.
     pub fn is_empty(&self) -> bool {
-        self.sets.iter().all(Vec::is_empty)
+        self.live == 0
     }
 
     /// Accumulated statistics.
@@ -85,25 +139,35 @@ impl SetAssocCache {
         ((block.number() % sets) as usize, block.number() / sets)
     }
 
+    /// The way slot of `tag` in `set`, if present (`None` without a
+    /// scan when the set was never filled).
+    #[inline]
+    fn find(&self, set: usize, tag: u64) -> Option<usize> {
+        let base = match self.set_base[set] {
+            0 => return None,
+            b => b as usize - 1,
+        };
+        self.tags[base..base + self.ways]
+            .iter()
+            .position(|&t| t == tag + 1)
+            .map(|way| base + way)
+    }
+
     /// Non-updating presence check.
     pub fn probe(&self, block: BlockAddr) -> Option<LineState> {
         let (set, tag) = self.locate(block);
-        self.sets[set]
-            .iter()
-            .find(|l| l.tag == tag)
-            .map(|l| l.state)
+        self.find(set, tag).map(|slot| self.states[slot])
     }
 
     /// LRU-updating lookup, counting a hit or miss.
     pub fn touch(&mut self, block: BlockAddr) -> Option<LineState> {
         let (set, tag) = self.locate(block);
         self.tick += 1;
-        let tick = self.tick;
-        match self.sets[set].iter_mut().find(|l| l.tag == tag) {
-            Some(line) => {
-                line.last_use = tick;
+        match self.find(set, tag) {
+            Some(slot) => {
+                self.last_use[slot] = self.tick;
                 self.stats.hits += 1;
-                Some(line.state)
+                Some(self.states[slot])
             }
             None => {
                 self.stats.misses += 1;
@@ -121,41 +185,47 @@ impl SetAssocCache {
     /// use [`SetAssocCache::invalidate`] to remove them.
     pub fn fill(&mut self, block: BlockAddr, state: LineState) -> Option<EvictedLine> {
         assert!(state != LineState::Invalid, "cannot fill an Invalid line");
-        let (set_idx, tag) = self.locate(block);
+        let (set, tag) = self.locate(block);
         self.tick += 1;
         let tick = self.tick;
-        let ways = self.config.ways();
-        let sets = self.config.num_sets();
-        let set = &mut self.sets[set_idx];
-        if let Some(line) = set.iter_mut().find(|l| l.tag == tag) {
-            line.state = state;
-            line.last_use = tick;
+        if let Some(slot) = self.find(set, tag) {
+            self.states[slot] = state;
+            self.last_use[slot] = tick;
             return None;
         }
-        let victim = if set.len() >= ways {
-            let idx = set
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, l)| l.last_use)
-                .map(|(i, _)| i)
-                .expect("full set is non-empty");
-            let line = set.swap_remove(idx);
-            self.stats.evictions += 1;
-            if line.state.is_owner() {
-                self.stats.writebacks += 1;
+        let base = self.materialize(set);
+        let set_tags = &self.tags[base..base + self.ways];
+        let (slot, victim) = match set_tags.iter().position(|&t| t == 0) {
+            Some(way) => {
+                self.live += 1;
+                (base + way, None)
             }
-            Some(EvictedLine {
-                block: BlockAddr::new(line.tag * sets + set_idx as u64),
-                state: line.state,
-            })
-        } else {
-            None
+            None => {
+                // Full set: evict the (unique) least-recently-used way.
+                let way = self.last_use[base..base + self.ways]
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &stamp)| stamp)
+                    .map(|(way, _)| way)
+                    .expect("ways > 0");
+                let slot = base + way;
+                let old_state = self.states[slot];
+                self.stats.evictions += 1;
+                if old_state.is_owner() {
+                    self.stats.writebacks += 1;
+                }
+                let victim = EvictedLine {
+                    block: BlockAddr::new(
+                        (self.tags[slot] - 1) * self.config.num_sets() + set as u64,
+                    ),
+                    state: old_state,
+                };
+                (slot, Some(victim))
+            }
         };
-        set.push(Line {
-            tag,
-            state,
-            last_use: tick,
-        });
+        self.tags[slot] = tag + 1;
+        self.states[slot] = state;
+        self.last_use[slot] = tick;
         victim
     }
 
@@ -172,9 +242,9 @@ impl SetAssocCache {
             "use invalidate() to drop lines"
         );
         let (set, tag) = self.locate(block);
-        match self.sets[set].iter_mut().find(|l| l.tag == tag) {
-            Some(line) => {
-                line.state = state;
+        match self.find(set, tag) {
+            Some(slot) => {
+                self.states[slot] = state;
                 true
             }
             None => false,
@@ -184,9 +254,10 @@ impl SetAssocCache {
     /// Drops `block` (external invalidation), returning its old state.
     pub fn invalidate(&mut self, block: BlockAddr) -> Option<LineState> {
         let (set, tag) = self.locate(block);
-        let set = &mut self.sets[set];
-        let idx = set.iter().position(|l| l.tag == tag)?;
-        Some(set.swap_remove(idx).state)
+        let slot = self.find(set, tag)?;
+        self.tags[slot] = 0;
+        self.live -= 1;
+        Some(self.states[slot])
     }
 }
 

@@ -46,6 +46,15 @@ impl BlockStateTable {
         }
     }
 
+    /// Creates an empty table presized for `expected` distinct blocks
+    /// (see [`OpenTable::with_capacity`]): a run that stays within the
+    /// estimate never rehashes.
+    pub fn with_capacity(expected: usize) -> Self {
+        BlockStateTable {
+            table: OpenTable::with_capacity(expected),
+        }
+    }
+
     /// Number of blocks with recorded state.
     #[inline]
     pub fn len(&self) -> usize {

@@ -88,6 +88,22 @@ impl CoherenceTracker {
         }
     }
 
+    /// Creates a tracker presized for roughly `expected_blocks` distinct
+    /// blocks.
+    ///
+    /// Identical behavior to [`CoherenceTracker::new`]; the block-state
+    /// table just skips its growth rehashes while the estimate holds.
+    /// The timing simulator passes its total miss count (an upper bound
+    /// on distinct blocks), which removes every in-run rehash from the
+    /// per-miss path.
+    pub fn with_block_capacity(config: &SystemConfig, expected_blocks: usize) -> Self {
+        CoherenceTracker {
+            num_nodes: config.num_nodes(),
+            blocks: BlockStateTable::with_capacity(expected_blocks),
+            stats: TrackerStats::default(),
+        }
+    }
+
     /// Number of nodes in the system.
     pub fn num_nodes(&self) -> usize {
         self.num_nodes

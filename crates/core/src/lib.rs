@@ -87,6 +87,20 @@ pub trait DestSetPredictor: std::fmt::Debug + Send {
     /// directory reissue).
     fn train(&mut self, event: &TrainEvent);
 
+    /// Applies a batch of training information in slice order.
+    ///
+    /// Equivalent to calling [`train`](DestSetPredictor::train) on each
+    /// event in turn — the default implementation does exactly that —
+    /// but gives drain-style callers (the timing simulator's lazy
+    /// training inboxes apply a node's backlog immediately before its
+    /// next prediction) a single entry point that implementations may
+    /// override with batch-friendly table walks.
+    fn train_batch(&mut self, events: &[TrainEvent]) {
+        for event in events {
+            self.train(event);
+        }
+    }
+
     /// Short human-readable policy name (e.g. `"Group"`).
     fn name(&self) -> String;
 

@@ -53,15 +53,6 @@ pub struct TableStats {
     pub evictions: u64,
 }
 
-/// One way of a finite set: tag, LRU stamp, and payload kept adjacent
-/// so a set probe touches the minimum number of cache lines.
-#[derive(Clone, Debug)]
-struct WaySlot<E> {
-    tag: u64,
-    last_use: u64,
-    entry: E,
-}
-
 /// Key-indexed storage for predictor entries.
 ///
 /// Finite tables are tagged and set-associative with LRU replacement —
@@ -86,15 +77,40 @@ struct WaySlot<E> {
 /// advances independently, which keeps every clone's LRU order
 /// internally consistent (ticks are compared only within one table, so
 /// cross-instance reuse needs no reset).
+///
+/// # Storage
+///
+/// Finite sets are materialized *lazily from one growable arena*. The
+/// only full-size structures are two small per-set arrays (`set_base`,
+/// the 1-based base of the set's arena block with 0 = "never
+/// allocated into", and `set_len`, the occupied prefix length); a
+/// set's block of `ways` contiguous slots — parallel
+/// `tags`/`stamps`/`entries` arena entries — is appended on the set's
+/// first allocation. Within a block, occupied slots form a prefix
+/// (allocation appends, eviction replaces in place).
+///
+/// The layout exists for construction cost: the timing simulator
+/// builds one predictor (often two tables) per node per run, and
+/// default-initializing the paper's 8 192-entry geometry per table
+/// was a measurable slice of short runs. With the arena, construction
+/// is two allocator-zeroed 4-byte-per-set arrays, cost scales with the
+/// sets a run actually touches, a lookup in an untouched set is a
+/// single load, and a set probe scans ≤ `ways` adjacent tags.
 #[derive(Clone, Debug)]
 pub struct PredictorTable<E> {
     capacity: Capacity,
     unbounded: OpenTable<E>,
-    /// Flat per-set storage, `ways` contiguous slots per set; the
-    /// occupied slots of a set are a prefix of its range (allocation
-    /// appends, eviction replaces in place).
-    slots: Vec<WaySlot<E>>,
+    /// Per set: 1 + the base slot of its arena block, 0 = not yet
+    /// materialized.
+    set_base: Vec<u32>,
+    /// Occupied-prefix length per set.
     set_len: Vec<u32>,
+    /// Per-way tags (meaningful only inside a set's occupied prefix).
+    tags: Vec<u64>,
+    /// Per-way LRU stamps (same validity).
+    stamps: Vec<u64>,
+    /// Per-way payloads (same validity).
+    entries: Vec<E>,
     live: usize,
     num_sets: usize,
     ways: usize,
@@ -124,23 +140,39 @@ impl<E: Clone + Default> PredictorTable<E> {
                 (entries / ways, ways)
             }
         };
+        assert!(
+            (num_sets as u64 * ways as u64) < u32::MAX as u64,
+            "table geometry exceeds the arena index range"
+        );
         PredictorTable {
             capacity,
             unbounded: OpenTable::new(),
-            slots: vec![
-                WaySlot {
-                    tag: 0,
-                    last_use: 0,
-                    entry: E::default(),
-                };
-                num_sets * ways
-            ],
+            set_base: vec![0; num_sets],
             set_len: vec![0; num_sets],
+            tags: Vec::new(),
+            stamps: Vec::new(),
+            entries: Vec::new(),
             live: 0,
             num_sets,
             ways,
             tick: 0,
             stats: TableStats::default(),
+        }
+    }
+
+    /// The arena block of `set_idx`, materializing it on demand.
+    #[inline]
+    fn materialize(&mut self, set_idx: usize) -> usize {
+        match self.set_base[set_idx] {
+            0 => {
+                let base = self.tags.len();
+                self.tags.resize(base + self.ways, 0);
+                self.stamps.resize(base + self.ways, 0);
+                self.entries.resize_with(base + self.ways, E::default);
+                self.set_base[set_idx] = (base + 1) as u32;
+                base
+            }
+            b => b as usize - 1,
         }
     }
 
@@ -166,28 +198,35 @@ impl<E: Clone + Default> PredictorTable<E> {
     /// compares — is exactly preserved.
     #[cold]
     fn renormalize_ticks(&mut self) {
-        let mut stamps: Vec<(u64, usize)> = Vec::with_capacity(self.live);
+        let mut live_stamps: Vec<(u64, usize)> = Vec::with_capacity(self.live);
         for set in 0..self.num_sets {
+            let Some(base) = self.set_base[set].checked_sub(1) else {
+                continue;
+            };
             for way in 0..self.set_len[set] as usize {
-                let slot = set * self.ways + way;
-                stamps.push((self.slots[slot].last_use, slot));
+                let slot = base as usize + way;
+                live_stamps.push((self.stamps[slot], slot));
             }
         }
-        stamps.sort_unstable();
-        for (rank, &(_, slot)) in stamps.iter().enumerate() {
-            self.slots[slot].last_use = rank as u64 + 1;
+        live_stamps.sort_unstable();
+        for (rank, &(_, slot)) in live_stamps.iter().enumerate() {
+            self.stamps[slot] = rank as u64 + 1;
         }
-        self.tick = stamps.len() as u64;
+        self.tick = live_stamps.len() as u64;
     }
 
-    /// The slot of `key` within its set's occupied prefix, if present.
+    /// The slot of `key` within its set's occupied prefix, if present
+    /// (`None` without a scan when the set was never allocated into).
     #[inline]
     fn find(&self, set_idx: usize, tag: u64) -> Option<usize> {
-        let base = set_idx * self.ways;
+        let base = match self.set_base[set_idx] {
+            0 => return None,
+            b => b as usize - 1,
+        };
         let len = self.set_len[set_idx] as usize;
-        self.slots[base..base + len]
+        self.tags[base..base + len]
             .iter()
-            .position(|w| w.tag == tag)
+            .position(|&t| t == tag)
             .map(|way| base + way)
     }
 
@@ -208,9 +247,9 @@ impl<E: Clone + Default> PredictorTable<E> {
                 let (set_idx, tag) = self.locate(key);
                 match self.find(set_idx, tag) {
                     Some(slot) => {
-                        self.slots[slot].last_use = tick;
+                        self.stamps[slot] = tick;
                         self.stats.hits += 1;
-                        Some(&self.slots[slot].entry)
+                        Some(&self.entries[slot])
                     }
                     None => None,
                 }
@@ -242,24 +281,24 @@ impl<E: Clone + Default> PredictorTable<E> {
             Capacity::Finite { .. } => {
                 let (set_idx, tag) = self.locate(key);
                 if let Some(slot) = self.find(set_idx, tag) {
-                    self.slots[slot].last_use = tick;
-                    update(&mut self.slots[slot].entry);
+                    self.stamps[slot] = tick;
+                    update(&mut self.entries[slot]);
                     return true;
                 }
                 if !allocate {
                     return false;
                 }
                 self.stats.allocations += 1;
-                let base = set_idx * self.ways;
+                let base = self.materialize(set_idx);
                 let len = self.set_len[set_idx] as usize;
                 let slot = if len >= self.ways {
                     // Evict the least recently used way. Stamps are
                     // unique (each comes from a distinct tick), so the
                     // minimum — and hence the victim — is unambiguous.
-                    let victim = self.slots[base..base + len]
+                    let victim = self.stamps[base..base + len]
                         .iter()
                         .enumerate()
-                        .min_by_key(|(_, w)| w.last_use)
+                        .min_by_key(|(_, &stamp)| stamp)
                         .map(|(way, _)| base + way)
                         .expect("set is non-empty");
                     self.stats.evictions += 1;
@@ -271,11 +310,9 @@ impl<E: Clone + Default> PredictorTable<E> {
                 };
                 let mut entry = E::default();
                 update(&mut entry);
-                self.slots[slot] = WaySlot {
-                    tag,
-                    last_use: tick,
-                    entry,
-                };
+                self.tags[slot] = tag;
+                self.stamps[slot] = tick;
+                self.entries[slot] = entry;
                 true
             }
         }

@@ -43,8 +43,9 @@ mod config;
 pub mod queue;
 mod report;
 mod system;
+mod train;
 
-pub use config::{CpuModel, ProtocolKind, SimConfig, TargetSystem};
-pub use queue::{Event, EventQueue, ReferenceQueue, WheelQueue};
+pub use config::{CpuModel, ProtocolKind, SimConfig, TargetSystem, TrainingMode};
+pub use queue::{Event, EventQueue, QueueCounters, ReferenceQueue, WheelQueue};
 pub use report::{ClassCounts, LatencyHistogram, SimReport};
 pub use system::{System, TracePartition};

@@ -25,6 +25,30 @@ pub use wheel::WheelQueue;
 /// The queue driving [`crate::System`]'s event loop.
 pub type EventQueue = WheelQueue;
 
+/// Cheap occupancy counters a [`WheelQueue`] maintains over its
+/// lifetime, surfaced by the `hotpath-bench` `sim` row so queue-pressure
+/// changes (like the lazy-training fan-out removal) are visible without
+/// re-profiling.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueueCounters {
+    /// Events pushed (wheel buckets and overflow heap combined).
+    pub pushed: u64,
+    /// Events popped.
+    pub popped: u64,
+    /// Far-future events promoted from the overflow heap into the
+    /// wheel as the cursor advanced.
+    pub promoted: u64,
+}
+
+impl QueueCounters {
+    /// Accumulates another queue's counters (for summing across runs).
+    pub fn merge(&mut self, other: &QueueCounters) {
+        self.pushed += other.pushed;
+        self.popped += other.popped;
+        self.promoted += other.promoted;
+    }
+}
+
 /// Events driving the simulation. `req` indexes the pending-request
 /// table; `node` is a node index.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -49,17 +49,26 @@ impl ReferenceQueue {
 
     /// Schedules `event` at absolute time `time`.
     pub fn push(&mut self, time: u64, event: Event) {
-        self.seq += 1;
-        self.heap.push(Queued {
-            time,
-            seq: self.seq,
-            event,
-        });
+        self.push_at(time, self.seq + 1, event);
+    }
+
+    /// Schedules `event` with a caller-assigned tie-break sequence,
+    /// which must exceed every sequence this queue has seen (mirrors
+    /// [`super::WheelQueue::push_at`]).
+    pub fn push_at(&mut self, time: u64, seq: u64, event: Event) {
+        debug_assert!(seq > self.seq, "sequence numbers must increase");
+        self.seq = seq;
+        self.heap.push(Queued { time, seq, event });
     }
 
     /// Pops the earliest event (FIFO among equal times).
     pub fn pop(&mut self) -> Option<(u64, Event)> {
         self.heap.pop().map(|q| (q.time, q.event))
+    }
+
+    /// Pops the earliest event along with its tie-break sequence.
+    pub fn pop_entry(&mut self) -> Option<(u64, u64, Event)> {
+        self.heap.pop().map(|q| (q.time, q.seq, q.event))
     }
 
     /// Number of pending events.

@@ -3,7 +3,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use super::Event;
+use super::{Event, QueueCounters};
 
 /// Near-horizon wheel span in time units (one slot per nanosecond).
 /// Power of two so slot lookup is a mask. 4096 ns comfortably covers
@@ -68,7 +68,10 @@ impl PartialOrd for Far {
 /// equal-time bursts and far-future promotion.
 #[derive(Debug)]
 pub struct WheelQueue {
-    slots: Vec<SlotBuf>,
+    /// Fixed-size (boxed) slot array: indexing with `time & SLOT_MASK`
+    /// is provably in-bounds, so the per-push/per-pop bucket accesses
+    /// compile without bounds checks.
+    slots: Box<[SlotBuf; WHEEL_SLOTS]>,
     occupied: [u64; BITMAP_WORDS],
     /// Lower bound of every wheel-resident timestamp; advances to each
     /// popped event's time (never backwards).
@@ -76,6 +79,7 @@ pub struct WheelQueue {
     overflow: BinaryHeap<Far>,
     seq: u64,
     len: usize,
+    counters: QueueCounters,
 }
 
 impl Default for WheelQueue {
@@ -88,46 +92,68 @@ impl WheelQueue {
     /// Creates an empty queue.
     pub fn new() -> Self {
         WheelQueue {
-            slots: vec![SlotBuf::default(); WHEEL_SLOTS],
+            slots: vec![SlotBuf::default(); WHEEL_SLOTS]
+                .into_boxed_slice()
+                .try_into()
+                .expect("exactly WHEEL_SLOTS slots"),
             occupied: [0; BITMAP_WORDS],
             cursor: 0,
             overflow: BinaryHeap::new(),
             seq: 0,
             len: 0,
+            counters: QueueCounters::default(),
         }
     }
 
     /// Schedules `event` at absolute time `time`.
     pub fn push(&mut self, time: u64, event: Event) {
-        self.seq += 1;
+        self.push_at(time, self.seq + 1, event);
+    }
+
+    /// Schedules `event` at absolute time `time` with a caller-assigned
+    /// tie-break sequence.
+    ///
+    /// `seq` must exceed every sequence previously seen by this queue
+    /// (pushes and `push_at` calls share one counter). This lets a
+    /// caller interleave queued events with records it keeps *outside*
+    /// the queue — the simulator's lazy training inboxes — under one
+    /// total (time, seq) order: the caller draws all sequence numbers
+    /// from its own counter and compares popped entries against
+    /// buffered records directly.
+    pub fn push_at(&mut self, time: u64, seq: u64, event: Event) {
+        debug_assert!(seq > self.seq, "sequence numbers must increase");
+        self.seq = seq;
         self.len += 1;
+        self.counters.pushed += 1;
         // In-horizon events go straight to their bucket; everything
         // else — far-future, or behind the cursor (a push earlier than
         // the last pop, which the simulator never does but the heap
         // semantics allow) — parks in the overflow heap.
         if time >= self.cursor && time - self.cursor < WHEEL_SLOTS as u64 {
-            self.slot_push(time, self.seq, event);
+            self.slot_push(time, seq, event);
         } else {
-            self.overflow.push(Far {
-                time,
-                seq: self.seq,
-                event,
-            });
+            self.overflow.push(Far { time, seq, event });
         }
     }
 
     /// Pops the earliest event (FIFO among equal times).
     pub fn pop(&mut self) -> Option<(u64, Event)> {
+        self.pop_entry().map(|(time, _, event)| (time, event))
+    }
+
+    /// Pops the earliest event along with its tie-break sequence.
+    pub fn pop_entry(&mut self) -> Option<(u64, u64, Event)> {
         if self.len == 0 {
             return None;
         }
         self.len -= 1;
+        self.counters.popped += 1;
         // Late events (behind the cursor) are strictly earlier than all
         // wheel content and sort first in the overflow heap.
         if let Some(top) = self.overflow.peek() {
             if top.time < self.cursor {
                 let f = self.overflow.pop().expect("peeked");
-                return Some((f.time, f.event));
+                return Some((f.time, f.seq, f.event));
             }
         }
         loop {
@@ -143,7 +169,8 @@ impl WheelQueue {
                     self.cursor = time;
                     self.promote_overflow();
                 }
-                return Some((time, self.slot_pop(time)));
+                let (seq, event) = self.slot_pop(time);
+                return Some((time, seq, event));
             }
             // Wheel empty: jump the cursor to the earliest far event
             // (one exists — len > 0) and promote a batch.
@@ -152,6 +179,11 @@ impl WheelQueue {
             self.cursor = top_time;
             self.promote_overflow();
         }
+    }
+
+    /// Lifetime occupancy counters (pushes, pops, promotions).
+    pub fn counters(&self) -> QueueCounters {
+        self.counters
     }
 
     /// Number of pending events.
@@ -175,17 +207,17 @@ impl WheelQueue {
     /// Pops the front of `time`'s bucket, recycling the bucket storage
     /// and clearing its occupancy bit when it empties.
     #[inline]
-    fn slot_pop(&mut self, time: u64) -> Event {
+    fn slot_pop(&mut self, time: u64) -> (u64, Event) {
         let idx = (time & SLOT_MASK) as usize;
         let slot = &mut self.slots[idx];
-        let (_, event) = slot.items[slot.head];
+        let (seq, event) = slot.items[slot.head];
         slot.head += 1;
         if slot.head == slot.items.len() {
             slot.items.clear();
             slot.head = 0;
             self.occupied[idx / 64] &= !(1 << (idx % 64));
         }
-        event
+        (seq, event)
     }
 
     /// Distance (in slots, hence nanoseconds) from the cursor to the
@@ -227,6 +259,7 @@ impl WheelQueue {
                 break;
             }
             let f = self.overflow.pop().expect("peeked");
+            self.counters.promoted += 1;
             self.slot_push(f.time, f.seq, f.event);
         }
     }
@@ -339,6 +372,35 @@ mod tests {
                 (120, Event::Complete { req: 3 }),
             ]
         );
+    }
+
+    #[test]
+    fn external_sequences_order_ties_and_pop_returns_them() {
+        let mut q = WheelQueue::new();
+        q.push_at(5, 10, Event::CpuIssue { node: 0 });
+        q.push_at(5, 12, Event::CpuIssue { node: 1 });
+        q.push_at(3, 20, Event::CpuIssue { node: 2 });
+        assert_eq!(q.pop_entry(), Some((3, 20, Event::CpuIssue { node: 2 })));
+        assert_eq!(q.pop_entry(), Some((5, 10, Event::CpuIssue { node: 0 })));
+        assert_eq!(q.pop_entry(), Some((5, 12, Event::CpuIssue { node: 1 })));
+        assert_eq!(q.pop_entry(), None);
+    }
+
+    #[test]
+    fn counters_track_pushes_pops_and_promotions() {
+        let mut q = WheelQueue::new();
+        q.push(10, Event::CpuIssue { node: 0 });
+        q.push(WHEEL_SLOTS as u64 * 2, Event::CpuIssue { node: 1 });
+        assert_eq!(q.counters().pushed, 2);
+        assert_eq!(q.counters().popped, 0);
+        drain(&mut q);
+        let c = q.counters();
+        assert_eq!(c.popped, 2);
+        assert_eq!(c.promoted, 1, "the far event promoted on cursor jump");
+        let mut sum = QueueCounters::default();
+        sum.merge(&c);
+        sum.merge(&c);
+        assert_eq!(sum.pushed, 4);
     }
 
     #[test]

@@ -12,9 +12,17 @@ use dsp_interconnect::{Arrivals, Crossbar, Message};
 use dsp_trace::{TraceRecord, WorkloadSpec};
 use dsp_types::{DestSet, LineState, MessageClass, NodeId, Owner, ReqType, SystemConfig};
 
-use crate::config::{CpuModel, ProtocolKind, SimConfig, TargetSystem};
-use crate::queue::{Event, EventQueue};
+use crate::config::{CpuModel, ProtocolKind, SimConfig, TargetSystem, TrainingMode};
+use crate::queue::{Event, EventQueue, QueueCounters};
 use crate::report::SimReport;
+use crate::train::TrainBuffers;
+
+/// Lazy-training inbox depth that triggers an early forced drain (of
+/// records already behind the current dispatch time, which is always
+/// safe). Bounds inbox memory to roughly the in-flight arrival horizon
+/// per node instead of the run length, for nodes that rarely observe
+/// their predictor.
+const FORCE_DRAIN_DEPTH: usize = 1024;
 
 /// In-flight miss bookkeeping.
 #[derive(Debug)]
@@ -87,6 +95,15 @@ pub struct System {
     /// so the event loop performs no per-message allocation or copy.
     xbar_arrivals: Arrivals,
     queue: EventQueue,
+    /// Lazy-training inboxes (empty in eager mode); see [`TrainBuffers`].
+    train: TrainBuffers,
+    /// Virtual event sequence: the (time, seq) total order spanning
+    /// queued events *and* buffered training records. Every queue push
+    /// and every inbox append draws the next value, mirroring exactly
+    /// the push order the eager path's queue would see, so a buffered
+    /// record's position relative to any popped event is decided by
+    /// comparing keys — including ties at equal times.
+    vseq: u64,
     pending: Vec<Pending>,
     free_slots: Vec<usize>,
     completed: u64,
@@ -161,10 +178,22 @@ impl System {
             outstanding: vec![0; n],
             ready_at: vec![0; n],
             warmup_done_at: vec![None; n],
-            tracker: CoherenceTracker::new(sys),
+            // Presized to skip most of the block-state table's growth
+            // rehashes. Workloads reuse blocks heavily, so a quarter of
+            // the miss count is a close distinct-block estimate — a
+            // deliberate underestimate, since overshooting pays a
+            // bigger zeroed allocation per run than the rehashes it
+            // avoids; the cap bounds paper-scale runs, where growth
+            // simply resumes.
+            tracker: CoherenceTracker::with_block_capacity(
+                sys,
+                (total_misses as usize / 4).min(1 << 15),
+            ),
             xbar: Crossbar::new(target.interconnect, n),
             xbar_arrivals: Arrivals::new(),
             queue: EventQueue::new(),
+            train: TrainBuffers::new(n),
+            vseq: 0,
             pending: Vec::new(),
             free_slots: Vec::new(),
             completed: 0,
@@ -177,7 +206,14 @@ impl System {
     }
 
     /// Runs to completion and returns the measured report.
-    pub fn run(mut self) -> SimReport {
+    pub fn run(self) -> SimReport {
+        self.run_with_queue_stats().0
+    }
+
+    /// Runs to completion, also returning the event queue's occupancy
+    /// counters (pushes/pops/promotions) — the queue-pressure trend
+    /// line the `hotpath-bench` `sim` row records.
+    pub fn run_with_queue_stats(mut self) -> (SimReport, QueueCounters) {
         let n = self.sys.num_nodes();
         for node in 0..n {
             if self.sim.warmup_misses_per_node == 0 {
@@ -185,13 +221,27 @@ impl System {
             }
             let gap = self.draw_gap(node);
             self.ready_at[node] = gap;
-            self.queue.push(gap, Event::CpuIssue { node });
+            self.push_event(gap, Event::CpuIssue { node });
         }
+        // The last dispatched event's (time, seq): the eager loop
+        // applies exactly the trainings scheduled strictly before the
+        // point it stops, so the final lazy drain uses it as its limit.
+        let mut stop = (0u64, 0u64);
         while self.completed < self.total_misses {
-            let Some((time, event)) = self.queue.pop() else {
-                break; // Starved: some node had no misses at all.
+            let Some((time, seq, event)) = self.queue.pop_entry() else {
+                // Starved (some node had no misses at all): the eager
+                // loop would have drained its whole queue, training
+                // events included.
+                stop = (u64::MAX, u64::MAX);
+                break;
             };
-            self.dispatch(time, event);
+            stop = (time, seq);
+            self.dispatch(time, seq, event);
+        }
+        if self.sim.protocol.uses_predictors() {
+            for node in 0..n {
+                self.drain_training(node, stop.0, stop.1);
+            }
         }
         let warm_end = self
             .warmup_done_at
@@ -200,10 +250,10 @@ impl System {
             .max()
             .unwrap_or(0);
         self.report.runtime_ns = self.end_time.saturating_sub(warm_end);
-        self.report
+        (self.report, self.queue.counters())
     }
 
-    fn dispatch(&mut self, time: u64, event: Event) {
+    fn dispatch(&mut self, time: u64, seq: u64, event: Event) {
         let req_ref = match event {
             Event::CpuIssue { .. } => None,
             Event::Inject { req }
@@ -215,12 +265,14 @@ impl System {
         };
         match event {
             Event::CpuIssue { node } => self.try_issue(node, time),
-            Event::Inject { req } => self.inject_request(req, time),
+            Event::Inject { req } => self.inject_request(req, time, seq),
             Event::Ordered { req, attempt } => self.ordered(req, attempt, time),
-            Event::RequestArrive { req, node, retry } => self.request_arrive(req, node, retry),
+            Event::RequestArrive { req, node, retry } => {
+                self.request_arrive(req, node, retry, time, seq)
+            }
             Event::HomeReady { req, attempt } => self.home_ready(req, attempt, time),
             Event::OwnerReady { req, owner } => self.owner_ready(req, owner, time),
-            Event::Complete { req } => self.complete(req, time),
+            Event::Complete { req } => self.complete(req, time, seq),
         }
         if let Some(req) = req_ref {
             let p = &mut self.pending[req];
@@ -231,11 +283,31 @@ impl System {
         }
     }
 
+    /// Schedules `event`, drawing the next virtual sequence number.
+    /// Every scheduling call funnels through here (or buffers a
+    /// training record) so the (time, seq) order spans both worlds.
+    #[inline]
+    fn push_event(&mut self, time: u64, event: Event) {
+        self.vseq += 1;
+        self.queue.push_at(time, self.vseq, event);
+    }
+
     /// Schedules an event that references pending slot `req`, pinning
     /// the slot until the event has been dispatched.
     fn push_req(&mut self, req: usize, time: u64, event: Event) {
         self.pending[req].refs += 1;
-        self.queue.push(time, event);
+        self.push_event(time, event);
+    }
+
+    /// Applies `node`'s buffered trainings that the eager path would
+    /// have dispatched strictly before the event at `(time, seq)`. A
+    /// no-op when the inbox is empty (always, in eager mode).
+    #[inline]
+    fn drain_training(&mut self, node: usize, time: u64, seq: u64) {
+        if !self.train.is_empty(node) {
+            self.train
+                .drain(node, time, seq, self.predictors[node].as_mut());
+        }
     }
 
     // ---- CPU model -----------------------------------------------------
@@ -250,8 +322,7 @@ impl System {
         let window = self.sim.cpu.window();
         while self.outstanding[node] < window && self.next_miss[node] < self.programs[node].len() {
             if self.ready_at[node] > now {
-                self.queue
-                    .push(self.ready_at[node], Event::CpuIssue { node });
+                self.push_event(self.ready_at[node], Event::CpuIssue { node });
                 return;
             }
             let idx = self.next_miss[node];
@@ -302,7 +373,7 @@ impl System {
 
     // ---- Request lifecycle ----------------------------------------------
 
-    fn inject_request(&mut self, req: usize, now: u64) {
+    fn inject_request(&mut self, req: usize, now: u64, seq: u64) {
         let rec = self.pending[req].rec;
         let block = rec.block();
         let requester = rec.requester;
@@ -312,6 +383,10 @@ impl System {
             ProtocolKind::Snooping => self.sys.broadcast_set(),
             ProtocolKind::Directory => minimal,
             ProtocolKind::Multicast(_) | ProtocolKind::DirectoryPredicted(_) => {
+                // The prediction observes predictor state: apply every
+                // buffered training the eager path would have delivered
+                // before this Inject event.
+                self.drain_training(requester.index(), now, seq);
                 let query = PredictQuery {
                     block,
                     pc: rec.pc,
@@ -352,19 +427,58 @@ impl System {
         p.self_arrival = order_time + self.target.interconnect.traversal_ns / 2 + ser;
         self.push_req(req, order_time, Event::Ordered { req, attempt });
         if self.sim.protocol.uses_predictors() {
-            let requester = self.pending[req].rec.requester;
-            for i in 0..self.xbar_arrivals.len() {
-                let (node, t) = self.xbar_arrivals[i];
-                if node != requester || class == MessageClass::Retry {
-                    self.push_req(
-                        req,
-                        t,
-                        Event::RequestArrive {
+            let rec = self.pending[req].rec;
+            let requester = rec.requester;
+            let retry = class == MessageClass::Retry;
+            if retry || self.sim.training == TrainingMode::Eager {
+                // Retries keep their queued events in both modes: they
+                // are rare, and the requester's `Reissue` training
+                // reads the request's state at arrival time.
+                for i in 0..self.xbar_arrivals.len() {
+                    let (node, t) = self.xbar_arrivals[i];
+                    if node != requester || retry {
+                        self.push_req(
                             req,
-                            node: node.index(),
-                            retry: class == MessageClass::Retry,
-                        },
-                    );
+                            t,
+                            Event::RequestArrive {
+                                req,
+                                node: node.index(),
+                                retry,
+                            },
+                        );
+                    }
+                }
+            } else {
+                // Lazy mode, initial request: no wheel traffic. Each
+                // destination's inbox records the arrival under the
+                // same virtual sequence a queued event would have
+                // drawn, to be drained at that node's next predictor
+                // observation.
+                for i in 0..self.xbar_arrivals.len() {
+                    let (node, t) = self.xbar_arrivals[i];
+                    if node != requester {
+                        self.vseq += 1;
+                        self.train.buffer(
+                            node.index(),
+                            t,
+                            self.vseq,
+                            rec.block(),
+                            requester,
+                            rec.request(),
+                        );
+                        // A node that rarely misses rarely observes its
+                        // predictor, so under broadcast-heavy traffic
+                        // its inbox would grow with the whole run
+                        // (the eager path stores nothing — it trains
+                        // at each arrival event). Bound the backlog:
+                        // at this dispatch point every event earlier
+                        // than `now` has already run and any future
+                        // observation keys later, so records strictly
+                        // older than `now` can be applied right away.
+                        if self.train.len(node.index()) >= FORCE_DRAIN_DEPTH {
+                            self.drain_training(node.index(), now, 0);
+                        }
+                    }
                 }
             }
         }
@@ -654,8 +768,13 @@ impl System {
         self.push_req(req, arrive, Event::Complete { req });
     }
 
-    /// Predictor training on request arrival (multicast only).
-    fn request_arrive(&mut self, req: usize, node: usize, retry: bool) {
+    /// Predictor training on request arrival: every arrival in eager
+    /// mode, retries only in lazy mode (initial requests buffer into
+    /// the training inboxes instead).
+    fn request_arrive(&mut self, req: usize, node: usize, retry: bool, now: u64, seq: u64) {
+        // This training observes predictor state order: buffered
+        // arrivals scheduled before this event apply first.
+        self.drain_training(node, now, seq);
         let p = &self.pending[req];
         let rec = p.rec;
         let event = if retry && node == rec.requester.index() {
@@ -674,7 +793,7 @@ impl System {
         self.predictors[node].train(&event);
     }
 
-    fn complete(&mut self, req: usize, now: u64) {
+    fn complete(&mut self, req: usize, now: u64, seq: u64) {
         let p = &self.pending[req];
         let rec = p.rec;
         let node = rec.requester.index();
@@ -685,8 +804,10 @@ impl System {
         let indirected = p.indirected;
         let retries = p.retries;
         let minimal_sufficient = p.minimal_sufficient;
-        // Train the requester's predictor with the responder identity.
+        // Train the requester's predictor with the responder identity
+        // (draining its buffered arrivals first, in eager order).
         if self.sim.protocol.uses_predictors() {
+            self.drain_training(node, now, seq);
             self.predictors[node].train(&TrainEvent::DataResponse {
                 block: rec.block(),
                 pc: rec.pc,
@@ -760,7 +881,7 @@ impl System {
                         (gap as f64 / self.target.ns_per_instruction()) as u64;
                 }
                 self.ready_at[node] = now + gap;
-                self.queue.push(now + gap, Event::CpuIssue { node });
+                self.push_event(now + gap, Event::CpuIssue { node });
             }
             CpuModel::Detailed { .. } => self.try_issue(node, now),
         }
@@ -822,6 +943,26 @@ impl System {
     /// Coherence-substrate statistics (for tests and diagnostics).
     pub fn tracker_stats(&self) -> dsp_coherence::TrackerStats {
         self.tracker.stats()
+    }
+
+    /// Replaces each node's predictor with `wrap(node, predictor)`
+    /// before the run.
+    ///
+    /// Instrumentation hook for the training-equivalence tests: a
+    /// wrapper that records every `predict`/`train` call (and
+    /// delegates) exposes the exact per-node observation sequence,
+    /// which the eager and lazy modes must produce identically. The
+    /// wrapper must preserve the inner predictor's behavior.
+    pub fn instrument_predictors(
+        &mut self,
+        mut wrap: impl FnMut(usize, Box<dyn DestSetPredictor>) -> Box<dyn DestSetPredictor>,
+    ) {
+        let predictors = std::mem::take(&mut self.predictors);
+        self.predictors = predictors
+            .into_iter()
+            .enumerate()
+            .map(|(node, p)| wrap(node, p))
+            .collect();
     }
 }
 

@@ -42,6 +42,7 @@ mod inline_vec;
 mod mosi;
 mod node;
 mod open_table;
+mod ring;
 
 pub use access::{AccessKind, MessageClass, ReqType};
 pub use addr::{Address, BlockAddr, MacroblockAddr, Pc, BLOCK_BYTES, BLOCK_SHIFT};
@@ -52,3 +53,4 @@ pub use inline_vec::{InlineVec, InlineVecIter};
 pub use mosi::{LineState, Owner};
 pub use node::{NodeId, MAX_NODES};
 pub use open_table::OpenTable;
+pub use ring::InlineRing;

@@ -57,6 +57,33 @@ impl<V: Clone + Default> OpenTable<V> {
         }
     }
 
+    /// Creates an empty table presized to hold `expected` keys without
+    /// growing.
+    ///
+    /// Growth rehashes every live slot, and a table filled from the
+    /// default 1024-slot floor pays that rehash at every doubling —
+    /// measurable when a fresh table is built per short run, as the
+    /// timing simulator's coherence tracker is. The slot array still
+    /// respects the ¾ load cap, so `expected` keys fit without a single
+    /// rehash; exceeding the estimate just resumes normal doubling.
+    pub fn with_capacity(expected: usize) -> Self {
+        if expected == 0 {
+            return OpenTable::new();
+        }
+        let slots = (expected * 4 / 3 + 1).next_power_of_two().max(1024);
+        OpenTable {
+            slots: vec![
+                Slot {
+                    key: 0,
+                    used: false,
+                    value: V::default(),
+                };
+                slots
+            ],
+            len: 0,
+        }
+    }
+
     /// Number of live keys.
     #[inline]
     pub fn len(&self) -> usize {
@@ -225,6 +252,29 @@ mod tests {
             assert_eq!(t.get(key), Some(&(key ^ 0xff)));
         }
         assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn presized_table_matches_grown_table() {
+        let mut grown: OpenTable<u64> = OpenTable::new();
+        let mut presized: OpenTable<u64> = OpenTable::with_capacity(5_000);
+        let before = presized.slots.len();
+        for i in 0..5_000u64 {
+            *grown.get_or_insert_default(i * 17).0 = i;
+            *presized.get_or_insert_default(i * 17).0 = i;
+        }
+        assert_eq!(presized.slots.len(), before, "no growth within capacity");
+        assert_eq!(grown.len(), presized.len());
+        for i in 0..5_000u64 {
+            assert_eq!(grown.get(i * 17), presized.get(i * 17));
+        }
+        // Overflowing the estimate resumes normal doubling.
+        for i in 5_000..20_000u64 {
+            *presized.get_or_insert_default(i * 17).0 = i;
+        }
+        assert_eq!(presized.len(), 20_000);
+        assert_eq!(presized.get(19_999 * 17), Some(&19_999));
+        assert_eq!(OpenTable::<u64>::with_capacity(0).len(), 0);
     }
 
     #[test]
