@@ -156,7 +156,7 @@ where
     I: IntoIterator<Item = TraceRecord>,
 {
     let n = config.num_nodes();
-    let mut tracker = CoherenceTracker::new(config);
+    let mut tracker: CoherenceTracker = CoherenceTracker::new(config);
     let mut blocks: HashMap<u64, (DestSet, u64)> = HashMap::new(); // accessors, misses
     let mut macroblocks: HashMap<u64, u64> = HashMap::new(); // c2c per macroblock
     let mut block_c2c: HashMap<u64, u64> = HashMap::new();

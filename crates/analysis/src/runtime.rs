@@ -3,8 +3,8 @@
 use serde::{Deserialize, Serialize};
 
 use dsp_sim::{
-    CpuModel, ProtocolKind, SimConfig, SimReport, System, TargetSystem, TracePartition,
-    TrainingMode,
+    simulate_with_partition, CpuModel, DispatchMode, ProtocolKind, SetWidth, SimConfig, SimReport,
+    TargetSystem, TracePartition, TrainingMode,
 };
 use dsp_trace::WorkloadSpec;
 use dsp_types::SystemConfig;
@@ -56,6 +56,8 @@ pub struct RuntimeEvaluator {
     seed: u64,
     runs: usize,
     training: TrainingMode,
+    width: SetWidth,
+    dispatch: DispatchMode,
 }
 
 impl RuntimeEvaluator {
@@ -71,6 +73,8 @@ impl RuntimeEvaluator {
             seed: 1,
             runs: 1,
             training: TrainingMode::default(),
+            width: SetWidth::default(),
+            dispatch: DispatchMode::default(),
         }
     }
 
@@ -123,6 +127,25 @@ impl RuntimeEvaluator {
         self
     }
 
+    /// Selects the destination-set word width (auto by default: one
+    /// word up to 64 nodes, four beyond). Points are byte-identical
+    /// across widths; the knob exists so the golden suite and CI can
+    /// pin that.
+    #[must_use]
+    pub fn width(mut self, width: SetWidth) -> Self {
+        self.width = width;
+        self
+    }
+
+    /// Selects the event dispatch mode (batched by default; per-event
+    /// is the reference loop — observationally identical, pinned by the
+    /// equivalence suites).
+    #[must_use]
+    pub fn dispatch(mut self, dispatch: DispatchMode) -> Self {
+        self.dispatch = dispatch;
+        self
+    }
+
     /// Builds the per-run trace partitions every protocol of this
     /// evaluator replays: one per perturbed-seed repetition.
     ///
@@ -160,10 +183,11 @@ impl RuntimeEvaluator {
                 .cpu(self.cpu)
                 .misses(self.warmup, self.measured)
                 .seed(self.seed + r as u64 * 7919)
-                .training(self.training);
+                .training(self.training)
+                .width(self.width)
+                .dispatch(self.dispatch);
             let rep =
-                System::with_partition(&self.config, self.target, spec, sim, partition.clone())
-                    .run();
+                simulate_with_partition(&self.config, self.target, spec, sim, partition.clone());
             total.runtime_ns += rep.runtime_ns;
             total.measured_misses += rep.measured_misses;
             total.instructions += rep.instructions;
@@ -312,6 +336,26 @@ mod tests {
             lazy, eager,
             "training mode must be observationally invisible"
         );
+    }
+
+    #[test]
+    fn widths_and_dispatch_modes_produce_identical_points() {
+        let protocol = ProtocolKind::Multicast(
+            PredictorConfig::owner_group().indexing(Indexing::Macroblock { bytes: 1024 }),
+        );
+        let spec = spec(Workload::Oltp);
+        let reference = eval().width(SetWidth::Wide).run(&spec, &[protocol]);
+        for (width, dispatch) in [
+            (SetWidth::Narrow, DispatchMode::Batched),
+            (SetWidth::Narrow, DispatchMode::PerEvent),
+            (SetWidth::Wide, DispatchMode::PerEvent),
+        ] {
+            let got = eval()
+                .width(width)
+                .dispatch(dispatch)
+                .run(&spec, &[protocol]);
+            assert_eq!(got, reference, "{width:?}/{dispatch:?} must be invisible");
+        }
     }
 
     #[test]

@@ -107,7 +107,7 @@ impl TradeoffEvaluator {
         let n = self.config.num_nodes();
         let mut predictors: Vec<Box<dyn DestSetPredictor>> =
             (0..n).map(|_| predictor.build(&self.config)).collect();
-        let mut tracker = CoherenceTracker::new(&self.config);
+        let mut tracker: CoherenceTracker = CoherenceTracker::new(&self.config);
         let mut point = TradeoffPoint {
             label: predictor.label(),
             misses: 0,
@@ -178,7 +178,7 @@ impl TradeoffEvaluator {
         I: IntoIterator<Item = TraceRecord>,
     {
         let n = self.config.num_nodes();
-        let mut tracker = CoherenceTracker::new(&self.config);
+        let mut tracker: CoherenceTracker = CoherenceTracker::new(&self.config);
         let mut snoop = TradeoffPoint {
             label: "Broadcast Snooping".to_string(),
             misses: 0,

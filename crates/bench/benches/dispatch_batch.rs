@@ -1,0 +1,55 @@
+//! Batched vs per-event dispatch throughput across system sizes.
+//!
+//! The data-oriented run loop drains whole timing-wheel slots into a
+//! struct-of-arrays `EventBatch` and dispatches kind-runs in tight
+//! loops; this bench measures what that buys over the per-event
+//! baseline at 16 (paper scale, `DestSet<1>`), 64 (narrow-width
+//! ceiling), and 256 nodes (the wide `DestSet<4>` scaling study) on
+//! the multicast protocol, whose prediction + training path is the
+//! richest per-event workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use dsp_core::{Indexing, PredictorConfig};
+use dsp_sim::{simulate, DispatchMode, ProtocolKind, SimConfig, TargetSystem};
+use dsp_trace::{Workload, WorkloadSpec};
+use dsp_types::SystemConfig;
+
+fn bench_dispatch(c: &mut Criterion) {
+    let misses_per_node = 300usize;
+    let mut group = c.benchmark_group("dispatch");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(4));
+    for nodes in [16usize, 64, 256] {
+        let sys = SystemConfig::builder()
+            .num_nodes(nodes)
+            .macroblock_bytes(1024)
+            .build()
+            .expect("valid config");
+        let spec = WorkloadSpec::preset(Workload::Oltp, &sys).scaled(1.0 / 64.0);
+        let protocol = ProtocolKind::Multicast(
+            PredictorConfig::owner_group().indexing(Indexing::Macroblock { bytes: 1024 }),
+        );
+        group.throughput(Throughput::Elements((misses_per_node * nodes) as u64));
+        for (label, mode) in [
+            ("batched", DispatchMode::Batched),
+            ("per-event", DispatchMode::PerEvent),
+        ] {
+            group.bench_function(BenchmarkId::new(label, nodes), |b| {
+                b.iter(|| {
+                    let sim = SimConfig::new(protocol)
+                        .misses(0, misses_per_node)
+                        .seed(11)
+                        .dispatch(mode);
+                    let report = simulate(&sys, TargetSystem::isca03_default(), &spec, sim);
+                    std::hint::black_box(report.runtime_ns)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

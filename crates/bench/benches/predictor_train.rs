@@ -51,7 +51,7 @@ fn bench_training(c: &mut Criterion) {
                             .misses(WARMUP, MEASURED)
                             .seed(SEED)
                             .training(mode);
-                        let report = System::with_partition(
+                        let report = System::<4>::with_partition(
                             &config,
                             TargetSystem::isca03_default(),
                             &spec,

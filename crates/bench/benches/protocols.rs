@@ -34,7 +34,8 @@ fn bench_protocols(c: &mut Criterion) {
         group.bench_function(BenchmarkId::from_parameter(name), |b| {
             b.iter(|| {
                 let sim = SimConfig::new(protocol).misses(0, misses_per_node).seed(11);
-                let report = System::new(&sys, TargetSystem::isca03_default(), &spec, sim).run();
+                let report =
+                    System::<4>::new(&sys, TargetSystem::isca03_default(), &spec, sim).run();
                 std::hint::black_box(report.runtime_ns)
             })
         });
@@ -53,7 +54,7 @@ fn bench_crossbar(c: &mut Criterion) {
         let mut t = 0u64;
         b.iter(|| {
             t += 10;
-            let msg = Message {
+            let msg: Message = Message {
                 src: NodeId::new((t % 16) as usize),
                 dests: DestSet::single(NodeId::new(((t + 7) % 16) as usize)),
                 class: MessageClass::DataResponse,
@@ -68,7 +69,7 @@ fn bench_crossbar(c: &mut Criterion) {
         let mut t = 0u64;
         b.iter(|| {
             t += 10;
-            let msg = Message {
+            let msg: Message = Message {
                 src: NodeId::new((t % 16) as usize),
                 dests: DestSet::broadcast(16),
                 class: MessageClass::Request,
@@ -94,7 +95,7 @@ fn bench_tracker(c: &mut Criterion) {
     let mut group = c.benchmark_group("tracker_access");
     group.throughput(Throughput::Elements(accesses.len() as u64));
     group.bench_function("block_state_table", |b| {
-        let mut t = CoherenceTracker::new(&sys);
+        let mut t: CoherenceTracker = CoherenceTracker::new(&sys);
         for rec in &accesses {
             t.access(rec.requester, rec.request(), rec.block());
         }
@@ -108,7 +109,7 @@ fn bench_tracker(c: &mut Criterion) {
         })
     });
     group.bench_function("hashmap_reference", |b| {
-        let mut t = ReferenceTracker::new(&sys);
+        let mut t: ReferenceTracker = ReferenceTracker::new(&sys);
         for rec in &accesses {
             t.access(rec.requester, rec.request(), rec.block());
         }

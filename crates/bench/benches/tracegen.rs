@@ -37,7 +37,7 @@ fn bench_coherence_tracking(c: &mut Criterion) {
     group.throughput(Throughput::Elements(trace.len() as u64));
     group.bench_function("tracker_access", |b| {
         b.iter_with_setup(
-            || CoherenceTracker::new(&config),
+            || CoherenceTracker::<4>::new(&config),
             |mut tracker| {
                 for rec in &trace {
                     std::hint::black_box(tracker.access(rec.requester, rec.request(), rec.block()));

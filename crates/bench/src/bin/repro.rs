@@ -258,8 +258,9 @@ fn hotpath_bench(scale: &Scale) -> String {
     use dsp_core::{Capacity, Indexing, PredictorConfig, PredictorTable, ReferencePredictorTable};
     use dsp_interconnect::{Crossbar, InterconnectConfig, Message, ReferenceCrossbar};
     use dsp_sim::{
-        Event, ProtocolKind, QueueCounters, ReferenceQueue, SimConfig, System, TargetSystem,
-        TracePartition, TrainingMode, WheelQueue,
+        simulate_with_partition, simulate_with_queue_stats, DispatchMode, Event, ProtocolKind,
+        QueueCounters, ReferenceQueue, SimConfig, System, TargetSystem, TracePartition,
+        TrainingMode, WheelQueue,
     };
     use dsp_trace::{TraceRecord, Workload, WorkloadSpec};
     use dsp_types::{DestSet, MessageClass, SystemConfig};
@@ -312,14 +313,14 @@ fn hotpath_bench(scale: &Scale) -> String {
             let sim = SimConfig::new(*protocol)
                 .misses(scale.sim_warmup, scale.sim_measured)
                 .seed(experiments::SEED);
-            let (report, counters) = System::with_partition(
+            let (report, counters) = simulate_with_queue_stats(
                 &sys,
                 TargetSystem::isca03_default(),
                 &spec,
                 sim,
                 sim_partition.clone(),
-            )
-            .run_with_queue_stats();
+            );
+            counters.assert_reconciled();
             (report.measured_misses, counters)
         });
         sim_misses += misses;
@@ -327,6 +328,49 @@ fn hotpath_bench(scale: &Scale) -> String {
         sim_queue.merge(&counters);
     }
     let sim_mps = sim_misses as f64 / sim_wall.max(1e-9);
+
+    // --- Event dispatch: batched slot drains vs the per-event loop ---
+    // One multicast run under both dispatch modes on the shared
+    // partition. Equivalence is asserted in-run at the strongest
+    // observable granularity — the full (time, seq, kind) dispatch
+    // order plus the reports — then both loops are timed and reported
+    // as dispatched events per second.
+    let dispatch_sim = |mode: DispatchMode| {
+        SimConfig::new(protocols[1].1)
+            .misses(scale.sim_warmup, scale.sim_measured)
+            .seed(experiments::SEED)
+            .dispatch(mode)
+    };
+    let dispatch_run = |mode: DispatchMode| {
+        System::<1>::with_partition(
+            &sys,
+            TargetSystem::isca03_default(),
+            &spec,
+            dispatch_sim(mode),
+            sim_partition.clone(),
+        )
+    };
+    let (batched_report, batched_log) = dispatch_run(DispatchMode::Batched).run_with_dispatch_log();
+    let (per_event_report, per_event_log) =
+        dispatch_run(DispatchMode::PerEvent).run_with_dispatch_log();
+    assert_eq!(
+        batched_log, per_event_log,
+        "batched dispatch reordered the (time, seq) event stream"
+    );
+    assert_eq!(
+        batched_report, per_event_report,
+        "batched dispatch changed the simulation report"
+    );
+    let dispatch_events = batched_log.len() as u64;
+    let (batched_s, _) = best_time(budget, || {
+        dispatch_run(DispatchMode::Batched).run().measured_misses
+    });
+    let (per_event_s, _) = best_time(budget, || {
+        dispatch_run(DispatchMode::PerEvent).run().measured_misses
+    });
+    let batched_eps = dispatch_events as f64 / batched_s.max(1e-9);
+    let per_event_eps = dispatch_events as f64 / per_event_s.max(1e-9);
+    let dispatch_speedup = batched_eps / per_event_eps.max(1e-9);
 
     // --- Training delivery: lazy inboxes vs the eager reference ------
     // One multicast run per node count under both training modes, on
@@ -360,14 +404,13 @@ fn hotpath_bench(scale: &Scale) -> String {
                 .misses(train_warmup, train_measured)
                 .seed(experiments::SEED)
                 .training(mode);
-            System::with_partition(
+            simulate_with_partition(
                 &config,
                 TargetSystem::isca03_default(),
                 &train_spec,
                 sim,
                 partition.clone(),
             )
-            .run()
         };
         let eager_report = run(TrainingMode::Eager);
         let lazy_report = run(TrainingMode::Lazy);
@@ -389,8 +432,10 @@ fn hotpath_bench(scale: &Scale) -> String {
     // Equivalence first: one pass over the trace on fresh trackers,
     // asserting identical MissInfo, stats, and block counts, so the
     // speedup below is over a semantically-verified baseline.
-    let mut fast = CoherenceTracker::new(&sys);
-    let mut hash = ReferenceTracker::new(&sys);
+    // Single-word width: the monomorphization every <=64-node run now
+    // dispatches to, with the multi-word fast path compiled out.
+    let mut fast: CoherenceTracker<1> = CoherenceTracker::new(&sys);
+    let mut hash: ReferenceTracker<1> = ReferenceTracker::new(&sys);
     for rec in &accesses {
         let a = fast.access(rec.requester, rec.request(), rec.block());
         let b = hash.access(rec.requester, rec.request(), rec.block());
@@ -429,7 +474,7 @@ fn hotpath_bench(scale: &Scale) -> String {
 
     // --- Crossbar microloop: inline arrivals vs alloc-per-send -------
     let n = sys.num_nodes();
-    let msgs: Vec<(u64, Message)> = accesses
+    let msgs: Vec<(u64, Message<1>)> = accesses
         .iter()
         .enumerate()
         .map(|(i, rec)| {
@@ -439,7 +484,7 @@ fn hotpath_bench(scale: &Scale) -> String {
             let dests = match i % 3 {
                 0 => DestSet::single(rec.block().home(n)),
                 1 => DestSet::from_bits(0b1111 << (i % 13)),
-                _ => sys.broadcast_set().without(src),
+                _ => sys.broadcast_set_w::<1>().without(src),
             };
             let class = MessageClass::ALL[i % MessageClass::COUNT];
             (3 * i as u64, Message { src, dests, class })
@@ -618,7 +663,8 @@ fn hotpath_bench(scale: &Scale) -> String {
         "hotpath-bench: tracker {:.2}M acc/s vs hashmap {:.2}M acc/s ({tracker_speedup:.2}x) | \
          crossbar {:.2}M msg/s (seed {:.2}M) | queue {:.2}M ev/s vs heap {:.2}M \
          ({queue_speedup:.2}x) | table {:.2}M op/s vs seed {:.2}M ({table_speedup:.2}x) | \
-         sim {:.0} misses/s ({} wheel events) | train lazy-vs-eager {}",
+         sim {:.0} misses/s ({} wheel events) | dispatch batched {:.2}M ev/s vs per-event \
+         {:.2}M ({dispatch_speedup:.2}x) | train lazy-vs-eager {}",
         fast_mps / 1e6,
         hash_mps / 1e6,
         inline_msgs / 1e6,
@@ -629,6 +675,8 @@ fn hotpath_bench(scale: &Scale) -> String {
         seedtab_ops / 1e6,
         sim_mps,
         sim_queue.pushed,
+        batched_eps / 1e6,
+        per_event_eps / 1e6,
         train_summary.join(" "),
     );
     let train_json: Vec<String> = train_rows
@@ -664,7 +712,15 @@ fn hotpath_bench(scale: &Scale) -> String {
          \"measured_misses\": {sim_misses},\n    \
          \"misses_per_s\": {sim_mps:.0},\n    \
          \"queue_pushed\": {},\n    \"queue_popped\": {},\n    \
-         \"queue_promoted\": {}\n  }},\n  \
+         \"queue_remaining\": {},\n    \"queue_promoted\": {},\n    \
+         \"queue_reconciled\": true\n  }},\n  \
+         \"dispatch\": {{\n    \"workload\": \"OLTP\",\n    \
+         \"protocol\": \"multicast-owner-group\",\n    \
+         \"events_per_rep\": {dispatch_events},\n    \
+         \"batched_events_per_s\": {batched_eps:.0},\n    \
+         \"per_event_events_per_s\": {per_event_eps:.0},\n    \
+         \"speedup\": {dispatch_speedup:.3},\n    \
+         \"order_equivalent\": true\n  }},\n  \
          \"train\": {{\n    \"workload\": \"OLTP\",\n    \
          \"protocol\": \"multicast-broadcast-if-shared\",\n    \
          \"misses_per_node\": {},\n    \"reports_equal\": true,\n    \
@@ -676,6 +732,7 @@ fn hotpath_bench(scale: &Scale) -> String {
         table_op_count as u64,
         sim_queue.pushed,
         sim_queue.popped,
+        sim_queue.remaining,
         sim_queue.promoted,
         train_warmup + train_measured,
         train_json.join(",\n"),

@@ -71,7 +71,9 @@ use dsp_analysis::{
     TradeoffEvaluator, TradeoffPoint,
 };
 use dsp_core::PredictorConfig;
-use dsp_sim::{CpuModel, ProtocolKind, TargetSystem, TracePartition, TrainingMode};
+use dsp_sim::{
+    CpuModel, DispatchMode, ProtocolKind, SetWidth, TargetSystem, TracePartition, TrainingMode,
+};
 use dsp_trace::{TraceRecord, Workload, WorkloadSpec};
 use dsp_types::SystemConfig;
 use dsp_verify::{check, Bug, CheckReport, ModelConfig};
@@ -288,6 +290,15 @@ pub struct ExperimentPlan {
     /// (lazy by default; the eager seed path is selectable so the
     /// golden suite can diff both modes through whole experiments).
     pub training: TrainingMode,
+    /// Destination-set word width for the plan's timing simulations
+    /// (auto by default: one word up to 64 nodes, four beyond; the
+    /// explicit widths let the golden suite pin both monomorphizations
+    /// to identical output).
+    pub width: SetWidth,
+    /// Event-dispatch mode for the plan's timing simulations (batched
+    /// by default; per-event is selectable so the golden suite can
+    /// diff both loops through whole experiments).
+    pub dispatch: DispatchMode,
     /// The cells, in output order.
     pub cells: Vec<Cell>,
     render: RenderFn,
@@ -301,6 +312,8 @@ impl std::fmt::Debug for ExperimentPlan {
             .field("scale", &self.scale)
             .field("seed", &self.seed)
             .field("training", &self.training)
+            .field("width", &self.width)
+            .field("dispatch", &self.dispatch)
             .field("cells", &self.cells.len())
             .finish()
     }
@@ -315,6 +328,8 @@ impl ExperimentPlan {
             scale: *scale,
             seed: crate::experiments::SEED,
             training: TrainingMode::default(),
+            width: SetWidth::default(),
+            dispatch: DispatchMode::default(),
             cells: Vec::new(),
             render: Box::new(|_, _, _| {}),
         }
@@ -326,6 +341,24 @@ impl ExperimentPlan {
     #[must_use]
     pub fn training(mut self, training: TrainingMode) -> Self {
         self.training = training;
+        self
+    }
+
+    /// Selects the destination-set word width for the plan's timing
+    /// simulations. Output must not change — `golden_outputs.rs` pins
+    /// experiment goldens under both explicit widths.
+    #[must_use]
+    pub fn width(mut self, width: SetWidth) -> Self {
+        self.width = width;
+        self
+    }
+
+    /// Selects the event-dispatch mode for the plan's timing
+    /// simulations. Output must not change — `golden_outputs.rs` pins
+    /// experiment goldens under both modes.
+    #[must_use]
+    pub fn dispatch(mut self, dispatch: DispatchMode) -> Self {
+        self.dispatch = dispatch;
         self
     }
 
@@ -574,7 +607,9 @@ pub(crate) fn execute_cell(
                 .misses(scale.sim_warmup, scale.sim_measured)
                 .runs(scale.sim_runs)
                 .seed(plan.seed)
-                .training(plan.training);
+                .training(plan.training)
+                .width(plan.width)
+                .dispatch(plan.dispatch);
             if let Some(target) = target {
                 eval = eval.target(*target);
             }

@@ -62,6 +62,13 @@ pub struct CacheStats {
 pub struct SetAssocCache {
     config: CacheConfig,
     ways: usize,
+    /// `num_sets() - 1` when the set count is a power of two (the
+    /// common geometry — capacity and block size are always powers of
+    /// two, so only a non-power-of-two associativity breaks it), else
+    /// 0. Lets `locate` use mask/shift instead of 64-bit division.
+    set_mask: u64,
+    /// `log2(num_sets())` when `set_mask` is active.
+    set_shift: u32,
     /// Per set: 1 + the base slot of its arena block, 0 = not yet
     /// materialized.
     set_base: Vec<u32>,
@@ -85,9 +92,17 @@ impl SetAssocCache {
             (config.num_sets() * config.ways() as u64) < u32::MAX as u64,
             "cache geometry exceeds the arena index range"
         );
+        let sets = config.num_sets();
+        let (set_mask, set_shift) = if sets.is_power_of_two() {
+            (sets - 1, sets.trailing_zeros())
+        } else {
+            (0, 0)
+        };
         SetAssocCache {
             config,
             ways: config.ways(),
+            set_mask,
+            set_shift,
             set_base: vec![0; config.num_sets() as usize],
             tags: Vec::new(),
             last_use: Vec::new(),
@@ -134,9 +149,15 @@ impl SetAssocCache {
         self.stats
     }
 
+    #[inline]
     fn locate(&self, block: BlockAddr) -> (usize, u64) {
-        let sets = self.config.num_sets();
-        ((block.number() % sets) as usize, block.number() / sets)
+        let n = block.number();
+        if self.set_mask != 0 {
+            ((n & self.set_mask) as usize, n >> self.set_shift)
+        } else {
+            let sets = self.config.num_sets();
+            ((n % sets) as usize, n / sets)
+        }
     }
 
     /// The way slot of `tag` in `set`, if present (`None` without a

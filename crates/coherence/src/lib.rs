@@ -25,7 +25,7 @@
 //! use dsp_types::{BlockAddr, DestSet, NodeId, ReqType, SystemConfig};
 //!
 //! let config = SystemConfig::isca03();
-//! let mut tracker = CoherenceTracker::new(&config);
+//! let mut tracker: CoherenceTracker = CoherenceTracker::new(&config);
 //! let block = BlockAddr::new(42);
 //!
 //! // P1 writes, then P2 reads: a cache-to-cache transfer.

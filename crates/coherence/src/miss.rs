@@ -14,7 +14,7 @@ use dsp_types::{BlockAddr, DestSet, NodeId, Owner, ReqType};
 /// characterization (Figure 2), and the timing simulator (latency
 /// classes).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
-pub struct MissInfo {
+pub struct MissInfo<const W: usize = 4> {
     /// The missing block.
     pub block: BlockAddr,
     /// The node that missed.
@@ -28,12 +28,12 @@ pub struct MissInfo {
     /// longer holds usable permission).
     pub owner_before: Owner,
     /// Sharers at ordering time, excluding the requester.
-    pub sharers_before: DestSet,
+    pub sharers_before: DestSet<W>,
     /// Whether the requester still held a Shared copy (a store upgrade).
     pub was_upgrade: bool,
 }
 
-impl MissInfo {
+impl<const W: usize> MissInfo<W> {
     /// The *other* processors whose caches must observe this request:
     /// the cache owner (if any), plus — for exclusive requests — every
     /// sharer.
@@ -41,7 +41,7 @@ impl MissInfo {
     /// The size of this set is the quantity histogrammed in the paper's
     /// Figure 2; it is empty exactly when memory alone can satisfy the
     /// miss.
-    pub fn required_observers(&self) -> DestSet {
+    pub fn required_observers(&self) -> DestSet<W> {
         let mut set = DestSet::empty();
         if let Owner::Node(owner) = self.owner_before {
             if owner != self.requester {
@@ -77,20 +77,20 @@ impl MissInfo {
     /// The minimal destination set: requester plus home node. This is
     /// what multicast snooping always includes, and what a predictor
     /// falls back to on a miss in its table.
-    pub fn minimal_set(&self) -> DestSet {
+    pub fn minimal_set(&self) -> DestSet<W> {
         DestSet::single(self.requester).with(self.home)
     }
 
     /// The smallest *sufficient* destination set: minimal set plus all
     /// required observers.
-    pub fn sufficient_set(&self) -> DestSet {
+    pub fn sufficient_set(&self) -> DestSet<W> {
         self.minimal_set() | self.required_observers()
     }
 
     /// Multicast snooping's sufficiency rule: `predicted` (already
     /// including the implicit requester + home) succeeds iff it covers
     /// owner and, for writes, all sharers.
-    pub fn is_sufficient(&self, predicted: DestSet) -> bool {
+    pub fn is_sufficient(&self, predicted: DestSet<W>) -> bool {
         predicted.is_superset(self.sufficient_set())
     }
 
@@ -106,7 +106,7 @@ impl MissInfo {
     }
 }
 
-impl fmt::Display for MissInfo {
+impl<const W: usize> fmt::Display for MissInfo<W> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
@@ -153,6 +153,7 @@ mod tests {
     }
 
     fn info(req: ReqType, owner: Owner, sharers: DestSet) -> MissInfo {
+        // Default width in tests.
         MissInfo {
             block: BlockAddr::new(7),
             requester: n(0),

@@ -99,7 +99,7 @@ impl MulticastOutcome {
 /// use dsp_coherence::{multicast, CoherenceTracker};
 /// use dsp_types::{BlockAddr, DestSet, NodeId, ReqType, SystemConfig};
 ///
-/// let mut t = CoherenceTracker::new(&SystemConfig::isca03());
+/// let mut t: CoherenceTracker = CoherenceTracker::new(&SystemConfig::isca03());
 /// t.access(NodeId::new(1), ReqType::GetExclusive, BlockAddr::new(5));
 /// let info = t.classify(NodeId::new(2), ReqType::GetShared, BlockAddr::new(5));
 ///
@@ -109,7 +109,7 @@ impl MulticastOutcome {
 /// assert_eq!(bad.attempts, 2);
 /// assert!(bad.indirection);
 /// ```
-pub fn evaluate(info: &MissInfo, predicted: DestSet) -> MulticastOutcome {
+pub fn evaluate<const W: usize>(info: &MissInfo<W>, predicted: DestSet<W>) -> MulticastOutcome {
     let initial = predicted | info.minimal_set();
     let sufficient_first = info.is_sufficient(initial);
     // Deliveries of the initial multicast: everyone but the requester.
@@ -146,7 +146,7 @@ pub fn evaluate(info: &MissInfo, predicted: DestSet) -> MulticastOutcome {
 /// Evaluates the GS320-style directory protocol for one miss: one
 /// request to home plus one forward/invalidation per required observer;
 /// cache-sourced misses indirect (3 hops).
-pub fn directory(info: &MissInfo) -> MulticastOutcome {
+pub fn directory<const W: usize>(info: &MissInfo<W>) -> MulticastOutcome {
     let required = info.required_observers();
     let latency = if info.is_cache_to_cache() {
         LatencyClass::CacheIndirect
@@ -172,7 +172,10 @@ pub fn directory(info: &MissInfo) -> MulticastOutcome {
 /// Message accounting: the initial request reaches home plus the extra
 /// predicted nodes; the home's forwards cover whichever required
 /// observers the prediction missed.
-pub fn directory_predicted(info: &MissInfo, predicted: DestSet) -> MulticastOutcome {
+pub fn directory_predicted<const W: usize>(
+    info: &MissInfo<W>,
+    predicted: DestSet<W>,
+) -> MulticastOutcome {
     // Deliveries: the request to home (counted unconditionally, as in
     // [`directory`]), the extra predicted nodes, and home's forwards to
     // whichever required observers the prediction missed. Observers the
@@ -206,7 +209,7 @@ pub fn directory_predicted(info: &MissInfo, predicted: DestSet) -> MulticastOutc
 
 /// Evaluates broadcast snooping for one miss on an `n`-node system:
 /// every request reaches all other nodes and never indirects.
-pub fn snooping(info: &MissInfo, num_nodes: usize) -> MulticastOutcome {
+pub fn snooping<const W: usize>(info: &MissInfo<W>, num_nodes: usize) -> MulticastOutcome {
     let latency = if info.is_cache_to_cache() {
         LatencyClass::CacheDirect
     } else {

@@ -29,13 +29,13 @@ use crate::tracker::{reconcile, BlockState, Eviction, TrackerStats};
 /// See [`CoherenceTracker`](crate::CoherenceTracker) for the semantics;
 /// this type mirrors its API.
 #[derive(Clone, Debug)]
-pub struct ReferenceTracker {
+pub struct ReferenceTracker<const W: usize = 4> {
     num_nodes: usize,
-    blocks: HashMap<u64, BlockState>,
+    blocks: HashMap<u64, BlockState<W>>,
     stats: TrackerStats,
 }
 
-impl ReferenceTracker {
+impl<const W: usize> ReferenceTracker<W> {
     /// Creates a tracker for systems described by `config`.
     pub fn new(config: &SystemConfig) -> Self {
         ReferenceTracker {
@@ -51,7 +51,7 @@ impl ReferenceTracker {
     }
 
     /// Current state of `block`.
-    pub fn state(&self, block: BlockAddr) -> BlockState {
+    pub fn state(&self, block: BlockAddr) -> BlockState<W> {
         self.blocks
             .get(&block.number())
             .copied()
@@ -69,7 +69,7 @@ impl ReferenceTracker {
     }
 
     /// Classifies the miss without mutating state.
-    pub fn classify(&self, requester: NodeId, req: ReqType, block: BlockAddr) -> MissInfo {
+    pub fn classify(&self, requester: NodeId, req: ReqType, block: BlockAddr) -> MissInfo<W> {
         let state = self.state(block);
         let (owner_before, sharers_before, was_upgrade) = reconcile(state, requester, req);
         MissInfo {
@@ -86,7 +86,7 @@ impl ReferenceTracker {
     /// Classifies the miss and applies the MOSI transition, probing the
     /// map three times (classify → state → entry) exactly as the seed
     /// implementation did.
-    pub fn access(&mut self, requester: NodeId, req: ReqType, block: BlockAddr) -> MissInfo {
+    pub fn access(&mut self, requester: NodeId, req: ReqType, block: BlockAddr) -> MissInfo<W> {
         let info = self.classify(requester, req, block);
         let stale = self.state(block);
         if stale.owner == Owner::Node(requester) && !info.was_upgrade {
@@ -143,7 +143,7 @@ mod tests {
 
     #[test]
     fn reference_matches_documented_semantics() {
-        let mut t = ReferenceTracker::new(&SystemConfig::isca03());
+        let mut t: ReferenceTracker = ReferenceTracker::new(&SystemConfig::isca03());
         let b = BlockAddr::new(0);
         t.access(NodeId::new(1), ReqType::GetExclusive, b);
         let info = t.access(NodeId::new(2), ReqType::GetShared, b);

@@ -26,18 +26,18 @@ use crate::tracker::BlockState;
 /// ```
 /// use dsp_coherence::{BlockState, BlockStateTable};
 ///
-/// let mut table = BlockStateTable::new();
+/// let mut table: BlockStateTable = BlockStateTable::new();
 /// assert_eq!(table.get(42), None);
 /// *table.get_or_insert_default(42) = BlockState::default();
 /// assert_eq!(table.get(42), Some(BlockState::default()));
 /// assert_eq!(table.len(), 1);
 /// ```
 #[derive(Clone, Debug, Default)]
-pub struct BlockStateTable {
-    table: OpenTable<BlockState>,
+pub struct BlockStateTable<const W: usize = 4> {
+    table: OpenTable<BlockState<W>>,
 }
 
-impl BlockStateTable {
+impl<const W: usize> BlockStateTable<W> {
     /// Creates an empty table (no slots are allocated until the first
     /// insertion).
     pub fn new() -> Self {
@@ -69,13 +69,13 @@ impl BlockStateTable {
 
     /// Current state of `key`, if it was ever inserted.
     #[inline]
-    pub fn get(&self, key: u64) -> Option<BlockState> {
+    pub fn get(&self, key: u64) -> Option<BlockState<W>> {
         self.table.get(key).copied()
     }
 
     /// Mutable state of `key`, if it was ever inserted.
     #[inline]
-    pub fn get_mut(&mut self, key: u64) -> Option<&mut BlockState> {
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut BlockState<W>> {
         self.table.get_mut(key)
     }
 
@@ -83,12 +83,12 @@ impl BlockStateTable {
     /// (memory-owned, no sharers) first if absent. One hash, one probe
     /// chain — this is the only table operation on the per-miss path.
     #[inline]
-    pub fn get_or_insert_default(&mut self, key: u64) -> &mut BlockState {
+    pub fn get_or_insert_default(&mut self, key: u64) -> &mut BlockState<W> {
         self.table.get_or_insert_default(key).0
     }
 
     /// Iterates over `(key, state)` pairs in unspecified order.
-    pub fn iter(&self) -> impl Iterator<Item = (u64, BlockState)> + '_ {
+    pub fn iter(&self) -> impl Iterator<Item = (u64, BlockState<W>)> + '_ {
         self.table.iter().map(|(k, s)| (k, *s))
     }
 }
@@ -107,7 +107,7 @@ mod tests {
 
     #[test]
     fn empty_table_reads_none() {
-        let t = BlockStateTable::new();
+        let t: BlockStateTable = BlockStateTable::new();
         assert_eq!(t.get(0), None);
         assert_eq!(t.get(u64::MAX), None);
         assert!(t.is_empty());
@@ -115,13 +115,13 @@ mod tests {
 
     #[test]
     fn get_mut_on_empty_is_none() {
-        let mut t = BlockStateTable::new();
+        let mut t: BlockStateTable = BlockStateTable::new();
         assert_eq!(t.get_mut(9), None);
     }
 
     #[test]
     fn insert_then_read_back() {
-        let mut t = BlockStateTable::new();
+        let mut t: BlockStateTable = BlockStateTable::new();
         *t.get_or_insert_default(7) = state(3, 0b1010);
         assert_eq!(t.get(7), Some(state(3, 0b1010)));
         assert_eq!(t.len(), 1);
@@ -129,7 +129,7 @@ mod tests {
 
     #[test]
     fn insert_is_idempotent_and_preserves_state() {
-        let mut t = BlockStateTable::new();
+        let mut t: BlockStateTable = BlockStateTable::new();
         *t.get_or_insert_default(7) = state(3, 0b1010);
         // A second combined lookup must not reset the state.
         assert_eq!(*t.get_or_insert_default(7), state(3, 0b1010));
@@ -138,7 +138,7 @@ mod tests {
 
     #[test]
     fn extreme_keys_are_usable() {
-        let mut t = BlockStateTable::new();
+        let mut t: BlockStateTable = BlockStateTable::new();
         for key in [0u64, 1, u64::MAX, u64::MAX - 1, 1 << 63] {
             *t.get_or_insert_default(key) = state((key % 16) as usize, key & 0xff);
         }
@@ -150,7 +150,7 @@ mod tests {
 
     #[test]
     fn growth_preserves_all_entries() {
-        let mut t = BlockStateTable::new();
+        let mut t: BlockStateTable = BlockStateTable::new();
         // Sequential and stride-poisoned keys, well past several grows.
         for i in 0..10_000u64 {
             *t.get_or_insert_default(i << 6) = state((i % 16) as usize, i);
@@ -164,7 +164,7 @@ mod tests {
 
     #[test]
     fn iter_visits_every_entry_once() {
-        let mut t = BlockStateTable::new();
+        let mut t: BlockStateTable = BlockStateTable::new();
         for i in 0..100u64 {
             *t.get_or_insert_default(i) = state((i % 16) as usize, 0);
         }
@@ -176,7 +176,7 @@ mod tests {
     #[test]
     fn matches_std_hashmap_on_mixed_operations() {
         use std::collections::HashMap;
-        let mut table = BlockStateTable::new();
+        let mut table: BlockStateTable = BlockStateTable::new();
         let mut reference: HashMap<u64, BlockState> = HashMap::new();
         // Deterministic pseudo-random walk over a colliding key space.
         let mut x = 0x1234_5678_9abc_def0u64;

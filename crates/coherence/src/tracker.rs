@@ -12,16 +12,16 @@ use crate::table::BlockStateTable;
 /// `owner == Memory` with sharers = blocks in S only; `owner == Node(p)`
 /// with empty sharers = M at `p`; with sharers = O at `p`.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct BlockState {
+pub struct BlockState<const W: usize = 4> {
     /// Current owner (data supplier).
     pub owner: Owner,
     /// Nodes holding Shared copies (never includes the owner).
-    pub sharers: DestSet,
+    pub sharers: DestSet<W>,
 }
 
-impl BlockState {
+impl<const W: usize> BlockState<W> {
     /// All nodes holding any copy.
-    pub fn holders(&self) -> DestSet {
+    pub fn holders(&self) -> DestSet<W> {
         match self.owner {
             Owner::Memory => self.sharers,
             Owner::Node(n) => self.sharers.with(n),
@@ -72,13 +72,13 @@ pub struct TrackerStats {
 /// still recorded as a *sharer* is an **upgrade** (GETX from S), which
 /// real protocols issue without data transfer.
 #[derive(Clone, Debug)]
-pub struct CoherenceTracker {
+pub struct CoherenceTracker<const W: usize = 4> {
     num_nodes: usize,
-    blocks: BlockStateTable,
+    blocks: BlockStateTable<W>,
     stats: TrackerStats,
 }
 
-impl CoherenceTracker {
+impl<const W: usize> CoherenceTracker<W> {
     /// Creates a tracker for systems described by `config`.
     pub fn new(config: &SystemConfig) -> Self {
         CoherenceTracker {
@@ -111,7 +111,7 @@ impl CoherenceTracker {
 
     /// Current state of `block`.
     #[inline]
-    pub fn state(&self, block: BlockAddr) -> BlockState {
+    pub fn state(&self, block: BlockAddr) -> BlockState<W> {
         self.blocks.get(block.number()).unwrap_or_default()
     }
 
@@ -130,7 +130,7 @@ impl CoherenceTracker {
     /// The returned [`MissInfo`] reflects the post-reconciliation
     /// pre-state (see type docs): the requester's stale copy has been
     /// notionally evicted, except for the upgrade case.
-    pub fn classify(&self, requester: NodeId, req: ReqType, block: BlockAddr) -> MissInfo {
+    pub fn classify(&self, requester: NodeId, req: ReqType, block: BlockAddr) -> MissInfo<W> {
         let reconciled = reconcile(self.state(block), requester, req);
         self.info_for(reconciled, requester, req, block)
     }
@@ -138,11 +138,11 @@ impl CoherenceTracker {
     /// Builds the [`MissInfo`] for an already-reconciled pre-state.
     fn info_for(
         &self,
-        (owner_before, sharers_before, was_upgrade): (Owner, DestSet, bool),
+        (owner_before, sharers_before, was_upgrade): (Owner, DestSet<W>, bool),
         requester: NodeId,
         req: ReqType,
         block: BlockAddr,
-    ) -> MissInfo {
+    ) -> MissInfo<W> {
         MissInfo {
             block,
             requester,
@@ -160,7 +160,7 @@ impl CoherenceTracker {
     /// post-transition write share a single probe of the block-state
     /// table.
     #[inline]
-    pub fn access(&mut self, requester: NodeId, req: ReqType, block: BlockAddr) -> MissInfo {
+    pub fn access(&mut self, requester: NodeId, req: ReqType, block: BlockAddr) -> MissInfo<W> {
         let entry = self.blocks.get_or_insert_default(block.number());
         let stale = *entry;
         let reconciled = reconcile(stale, requester, req);
@@ -229,11 +229,11 @@ impl CoherenceTracker {
 /// Shared with [`crate::ReferenceTracker`] so the fast tracker and the
 /// reference model can only diverge in their state storage, never in
 /// protocol semantics.
-pub(crate) fn reconcile(
-    state: BlockState,
+pub(crate) fn reconcile<const W: usize>(
+    state: BlockState<W>,
     requester: NodeId,
     req: ReqType,
-) -> (Owner, DestSet, bool) {
+) -> (Owner, DestSet<W>, bool) {
     let mut owner = state.owner;
     let mut sharers = state.sharers;
     let mut was_upgrade = false;

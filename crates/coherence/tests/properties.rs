@@ -42,7 +42,7 @@ proptest! {
     /// exclusive request.
     #[test]
     fn owner_never_in_sharers(ops in accesses()) {
-        let mut t = CoherenceTracker::new(&SystemConfig::isca03());
+        let mut t: CoherenceTracker = CoherenceTracker::new(&SystemConfig::isca03());
         for op in &ops {
             t.access(NodeId::new(op.node), req(op.exclusive), BlockAddr::new(op.block));
             let s = t.state(BlockAddr::new(op.block));
@@ -56,7 +56,7 @@ proptest! {
     /// After an exclusive access, the requester is the sole holder.
     #[test]
     fn exclusive_access_leaves_sole_owner(ops in accesses(), node in 0usize..NODES, block in 0u64..32) {
-        let mut t = CoherenceTracker::new(&SystemConfig::isca03());
+        let mut t: CoherenceTracker = CoherenceTracker::new(&SystemConfig::isca03());
         for op in &ops {
             t.access(NodeId::new(op.node), req(op.exclusive), BlockAddr::new(op.block));
         }
@@ -69,7 +69,7 @@ proptest! {
     /// After a shared access, the requester can read the block.
     #[test]
     fn shared_access_grants_readability(ops in accesses(), node in 0usize..NODES, block in 0u64..32) {
-        let mut t = CoherenceTracker::new(&SystemConfig::isca03());
+        let mut t: CoherenceTracker = CoherenceTracker::new(&SystemConfig::isca03());
         for op in &ops {
             t.access(NodeId::new(op.node), req(op.exclusive), BlockAddr::new(op.block));
         }
@@ -83,7 +83,7 @@ proptest! {
     /// and (for writes) every sharer.
     #[test]
     fn sufficiency_matches_oracle(ops in accesses(), mask in any::<u16>(), node in 0usize..NODES, block in 0u64..32, exclusive in any::<bool>()) {
-        let mut t = CoherenceTracker::new(&SystemConfig::isca03());
+        let mut t: CoherenceTracker = CoherenceTracker::new(&SystemConfig::isca03());
         for op in &ops {
             t.access(NodeId::new(op.node), req(op.exclusive), BlockAddr::new(op.block));
         }
@@ -107,7 +107,7 @@ proptest! {
     /// message count; insufficiency always costs strictly more.
     #[test]
     fn multicast_accounting_invariants(ops in accesses(), mask in any::<u16>(), node in 0usize..NODES, block in 0u64..32, exclusive in any::<bool>()) {
-        let mut t = CoherenceTracker::new(&SystemConfig::isca03());
+        let mut t: CoherenceTracker = CoherenceTracker::new(&SystemConfig::isca03());
         for op in &ops {
             t.access(NodeId::new(op.node), req(op.exclusive), BlockAddr::new(op.block));
         }
@@ -137,7 +137,7 @@ proptest! {
     /// on messages while always matching or beating it on indirections.
     #[test]
     fn predictive_directory_invariants(ops in accesses(), mask in any::<u16>(), node in 0usize..NODES, block in 0u64..32, exclusive in any::<bool>()) {
-        let mut t = CoherenceTracker::new(&SystemConfig::isca03());
+        let mut t: CoherenceTracker = CoherenceTracker::new(&SystemConfig::isca03());
         for op in &ops {
             t.access(NodeId::new(op.node), req(op.exclusive), BlockAddr::new(op.block));
         }
@@ -163,7 +163,7 @@ proptest! {
         ),
     ) {
         let config = SystemConfig::isca03();
-        let mut fast = CoherenceTracker::new(&config);
+        let mut fast: CoherenceTracker = CoherenceTracker::new(&config);
         let mut reference = ReferenceTracker::new(&config);
         for &(node, block, exclusive, evict) in &ops {
             let (node, block) = (NodeId::new(node), BlockAddr::new(block));
@@ -240,7 +240,7 @@ proptest! {
     /// Eviction is idempotent and leaves the node without a copy.
     #[test]
     fn eviction_removes_holder(ops in accesses(), node in 0usize..NODES, block in 0u64..32) {
-        let mut t = CoherenceTracker::new(&SystemConfig::isca03());
+        let mut t: CoherenceTracker = CoherenceTracker::new(&SystemConfig::isca03());
         for op in &ops {
             t.access(NodeId::new(op.node), req(op.exclusive), BlockAddr::new(op.block));
         }

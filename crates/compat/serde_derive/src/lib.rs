@@ -149,7 +149,25 @@ fn parse(input: TokenStream) -> Result<Input, String> {
             .iter()
             .filter(|p| !p.is_empty())
             .map(|p| {
-                p.iter()
+                // Strip a parameter default (`= 4` in `const W: usize =
+                // 4`): impl headers must not restate defaults. Only a
+                // top-level `=` starts a default; `=` nested inside
+                // angle brackets (`Iterator<Item = u64>`) is a bound.
+                let mut depth = 0usize;
+                let mut cut = p.len();
+                for (j, t) in p.iter().enumerate() {
+                    match t {
+                        TokenTree::Punct(q) if q.as_char() == '<' => depth += 1,
+                        TokenTree::Punct(q) if q.as_char() == '>' => depth -= 1,
+                        TokenTree::Punct(q) if q.as_char() == '=' && depth == 0 => {
+                            cut = j;
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+                p[..cut]
+                    .iter()
                     .map(|t| t.to_string())
                     .collect::<Vec<_>>()
                     .join(" ")

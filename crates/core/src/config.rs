@@ -171,6 +171,23 @@ impl PredictorConfig {
     /// non-power-of-two capacity (the prior-work design is inherently a
     /// fixed direct-mapped array).
     pub fn build(&self, config: &SystemConfig) -> Box<dyn DestSetPredictor> {
+        self.build_width::<4>(config)
+    }
+
+    /// Builds the configured predictor at an explicit destination-set
+    /// word width `W` (the width-generic form of
+    /// [`PredictorConfig::build`]; `build` is `build_width::<4>`).
+    ///
+    /// The timing simulator monomorphizes its hot path per width and
+    /// calls this with `W = 1` for ≤ 64-node systems.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same conditions as [`PredictorConfig::build`].
+    pub fn build_width<const W: usize>(
+        &self,
+        config: &SystemConfig,
+    ) -> Box<dyn DestSetPredictor<W>> {
         match self.policy {
             PolicyKind::Owner => {
                 Box::new(OwnerPredictor::new(self.indexing, self.capacity, config))

@@ -1,13 +1,15 @@
 //! Prediction queries and training events.
 
-use serde::{Deserialize, Serialize};
-
 use dsp_types::{BlockAddr, DestSet, NodeId, Owner, Pc, ReqType};
 
 /// One prediction request from the cache controller: everything the
 /// predictor may index or condition on.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
-pub struct PredictQuery {
+///
+/// Generic over the destination-set word width `W` (default 4 =
+/// [`dsp_types::DestSet256`]); the timing simulator instantiates the
+/// single-word form for ≤ 64-node systems.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PredictQuery<const W: usize = 4> {
     /// The missing block.
     pub block: BlockAddr,
     /// PC of the missing load/store (used by PC indexing).
@@ -18,7 +20,7 @@ pub struct PredictQuery {
     pub req: ReqType,
     /// The minimal destination set ({requester, home}); every prediction
     /// includes it.
-    pub minimal: DestSet,
+    pub minimal: DestSet<W>,
 }
 
 /// Training information delivered to a node's predictor (paper §3.2).
@@ -28,8 +30,8 @@ pub struct PredictQuery {
 /// request's destination set) and *coherence responses* (data-response
 /// messages extended with the sender's identity). The Sticky-Spatial
 /// baseline additionally observes directory *reissues*.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
-pub enum TrainEvent {
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrainEvent<const W: usize = 4> {
     /// A data response for this node's own outstanding request arrived.
     DataResponse {
         /// The block the response is for.
@@ -62,11 +64,11 @@ pub enum TrainEvent {
         /// The block being retried.
         block: BlockAddr,
         /// The corrected (sufficient) destination set of the reissue.
-        corrected: DestSet,
+        corrected: DestSet<W>,
     },
 }
 
-impl TrainEvent {
+impl<const W: usize> TrainEvent<W> {
     /// The block this event concerns.
     pub fn block(&self) -> BlockAddr {
         match *self {
@@ -84,19 +86,19 @@ mod tests {
     #[test]
     fn event_block_accessor() {
         let block = BlockAddr::new(17);
-        let e1 = TrainEvent::DataResponse {
+        let e1: TrainEvent = TrainEvent::DataResponse {
             block,
             pc: Pc::new(0),
             responder: Owner::Memory,
             req: ReqType::GetShared,
             minimal_sufficient: true,
         };
-        let e2 = TrainEvent::OtherRequest {
+        let e2: TrainEvent = TrainEvent::OtherRequest {
             block,
             requester: NodeId::new(2),
             req: ReqType::GetShared,
         };
-        let e3 = TrainEvent::Reissue {
+        let e3: TrainEvent = TrainEvent::Reissue {
             block,
             corrected: DestSet::empty(),
         };

@@ -78,14 +78,21 @@ use dsp_types::DestSet;
 /// Implementations must return predictions that are supersets of the
 /// query's minimal set (the protocol always includes requester + home);
 /// the property tests in this crate enforce it for every policy.
-pub trait DestSetPredictor: std::fmt::Debug + Send {
+///
+/// The trait is generic over the destination-set word width `W`
+/// (default 4 = [`dsp_types::DestSet256`]). Policies whose state holds
+/// no destination sets implement it for every width with a single
+/// blanket `impl<const W: usize> DestSetPredictor<W> for ...`; policies
+/// that do store sets (e.g. Sticky-Spatial's bitmask slots) are generic
+/// structs instantiated at the simulator's chosen width.
+pub trait DestSetPredictor<const W: usize = 4>: std::fmt::Debug + Send {
     /// Predicts the destination set for a miss.
-    fn predict(&mut self, query: &PredictQuery) -> DestSet;
+    fn predict(&mut self, query: &PredictQuery<W>) -> DestSet<W>;
 
     /// Applies one piece of training information (a data response for an
     /// own request, an observed external request, or an observed
     /// directory reissue).
-    fn train(&mut self, event: &TrainEvent);
+    fn train(&mut self, event: &TrainEvent<W>);
 
     /// Applies a batch of training information in slice order.
     ///
@@ -95,7 +102,7 @@ pub trait DestSetPredictor: std::fmt::Debug + Send {
     /// training inboxes apply a node's backlog immediately before its
     /// next prediction) a single entry point that implementations may
     /// override with batch-friendly table walks.
-    fn train_batch(&mut self, events: &[TrainEvent]) {
+    fn train_batch(&mut self, events: &[TrainEvent<W>]) {
         for event in events {
             self.train(event);
         }

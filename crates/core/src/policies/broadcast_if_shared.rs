@@ -24,19 +24,19 @@ struct BisEntry {
 /// processors and decremented on responses from memory; the entry
 /// predicts broadcast when the counter exceeds 1.
 #[derive(Debug)]
-pub struct BroadcastIfSharedPredictor {
+pub struct BroadcastIfSharedPredictor<const W: usize = 4> {
     indexing: Indexing,
     table: PredictorTable<BisEntry>,
-    broadcast: DestSet,
+    broadcast: DestSet<W>,
 }
 
-impl BroadcastIfSharedPredictor {
+impl<const W: usize> BroadcastIfSharedPredictor<W> {
     /// Creates a Broadcast-If-Shared predictor.
     pub fn new(indexing: Indexing, capacity: Capacity, config: &SystemConfig) -> Self {
         BroadcastIfSharedPredictor {
             indexing,
             table: PredictorTable::new(capacity),
-            broadcast: config.broadcast_set(),
+            broadcast: config.broadcast_set_w(),
         }
     }
 
@@ -46,8 +46,8 @@ impl BroadcastIfSharedPredictor {
     }
 }
 
-impl DestSetPredictor for BroadcastIfSharedPredictor {
-    fn predict(&mut self, query: &PredictQuery) -> DestSet {
+impl<const W: usize> DestSetPredictor<W> for BroadcastIfSharedPredictor<W> {
+    fn predict(&mut self, query: &PredictQuery<W>) -> DestSet<W> {
         let key = self.indexing.key(query.block, query.pc);
         match self.table.lookup(key) {
             Some(entry) if entry.counter.is_confident() => query.minimal | self.broadcast,
@@ -55,7 +55,7 @@ impl DestSetPredictor for BroadcastIfSharedPredictor {
         }
     }
 
-    fn train(&mut self, event: &TrainEvent) {
+    fn train(&mut self, event: &TrainEvent<W>) {
         match *event {
             TrainEvent::DataResponse {
                 block,
@@ -111,7 +111,7 @@ mod tests {
         SystemConfig::isca03()
     }
 
-    fn predictor() -> BroadcastIfSharedPredictor {
+    fn predictor() -> BroadcastIfSharedPredictor<4> {
         BroadcastIfSharedPredictor::new(Indexing::DataBlock, Capacity::Unbounded, &config())
     }
 

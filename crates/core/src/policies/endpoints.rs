@@ -8,25 +8,25 @@ use crate::DestSetPredictor;
 /// Always predicts the maximal destination set — broadcast snooping's
 /// "perfect accuracy at maximal bandwidth" corner of the design space.
 #[derive(Clone, Debug)]
-pub struct AlwaysBroadcastPredictor {
-    broadcast: DestSet,
+pub struct AlwaysBroadcastPredictor<const W: usize = 4> {
+    broadcast: DestSet<W>,
 }
 
-impl AlwaysBroadcastPredictor {
+impl<const W: usize> AlwaysBroadcastPredictor<W> {
     /// Creates the broadcast endpoint for `config`-sized systems.
     pub fn new(config: &SystemConfig) -> Self {
         AlwaysBroadcastPredictor {
-            broadcast: config.broadcast_set(),
+            broadcast: config.broadcast_set_w(),
         }
     }
 }
 
-impl DestSetPredictor for AlwaysBroadcastPredictor {
-    fn predict(&mut self, query: &PredictQuery) -> DestSet {
+impl<const W: usize> DestSetPredictor<W> for AlwaysBroadcastPredictor<W> {
+    fn predict(&mut self, query: &PredictQuery<W>) -> DestSet<W> {
         query.minimal | self.broadcast
     }
 
-    fn train(&mut self, _event: &TrainEvent) {}
+    fn train(&mut self, _event: &TrainEvent<W>) {}
 
     fn name(&self) -> String {
         "Broadcast".to_string()
@@ -53,12 +53,12 @@ impl AlwaysMinimalPredictor {
     }
 }
 
-impl DestSetPredictor for AlwaysMinimalPredictor {
-    fn predict(&mut self, query: &PredictQuery) -> DestSet {
+impl<const W: usize> DestSetPredictor<W> for AlwaysMinimalPredictor {
+    fn predict(&mut self, query: &PredictQuery<W>) -> DestSet<W> {
         query.minimal
     }
 
-    fn train(&mut self, _event: &TrainEvent) {}
+    fn train(&mut self, _event: &TrainEvent<W>) {}
 
     fn name(&self) -> String {
         "Minimal".to_string()
@@ -90,7 +90,8 @@ mod tests {
 
     #[test]
     fn broadcast_covers_everyone() {
-        let mut p = AlwaysBroadcastPredictor::new(&SystemConfig::isca03());
+        let mut p: AlwaysBroadcastPredictor =
+            AlwaysBroadcastPredictor::new(&SystemConfig::isca03());
         assert_eq!(p.predict(&query()).len(), 16);
         assert_eq!(p.storage_bits(), 0);
         assert_eq!(p.name(), "Broadcast");
@@ -101,13 +102,14 @@ mod tests {
         let mut p = AlwaysMinimalPredictor::new();
         let q = query();
         assert_eq!(p.predict(&q), q.minimal);
-        assert_eq!(p.storage_bits(), 0);
-        assert_eq!(p.name(), "Minimal");
+        assert_eq!(DestSetPredictor::<4>::storage_bits(&p), 0);
+        assert_eq!(DestSetPredictor::<4>::name(&p), "Minimal");
     }
 
     #[test]
     fn training_is_a_no_op() {
-        let mut b = AlwaysBroadcastPredictor::new(&SystemConfig::isca03());
+        let mut b: AlwaysBroadcastPredictor =
+            AlwaysBroadcastPredictor::new(&SystemConfig::isca03());
         let mut m = AlwaysMinimalPredictor::new();
         let e = TrainEvent::OtherRequest {
             block: BlockAddr::new(1),

@@ -67,8 +67,8 @@ impl GroupPredictor {
     }
 }
 
-impl DestSetPredictor for GroupPredictor {
-    fn predict(&mut self, query: &PredictQuery) -> DestSet {
+impl<const W: usize> DestSetPredictor<W> for GroupPredictor {
+    fn predict(&mut self, query: &PredictQuery<W>) -> DestSet<W> {
         let key = self.indexing.key(query.block, query.pc);
         match self.table.lookup(key) {
             Some(entry) => {
@@ -84,7 +84,7 @@ impl DestSetPredictor for GroupPredictor {
         }
     }
 
-    fn train(&mut self, event: &TrainEvent) {
+    fn train(&mut self, event: &TrainEvent<W>) {
         let n = self.num_nodes;
         match *event {
             TrainEvent::DataResponse {
@@ -128,9 +128,12 @@ impl DestSetPredictor for GroupPredictor {
 
     fn storage_bits(&self) -> u64 {
         match self.table.capacity() {
-            Capacity::Unbounded => self.table.len() as u64 * self.entry_payload_bits(),
+            Capacity::Unbounded => {
+                self.table.len() as u64 * DestSetPredictor::<W>::entry_payload_bits(self)
+            }
             Capacity::Finite { entries, .. } => {
-                entries as u64 * (self.entry_payload_bits() + self.table.tag_bits())
+                entries as u64
+                    * (DestSetPredictor::<W>::entry_payload_bits(self) + self.table.tag_bits())
             }
         }
     }
@@ -222,7 +225,7 @@ mod tests {
     #[test]
     fn memory_responses_do_not_allocate() {
         let mut p = predictor();
-        p.train(&TrainEvent::DataResponse {
+        p.train(&TrainEvent::<4>::DataResponse {
             block: BlockAddr::new(3),
             pc: Pc::new(0),
             responder: Owner::Memory,
@@ -236,7 +239,7 @@ mod tests {
     fn shared_external_requests_ignored() {
         let mut p = predictor();
         p.train(&response_from(3, 5));
-        p.train(&TrainEvent::OtherRequest {
+        p.train(&TrainEvent::<4>::OtherRequest {
             block: BlockAddr::new(3),
             requester: NodeId::new(9),
             req: ReqType::GetShared,
@@ -261,13 +264,13 @@ mod tests {
     fn entry_size_matches_table3() {
         let p = predictor();
         // 16 nodes: 2*16 + 5 = 37 bits ("approximately 8 bytes" with tag).
-        assert_eq!(p.entry_payload_bits(), 37);
+        assert_eq!(DestSetPredictor::<4>::entry_payload_bits(&p), 37);
         let finite = GroupPredictor::new(Indexing::DataBlock, Capacity::ISCA03, &config());
-        let bytes_per_entry = finite.storage_bits() as f64 / 8192.0 / 8.0;
+        let bytes_per_entry = DestSetPredictor::<4>::storage_bits(&finite) as f64 / 8192.0 / 8.0;
         assert!(
             (6.0..10.0).contains(&bytes_per_entry),
             "{bytes_per_entry} B/entry"
         );
-        assert_eq!(p.name(), "Group");
+        assert_eq!(DestSetPredictor::<4>::name(&p), "Group");
     }
 }

@@ -35,14 +35,14 @@ struct OwnerEntry {
 /// let config = SystemConfig::isca03();
 /// let mut p = OwnerPredictor::new(Indexing::DataBlock, Capacity::Unbounded, &config);
 /// let block = BlockAddr::new(4);
-/// p.train(&TrainEvent::DataResponse {
+/// p.train(&TrainEvent::<4>::DataResponse {
 ///     block,
 ///     pc: Pc::new(0),
 ///     responder: Owner::Node(NodeId::new(9)),
 ///     req: ReqType::GetShared,
 ///     minimal_sufficient: false,
 /// });
-/// let q = PredictQuery {
+/// let q: PredictQuery = PredictQuery {
 ///     block,
 ///     pc: Pc::new(0),
 ///     requester: NodeId::new(0),
@@ -74,8 +74,8 @@ impl OwnerPredictor {
     }
 }
 
-impl DestSetPredictor for OwnerPredictor {
-    fn predict(&mut self, query: &PredictQuery) -> DestSet {
+impl<const W: usize> DestSetPredictor<W> for OwnerPredictor {
+    fn predict(&mut self, query: &PredictQuery<W>) -> DestSet<W> {
         let key = self.indexing.key(query.block, query.pc);
         match self.table.lookup(key) {
             Some(OwnerEntry { owner: Some(owner) }) => query.minimal.with(*owner),
@@ -83,7 +83,7 @@ impl DestSetPredictor for OwnerPredictor {
         }
     }
 
-    fn train(&mut self, event: &TrainEvent) {
+    fn train(&mut self, event: &TrainEvent<W>) {
         match *event {
             TrainEvent::DataResponse {
                 block,
@@ -133,9 +133,12 @@ impl DestSetPredictor for OwnerPredictor {
 
     fn storage_bits(&self) -> u64 {
         match self.table.capacity() {
-            Capacity::Unbounded => self.table.len() as u64 * self.entry_payload_bits(),
+            Capacity::Unbounded => {
+                self.table.len() as u64 * DestSetPredictor::<W>::entry_payload_bits(self)
+            }
             Capacity::Finite { entries, .. } => {
-                entries as u64 * (self.entry_payload_bits() + self.table.tag_bits())
+                entries as u64
+                    * (DestSetPredictor::<W>::entry_payload_bits(self) + self.table.tag_bits())
             }
         }
     }
@@ -202,7 +205,7 @@ mod tests {
     fn external_exclusive_request_takes_over_ownership() {
         let mut p = OwnerPredictor::new(Indexing::DataBlock, Capacity::Unbounded, &config());
         p.train(&response(5, Owner::Node(NodeId::new(7)), false));
-        p.train(&TrainEvent::OtherRequest {
+        p.train(&TrainEvent::<4>::OtherRequest {
             block: BlockAddr::new(5),
             requester: NodeId::new(3),
             req: ReqType::GetExclusive,
@@ -215,7 +218,7 @@ mod tests {
     fn external_shared_request_ignored() {
         let mut p = OwnerPredictor::new(Indexing::DataBlock, Capacity::Unbounded, &config());
         p.train(&response(5, Owner::Node(NodeId::new(7)), false));
-        p.train(&TrainEvent::OtherRequest {
+        p.train(&TrainEvent::<4>::OtherRequest {
             block: BlockAddr::new(5),
             requester: NodeId::new(3),
             req: ReqType::GetShared,
@@ -234,7 +237,7 @@ mod tests {
         p.train(&response(5, Owner::Memory, true));
         assert_eq!(p.table_stats().allocations, 0);
         // External requests alone never allocate either.
-        p.train(&TrainEvent::OtherRequest {
+        p.train(&TrainEvent::<4>::OtherRequest {
             block: BlockAddr::new(5),
             requester: NodeId::new(3),
             req: ReqType::GetExclusive,
@@ -270,14 +273,14 @@ mod tests {
     fn entry_size_matches_table3() {
         let p = OwnerPredictor::new(Indexing::DataBlock, Capacity::ISCA03, &config());
         // 16 nodes: log2(16) + 1 = 5 bits payload.
-        assert_eq!(p.entry_payload_bits(), 5);
+        assert_eq!(DestSetPredictor::<4>::entry_payload_bits(&p), 5);
         // 8192 entries with ~31-bit tags: ~4.5 bytes/entry, "approximately
         // 4 bytes" in the paper.
-        let bytes_per_entry = p.storage_bits() as f64 / 8192.0 / 8.0;
+        let bytes_per_entry = DestSetPredictor::<4>::storage_bits(&p) as f64 / 8192.0 / 8.0;
         assert!(
             (3.0..6.0).contains(&bytes_per_entry),
             "{bytes_per_entry} B/entry"
         );
-        assert_eq!(p.name(), "Owner");
+        assert_eq!(DestSetPredictor::<4>::name(&p), "Owner");
     }
 }

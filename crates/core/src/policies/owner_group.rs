@@ -33,15 +33,15 @@ impl OwnerGroupPredictor {
     }
 }
 
-impl DestSetPredictor for OwnerGroupPredictor {
-    fn predict(&mut self, query: &PredictQuery) -> DestSet {
+impl<const W: usize> DestSetPredictor<W> for OwnerGroupPredictor {
+    fn predict(&mut self, query: &PredictQuery<W>) -> DestSet<W> {
         match query.req {
             ReqType::GetExclusive => self.group.predict(query),
             ReqType::GetShared => self.owner.predict(query),
         }
     }
 
-    fn train(&mut self, event: &TrainEvent) {
+    fn train(&mut self, event: &TrainEvent<W>) {
         self.owner.train(event);
         self.group.train(event);
     }
@@ -51,11 +51,13 @@ impl DestSetPredictor for OwnerGroupPredictor {
     }
 
     fn entry_payload_bits(&self) -> u64 {
-        self.owner.entry_payload_bits() + self.group.entry_payload_bits()
+        DestSetPredictor::<W>::entry_payload_bits(&self.owner)
+            + DestSetPredictor::<W>::entry_payload_bits(&self.group)
     }
 
     fn storage_bits(&self) -> u64 {
-        self.owner.storage_bits() + self.group.storage_bits()
+        DestSetPredictor::<W>::storage_bits(&self.owner)
+            + DestSetPredictor::<W>::storage_bits(&self.group)
     }
 }
 
@@ -140,8 +142,8 @@ mod tests {
     #[test]
     fn storage_is_sum_of_halves() {
         let p = OwnerGroupPredictor::new(Indexing::DataBlock, Capacity::ISCA03, &config());
-        assert_eq!(p.entry_payload_bits(), 5 + 37);
-        assert!(p.storage_bits() > 0);
-        assert_eq!(p.name(), "Owner/Group");
+        assert_eq!(DestSetPredictor::<4>::entry_payload_bits(&p), 5 + 37);
+        assert!(DestSetPredictor::<4>::storage_bits(&p) > 0);
+        assert_eq!(DestSetPredictor::<4>::name(&p), "Owner/Group");
     }
 }

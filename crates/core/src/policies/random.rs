@@ -45,8 +45,8 @@ impl RandomPredictor {
     }
 }
 
-impl DestSetPredictor for RandomPredictor {
-    fn predict(&mut self, query: &PredictQuery) -> DestSet {
+impl<const W: usize> DestSetPredictor<W> for RandomPredictor {
+    fn predict(&mut self, query: &PredictQuery<W>) -> DestSet<W> {
         let broadcast = DestSet::broadcast(self.nodes);
         let random = if self.nodes <= 64 {
             // One draw, as the predictor always did for paper-sized
@@ -55,7 +55,7 @@ impl DestSetPredictor for RandomPredictor {
         } else {
             // Wider systems draw one mask word per set word so nodes
             // 64..=255 are stressed too.
-            let mut words = [0u64; 4];
+            let mut words = [0u64; W];
             for w in &mut words {
                 *w = self.next_mask(query.block.number());
             }
@@ -64,7 +64,7 @@ impl DestSetPredictor for RandomPredictor {
         query.minimal | (random & broadcast)
     }
 
-    fn train(&mut self, _event: &TrainEvent) {}
+    fn train(&mut self, _event: &TrainEvent<W>) {}
 
     fn name(&self) -> String {
         "Random (stress)".to_string()

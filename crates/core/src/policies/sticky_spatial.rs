@@ -23,13 +23,13 @@ use crate::DestSetPredictor;
 /// It trains by observing data responses and directory reissues (the
 /// corrected destination set of a retry), per the original design.
 #[derive(Debug)]
-pub struct StickySpatialPredictor {
-    entries: Vec<DestSet>,
+pub struct StickySpatialPredictor<const W: usize = 4> {
+    entries: Vec<DestSet<W>>,
     span: usize,
     num_nodes: usize,
 }
 
-impl StickySpatialPredictor {
+impl<const W: usize> StickySpatialPredictor<W> {
     /// Creates a Sticky-Spatial(`span`) predictor with `entries` slots
     /// (must be a power of two; the original used 4096).
     ///
@@ -63,14 +63,14 @@ impl StickySpatialPredictor {
         (key as usize) & (self.entries.len() - 1)
     }
 
-    fn train_up(&mut self, key: u64, nodes: DestSet) {
+    fn train_up(&mut self, key: u64, nodes: DestSet<W>) {
         let slot = self.slot(key);
         self.entries[slot] |= nodes;
     }
 }
 
-impl DestSetPredictor for StickySpatialPredictor {
-    fn predict(&mut self, query: &PredictQuery) -> DestSet {
+impl<const W: usize> DestSetPredictor<W> for StickySpatialPredictor<W> {
+    fn predict(&mut self, query: &PredictQuery<W>) -> DestSet<W> {
         let key = Indexing::DataBlock.key(query.block, query.pc);
         let base = self.slot(key);
         let len = self.entries.len();
@@ -84,7 +84,7 @@ impl DestSetPredictor for StickySpatialPredictor {
         set
     }
 
-    fn train(&mut self, event: &TrainEvent) {
+    fn train(&mut self, event: &TrainEvent<W>) {
         match *event {
             TrainEvent::DataResponse {
                 block, responder, ..
@@ -212,7 +212,7 @@ mod tests {
 
     #[test]
     fn storage_is_n_bits_per_slot() {
-        let p = StickySpatialPredictor::new(4096, 1, &config());
+        let p: StickySpatialPredictor = StickySpatialPredictor::new(4096, 1, &config());
         assert_eq!(p.storage_bits(), 4096 * 16);
         assert_eq!(p.len(), 4096);
         assert_eq!(p.name(), "Sticky-Spatial(1)");
@@ -221,6 +221,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn rejects_non_power_of_two() {
-        let _ = StickySpatialPredictor::new(1000, 1, &config());
+        let _: StickySpatialPredictor = StickySpatialPredictor::new(1000, 1, &config());
     }
 }

@@ -67,8 +67,8 @@ impl TwoLevelOwnerPredictor {
     }
 }
 
-impl DestSetPredictor for TwoLevelOwnerPredictor {
-    fn predict(&mut self, query: &PredictQuery) -> DestSet {
+impl<const W: usize> DestSetPredictor<W> for TwoLevelOwnerPredictor {
+    fn predict(&mut self, query: &PredictQuery<W>) -> DestSet<W> {
         let key = self.indexing.key(query.block, query.pc);
         match self.table.lookup(key) {
             Some(entry) if entry.confidence.is_confident() => match entry.owner {
@@ -79,7 +79,7 @@ impl DestSetPredictor for TwoLevelOwnerPredictor {
         }
     }
 
-    fn train(&mut self, event: &TrainEvent) {
+    fn train(&mut self, event: &TrainEvent<W>) {
         match *event {
             TrainEvent::DataResponse {
                 block,
@@ -124,9 +124,12 @@ impl DestSetPredictor for TwoLevelOwnerPredictor {
 
     fn storage_bits(&self) -> u64 {
         match self.table.capacity() {
-            Capacity::Unbounded => self.table.len() as u64 * self.entry_payload_bits(),
+            Capacity::Unbounded => {
+                self.table.len() as u64 * DestSetPredictor::<W>::entry_payload_bits(self)
+            }
             Capacity::Finite { entries, .. } => {
-                entries as u64 * (self.entry_payload_bits() + self.table.tag_bits())
+                entries as u64
+                    * (DestSetPredictor::<W>::entry_payload_bits(self) + self.table.tag_bits())
             }
         }
     }
@@ -214,7 +217,7 @@ mod tests {
         let mut p = predictor();
         p.train(&response_from(3, 5));
         p.train(&response_from(3, 5));
-        p.train(&TrainEvent::DataResponse {
+        p.train(&TrainEvent::<4>::DataResponse {
             block: BlockAddr::new(3),
             pc: Pc::new(0),
             responder: Owner::Memory,
@@ -228,7 +231,7 @@ mod tests {
     fn external_exclusive_requests_train() {
         let mut p = predictor();
         p.train(&response_from(3, 5)); // allocate
-        p.train(&TrainEvent::OtherRequest {
+        p.train(&TrainEvent::<4>::OtherRequest {
             block: BlockAddr::new(3),
             requester: NodeId::new(5),
             req: ReqType::GetExclusive,
@@ -239,7 +242,7 @@ mod tests {
     #[test]
     fn entry_size_adds_confidence_bits() {
         let p = predictor();
-        assert_eq!(p.entry_payload_bits(), 4 + 1 + 2);
-        assert_eq!(p.name(), "Two-Level Owner");
+        assert_eq!(DestSetPredictor::<4>::entry_payload_bits(&p), 4 + 1 + 2);
+        assert_eq!(DestSetPredictor::<4>::name(&p), "Two-Level Owner");
     }
 }

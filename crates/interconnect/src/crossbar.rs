@@ -36,12 +36,12 @@ impl Default for InterconnectConfig {
 /// One message to inject: source, destination set, and class (the class
 /// determines the wire size).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct Message {
+pub struct Message<const W: usize = 4> {
     /// Injecting node.
     pub src: NodeId,
     /// Endpoint destinations (may include or exclude the source; the
     /// crossbar delivers exactly what is asked).
-    pub dests: DestSet,
+    pub dests: DestSet<W>,
     /// Message class, fixing its size and accounting bucket.
     pub class: MessageClass,
 }
@@ -123,7 +123,12 @@ impl Crossbar {
     /// This is the hot-path entry point: with a reused buffer it
     /// neither allocates nor copies. [`Crossbar::send`] wraps it for
     /// callers that prefer an owned [`Delivery`].
-    pub fn send_into(&mut self, now: u64, msg: &Message, arrivals: &mut Arrivals) -> u64 {
+    pub fn send_into<const W: usize>(
+        &mut self,
+        now: u64,
+        msg: &Message<W>,
+        arrivals: &mut Arrivals,
+    ) -> u64 {
         arrivals.clear();
         let ser = self.serialization_ns(msg.class);
         let half = self.config.traversal_ns / 2;
@@ -145,7 +150,7 @@ impl Crossbar {
 
     /// Injects `msg` at time `now`; returns the ordering time and
     /// per-destination arrival times as an owned [`Delivery`].
-    pub fn send(&mut self, now: u64, msg: &Message) -> Delivery {
+    pub fn send<const W: usize>(&mut self, now: u64, msg: &Message<W>) -> Delivery {
         let mut arrivals = Arrivals::new();
         let order_time = self.send_into(now, msg, &mut arrivals);
         Delivery {
@@ -181,7 +186,7 @@ mod tests {
     #[test]
     fn uncontended_latency_is_traversal_plus_serialization() {
         let mut x = xbar();
-        let msg = Message {
+        let msg: Message = Message {
             src: n(0),
             dests: DestSet::single(n(5)),
             class: MessageClass::Request,
@@ -198,7 +203,7 @@ mod tests {
         let mut x = xbar();
         let req = x.send(
             0,
-            &Message {
+            &Message::<4> {
                 src: n(0),
                 dests: DestSet::single(n(1)),
                 class: MessageClass::Request,
@@ -207,7 +212,7 @@ mod tests {
         let mut x2 = xbar();
         let data = x2.send(
             0,
-            &Message {
+            &Message::<4> {
                 src: n(0),
                 dests: DestSet::single(n(1)),
                 class: MessageClass::DataResponse,
@@ -222,7 +227,7 @@ mod tests {
     #[test]
     fn source_link_queues_back_to_back_sends() {
         let mut x = xbar();
-        let msg = Message {
+        let msg: Message = Message {
             src: n(0),
             dests: DestSet::single(n(1)),
             class: MessageClass::DataResponse, // 8ns serialization
@@ -241,7 +246,7 @@ mod tests {
         // Two different sources target the same destination at once.
         let a = x.send(
             0,
-            &Message {
+            &Message::<4> {
                 src: n(0),
                 dests: DestSet::single(n(9)),
                 class: MessageClass::DataResponse,
@@ -249,7 +254,7 @@ mod tests {
         );
         let b = x.send(
             0,
-            &Message {
+            &Message::<4> {
                 src: n(1),
                 dests: DestSet::single(n(9)),
                 class: MessageClass::DataResponse,
@@ -268,7 +273,7 @@ mod tests {
         for i in 0..50 {
             let d = x.send(
                 i * 3,
-                &Message {
+                &Message::<4> {
                     src: n((i % 16) as usize),
                     dests: DestSet::broadcast(16),
                     class: MessageClass::Request,
@@ -285,7 +290,7 @@ mod tests {
         let dests = DestSet::from_iter([n(1), n(4), n(9)]);
         let d = x.send(
             100,
-            &Message {
+            &Message::<4> {
                 src: n(0),
                 dests,
                 class: MessageClass::Request,
@@ -302,7 +307,7 @@ mod tests {
         let mut x = xbar();
         let d = x.send(
             5,
-            &Message {
+            &Message::<4> {
                 src: n(0),
                 dests: DestSet::empty(),
                 class: MessageClass::Control,
@@ -316,7 +321,7 @@ mod tests {
     #[test]
     fn reset_stats_keeps_link_state() {
         let mut x = xbar();
-        let msg = Message {
+        let msg: Message = Message {
             src: n(0),
             dests: DestSet::single(n(1)),
             class: MessageClass::Request,
@@ -333,7 +338,7 @@ mod tests {
         let mut x = xbar();
         x.send(
             0,
-            &Message {
+            &Message::<4> {
                 src: n(0),
                 dests: DestSet::broadcast(16).without(n(0)),
                 class: MessageClass::Request,

@@ -21,7 +21,7 @@
 //! use dsp_types::{DestSet, MessageClass, NodeId};
 //!
 //! let mut xbar = Crossbar::new(InterconnectConfig::isca03(), 16);
-//! let msg = Message {
+//! let msg: Message = Message {
 //!     src: NodeId::new(0),
 //!     dests: DestSet::broadcast(16).without(NodeId::new(0)),
 //!     class: MessageClass::Request,

@@ -49,7 +49,11 @@ impl ReferenceCrossbar {
 
     /// Injects `msg` at time `now`; returns the ordering time and a
     /// freshly allocated arrival list, exactly as the seed `send` did.
-    pub fn send(&mut self, now: u64, msg: &Message) -> (u64, Vec<(NodeId, u64)>) {
+    pub fn send<const W: usize>(
+        &mut self,
+        now: u64,
+        msg: &Message<W>,
+    ) -> (u64, Vec<(NodeId, u64)>) {
         let ser = self.serialization_ns(msg.class);
         let half = self.config.traversal_ns / 2;
         let start = now.max(self.src_free_at[msg.src.index()]);
@@ -76,7 +80,7 @@ mod tests {
         let mut x = ReferenceCrossbar::new(InterconnectConfig::isca03(), 16);
         let (order, arrivals) = x.send(
             0,
-            &Message {
+            &Message::<4> {
                 src: NodeId::new(0),
                 dests: DestSet::single(NodeId::new(5)),
                 class: MessageClass::Request,

@@ -62,7 +62,7 @@ proptest! {
         let mut last_order = 0u64;
         for op in &ops {
             now += op.gap;
-            let msg = Message {
+            let msg: Message = Message {
                 src: NodeId::new(op.src),
                 dests: DestSet::from_bits(op.dest_mask as u64),
                 class: class_of(op.class_idx),
@@ -89,7 +89,7 @@ proptest! {
             now += op.gap;
             let class = class_of(op.class_idx);
             let ser = xbar.serialization_ns(class);
-            let msg = Message {
+            let msg: Message = Message {
                 src: NodeId::new(op.src),
                 dests: DestSet::from_bits(op.dest_mask as u64),
                 class,
@@ -124,7 +124,7 @@ proptest! {
             let dests = DestSet::from_bits(op.dest_mask as u64);
             expect_deliveries += dests.len() as u64;
             expect_bytes += dests.len() as u64 * class.bytes();
-            xbar.send(now, &Message { src: NodeId::new(op.src), dests, class });
+            xbar.send(now, &Message::<4> { src: NodeId::new(op.src), dests, class });
         }
         let stats = xbar.stats();
         let total_deliveries: u64 = [
@@ -161,7 +161,7 @@ proptest! {
             now += op.gap;
             let class = class_of(op.class_idx);
             prop_assert_eq!(xbar.serialization_ns(class), seed.serialization_ns(class));
-            let msg = Message {
+            let msg: Message = Message {
                 src: NodeId::new(op.src),
                 dests: DestSet::from_bits(op.dest_mask as u64),
                 class,
@@ -181,7 +181,7 @@ proptest! {
     fn uncontended_latency_bound(src in 0usize..NODES, dst in 0usize..NODES, class_idx in 0u8..6) {
         let mut xbar = Crossbar::new(InterconnectConfig::isca03(), NODES);
         let class = class_of(class_idx);
-        let msg = Message {
+        let msg: Message = Message {
             src: NodeId::new(src),
             dests: DestSet::single(NodeId::new(dst)),
             class,
@@ -209,7 +209,7 @@ fn golden_trace_is_pinned() {
     for (now, src, mask, class) in steps {
         let d = xbar.send(
             now,
-            &Message {
+            &Message::<4> {
                 src: NodeId::new(src),
                 dests: DestSet::from_bits(mask),
                 class,
@@ -226,7 +226,7 @@ fn golden_trace_is_pinned() {
     for (now, src, mask, class) in steps {
         let (order, arrivals) = seed.send(
             now,
-            &Message {
+            &Message::<4> {
                 src: NodeId::new(src),
                 dests: DestSet::from_bits(mask),
                 class,

@@ -24,7 +24,7 @@
 //!
 //! ```
 //! use dsp_core::PredictorConfig;
-//! use dsp_sim::{ProtocolKind, SimConfig, System, TargetSystem};
+//! use dsp_sim::{ProtocolKind, SimConfig, TargetSystem};
 //! use dsp_trace::{Workload, WorkloadSpec};
 //! use dsp_types::SystemConfig;
 //!
@@ -32,7 +32,7 @@
 //! let spec = WorkloadSpec::preset(Workload::Apache, &sys).scaled(1.0 / 256.0);
 //! let sim = SimConfig::new(ProtocolKind::Multicast(PredictorConfig::owner_group()))
 //!     .misses(50, 200);
-//! let report = System::new(&sys, TargetSystem::isca03_default(), &spec, sim).run();
+//! let report = dsp_sim::simulate(&sys, TargetSystem::isca03_default(), &spec, sim);
 //! println!("runtime: {} ns, {:.1} B/miss", report.runtime_ns, report.bytes_per_miss());
 //! ```
 
@@ -45,7 +45,13 @@ mod report;
 mod system;
 mod train;
 
-pub use config::{CpuModel, ProtocolKind, SimConfig, TargetSystem, TrainingMode};
-pub use queue::{Event, EventQueue, QueueCounters, ReferenceQueue, WheelQueue};
+pub use config::{
+    CpuModel, DispatchMode, ProtocolKind, SetWidth, SimConfig, TargetSystem, TrainingMode,
+};
+pub use queue::{
+    Event, EventBatch, EventKind, EventQueue, QueueCounters, ReferenceQueue, SlotDrain, WheelQueue,
+};
 pub use report::{ClassCounts, LatencyHistogram, SimReport};
-pub use system::{System, TracePartition};
+pub use system::{
+    simulate, simulate_with_partition, simulate_with_queue_stats, System, TracePartition,
+};

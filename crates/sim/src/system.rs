@@ -13,9 +13,10 @@ use dsp_trace::{TraceRecord, WorkloadSpec};
 use dsp_types::{DestSet, LineState, MessageClass, NodeId, Owner, ReqType, SystemConfig};
 
 use crate::config::{CpuModel, ProtocolKind, SimConfig, TargetSystem, TrainingMode};
-use crate::queue::{Event, EventQueue, QueueCounters};
+use crate::queue::{Event, EventBatch, EventKind, EventQueue, QueueCounters, SlotDrain};
 use crate::report::SimReport;
 use crate::train::TrainBuffers;
+use crate::DispatchMode;
 
 /// Lazy-training inbox depth that triggers an early forced drain (of
 /// records already behind the current dispatch time, which is always
@@ -26,7 +27,7 @@ const FORCE_DRAIN_DEPTH: usize = 1024;
 
 /// In-flight miss bookkeeping.
 #[derive(Debug)]
-struct Pending {
+struct Pending<const W: usize> {
     rec: TraceRecord,
     issue_time: u64,
     measured: bool,
@@ -39,9 +40,9 @@ struct Pending {
     /// Predictive-directory: the owner answered directly, so the home
     /// only issues invalidations (no data/forward).
     home_invals_only: bool,
-    info: Option<MissInfo>,
+    info: Option<MissInfo<W>>,
     /// Destination set of the current attempt (excluding the requester).
-    current_dests: DestSet,
+    current_dests: DestSet<W>,
     /// Arrival times of the current attempt, indexed by node.
     arrivals: Vec<Option<u64>>,
     /// Fallback arrival for nodes not in the destination set (e.g. the
@@ -70,12 +71,17 @@ struct Pending {
 /// let sys = SystemConfig::isca03();
 /// let spec = WorkloadSpec::preset(Workload::Oltp, &sys).scaled(1.0 / 256.0);
 /// let sim = SimConfig::new(ProtocolKind::Snooping).misses(50, 200);
-/// let report = System::new(&sys, TargetSystem::isca03_default(), &spec, sim).run();
+/// let report = dsp_sim::simulate(&sys, TargetSystem::isca03_default(), &spec, sim);
 /// assert!(report.measured_misses > 0);
 /// assert!(report.runtime_ns > 0);
 /// ```
+/// The destination-set word width `W` is a compile-time parameter (64
+/// nodes per word): `System<1>` covers machines up to 64 nodes with
+/// single-word set operations, `System<4>` covers [`dsp_types::MAX_NODES`].
+/// The [`crate::simulate`] entry points pick the width at runtime from
+/// [`crate::SetWidth`]; reports are byte-identical across widths.
 #[derive(Debug)]
-pub struct System {
+pub struct System<const W: usize = 4> {
     sys: SystemConfig,
     target: TargetSystem,
     sim: SimConfig,
@@ -86,17 +92,17 @@ pub struct System {
     ready_at: Vec<u64>,
     rngs: Vec<SmallRng>,
     caches: Vec<SetAssocCache>,
-    predictors: Vec<Box<dyn DestSetPredictor>>,
+    predictors: Vec<Box<dyn DestSetPredictor<W>>>,
     warmup_done_at: Vec<Option<u64>>,
     // Global.
-    tracker: CoherenceTracker,
+    tracker: CoherenceTracker<W>,
     xbar: Crossbar,
     /// Scratch buffer for crossbar deliveries, reused across every send
     /// so the event loop performs no per-message allocation or copy.
     xbar_arrivals: Arrivals,
     queue: EventQueue,
     /// Lazy-training inboxes (empty in eager mode); see [`TrainBuffers`].
-    train: TrainBuffers,
+    train: TrainBuffers<W>,
     /// Virtual event sequence: the (time, seq) total order spanning
     /// queued events *and* buffered training records. Every queue push
     /// and every inbox append draws the next value, mirroring exactly
@@ -104,16 +110,20 @@ pub struct System {
     /// record's position relative to any popped event is decided by
     /// comparing keys — including ties at equal times.
     vseq: u64,
-    pending: Vec<Pending>,
+    pending: Vec<Pending<W>>,
     free_slots: Vec<usize>,
     completed: u64,
     total_misses: u64,
     end_time: u64,
     mean_gap_instructions: f64,
     report: SimReport,
+    /// When set, every dispatched event appends `(time, seq, kind)` —
+    /// the observable order the batched/per-event equivalence tests
+    /// compare. `None` (the default) keeps the hot loop log-free.
+    dispatch_log: Option<Vec<(u64, u64, EventKind)>>,
 }
 
-impl System {
+impl<const W: usize> System<W> {
     /// Builds a system running `spec` under `sim` on the `target`
     /// machine.
     pub fn new(
@@ -159,9 +169,9 @@ impl System {
         );
         let programs = partition;
         let total_misses = programs.per_node().iter().map(|p| p.len() as u64).sum();
-        let predictors: Vec<Box<dyn DestSetPredictor>> = match &sim.protocol {
+        let predictors: Vec<Box<dyn DestSetPredictor<W>>> = match &sim.protocol {
             ProtocolKind::Multicast(cfg) | ProtocolKind::DirectoryPredicted(cfg) => {
-                (0..n).map(|_| cfg.build(sys)).collect()
+                (0..n).map(|_| cfg.build_width::<W>(sys)).collect()
             }
             _ => Vec::new(),
         };
@@ -202,6 +212,7 @@ impl System {
             mean_gap_instructions: spec.mean_gap_instructions(),
             sim,
             report: SimReport::default(),
+            dispatch_log: None,
         }
     }
 
@@ -211,9 +222,34 @@ impl System {
     }
 
     /// Runs to completion, also returning the event queue's occupancy
-    /// counters (pushes/pops/promotions) — the queue-pressure trend
-    /// line the `hotpath-bench` `sim` row records.
+    /// counters (pushes/pops/promotions/remaining) — the queue-pressure
+    /// trend line the `hotpath-bench` `sim` row records. The counters
+    /// always reconcile (`pushed == popped + remaining`); their split
+    /// differs between dispatch modes, because a finishing batch drains
+    /// (pops) its whole timestamp while the per-event loop leaves
+    /// post-completion events queued.
     pub fn run_with_queue_stats(mut self) -> (SimReport, QueueCounters) {
+        self.run_core();
+        let counters = self.queue.counters();
+        counters.assert_reconciled();
+        (self.report, counters)
+    }
+
+    /// Runs to completion, recording every dispatched event as
+    /// `(time, seq, kind)`.
+    ///
+    /// The dispatch log is the observable event order: the
+    /// batched/per-event equivalence property tests run both
+    /// [`crate::DispatchMode`]s and require identical logs *and*
+    /// identical reports.
+    pub fn run_with_dispatch_log(mut self) -> (SimReport, Vec<(u64, u64, EventKind)>) {
+        self.dispatch_log = Some(Vec::new());
+        self.run_core();
+        let log = self.dispatch_log.take().expect("installed above");
+        (self.report, log)
+    }
+
+    fn run_core(&mut self) {
         let n = self.sys.num_nodes();
         for node in 0..n {
             if self.sim.warmup_misses_per_node == 0 {
@@ -223,21 +259,15 @@ impl System {
             self.ready_at[node] = gap;
             self.push_event(gap, Event::CpuIssue { node });
         }
-        // The last dispatched event's (time, seq): the eager loop
-        // applies exactly the trainings scheduled strictly before the
-        // point it stops, so the final lazy drain uses it as its limit.
-        let mut stop = (0u64, 0u64);
-        while self.completed < self.total_misses {
-            let Some((time, seq, event)) = self.queue.pop_entry() else {
-                // Starved (some node had no misses at all): the eager
-                // loop would have drained its whole queue, training
-                // events included.
-                stop = (u64::MAX, u64::MAX);
-                break;
-            };
-            stop = (time, seq);
-            self.dispatch(time, seq, event);
-        }
+        // The last dispatched event's (time, seq): the loop applies
+        // exactly the trainings scheduled strictly before the point it
+        // stops, so the final lazy drain uses it as its limit. A
+        // starved run (some node had no misses at all) drains its whole
+        // queue, training events included — limit (MAX, MAX).
+        let stop = match self.sim.dispatch {
+            DispatchMode::Batched => self.run_batched(),
+            DispatchMode::PerEvent => self.run_per_event(),
+        };
         if self.sim.protocol.uses_predictors() {
             for node in 0..n {
                 self.drain_training(node, stop.0, stop.1);
@@ -250,35 +280,198 @@ impl System {
             .max()
             .unwrap_or(0);
         self.report.runtime_ns = self.end_time.saturating_sub(warm_end);
-        (self.report, self.queue.counters())
+    }
+
+    /// The per-event loop: pop one entry, dispatch, repeat. Kept both
+    /// as the reference semantics the batched loop must reproduce
+    /// exactly and as the baseline the `dispatch` hot-path bench row
+    /// measures against.
+    fn run_per_event(&mut self) -> (u64, u64) {
+        let mut stop = (0u64, 0u64);
+        while self.completed < self.total_misses {
+            let Some((time, seq, event)) = self.queue.pop_entry() else {
+                stop = (u64::MAX, u64::MAX);
+                break;
+            };
+            stop = (time, seq);
+            self.dispatch(time, seq, event);
+        }
+        stop
+    }
+
+    /// The data-oriented loop: drain each timing-wheel slot (one
+    /// timestamp) as a struct-of-arrays [`EventBatch`] and dispatch its
+    /// same-kind runs in tight per-kind loops.
+    ///
+    /// Exactness: a wheel bucket holds exactly one timestamp in push
+    /// (= sequence) order, every simulator push is at `time >= now`,
+    /// and runs never reorder across kinds — so the dispatch order is
+    /// the per-event loop's `(time, seq)` order, event for event.
+    /// Events pushed at the current time *during* the batch carry later
+    /// sequences and surface in the next `pop_batch`, exactly where the
+    /// per-event loop would pop them. When the final miss completes
+    /// mid-batch the tail of the batch is dropped undispatched — the
+    /// same events the per-event loop would have left queued.
+    fn run_batched(&mut self) -> (u64, u64) {
+        let mut stop = (0u64, 0u64);
+        let mut batch = EventBatch::new();
+        while self.completed < self.total_misses {
+            match self.queue.pop_slot(&mut batch) {
+                SlotDrain::Empty => {
+                    stop = (u64::MAX, u64::MAX);
+                    break;
+                }
+                // Most timestamps hold one event; dispatching it
+                // directly skips lane formation (and is bit-exact with
+                // the per-event loop by construction).
+                SlotDrain::Single(time, seq, event) => {
+                    stop = (time, seq);
+                    self.dispatch(time, seq, event);
+                }
+                SlotDrain::Batch => {
+                    let last_seq = self.dispatch_batch(&batch);
+                    stop = (batch.time, last_seq);
+                }
+            }
+        }
+        stop
+    }
+
+    /// Dispatches `batch` run by run, returning the last dispatched
+    /// sequence. Returns early (dropping the batch tail) as soon as the
+    /// final miss completes.
+    fn dispatch_batch(&mut self, batch: &EventBatch) -> u64 {
+        let time = batch.time;
+        let mut cursors = [0usize; 7];
+        let mut last_seq = 0u64;
+        for &(kind, n) in &batch.runs {
+            let start = cursors[kind as usize];
+            let end = start + n as usize;
+            cursors[kind as usize] = end;
+            match kind {
+                EventKind::CpuIssue => {
+                    for i in start..end {
+                        last_seq = batch.cpu_seq[i];
+                        self.log_dispatch(time, last_seq, kind);
+                        self.try_issue(batch.cpu_node[i] as usize, time);
+                    }
+                }
+                EventKind::Inject => {
+                    for i in start..end {
+                        last_seq = batch.inject_seq[i];
+                        let req = batch.inject_req[i] as usize;
+                        self.log_dispatch(time, last_seq, kind);
+                        self.inject_request(req, time, last_seq);
+                        self.release(req);
+                    }
+                }
+                EventKind::Ordered => {
+                    for i in start..end {
+                        last_seq = batch.ordered_seq[i];
+                        let req = batch.ordered_req[i] as usize;
+                        self.log_dispatch(time, last_seq, kind);
+                        self.ordered(req, batch.ordered_attempt[i], time);
+                        self.release(req);
+                    }
+                }
+                EventKind::RequestArrive => {
+                    for i in start..end {
+                        last_seq = batch.arrive_seq[i];
+                        let req = batch.arrive_req[i] as usize;
+                        self.log_dispatch(time, last_seq, kind);
+                        self.request_arrive(
+                            req,
+                            batch.arrive_node[i] as usize,
+                            batch.arrive_retry[i],
+                            time,
+                            last_seq,
+                        );
+                        self.release(req);
+                    }
+                }
+                EventKind::HomeReady => {
+                    for i in start..end {
+                        last_seq = batch.home_seq[i];
+                        let req = batch.home_req[i] as usize;
+                        self.log_dispatch(time, last_seq, kind);
+                        self.home_ready(req, batch.home_attempt[i], time);
+                        self.release(req);
+                    }
+                }
+                EventKind::OwnerReady => {
+                    for i in start..end {
+                        last_seq = batch.owner_seq[i];
+                        let req = batch.owner_req[i] as usize;
+                        self.log_dispatch(time, last_seq, kind);
+                        self.owner_ready(req, batch.owner_owner[i] as usize, time);
+                        self.release(req);
+                    }
+                }
+                EventKind::Complete => {
+                    for i in start..end {
+                        last_seq = batch.complete_seq[i];
+                        let req = batch.complete_req[i] as usize;
+                        self.log_dispatch(time, last_seq, kind);
+                        self.complete(req, time, last_seq);
+                        self.release(req);
+                        // Only `Complete` advances the completion count,
+                        // so the end-of-run check lives in this lane
+                        // alone; the other kinds dispatch check-free.
+                        if self.completed == self.total_misses {
+                            return last_seq;
+                        }
+                    }
+                }
+            }
+        }
+        last_seq
+    }
+
+    #[inline]
+    fn log_dispatch(&mut self, time: u64, seq: u64, kind: EventKind) {
+        if let Some(log) = &mut self.dispatch_log {
+            log.push((time, seq, kind));
+        }
+    }
+
+    /// Drops one queued-event reference to slot `req`, recycling the
+    /// slot once the miss is done and unreferenced.
+    #[inline]
+    fn release(&mut self, req: usize) {
+        let p = &mut self.pending[req];
+        p.refs -= 1;
+        if p.refs == 0 && p.done {
+            self.free_slots.push(req);
+        }
     }
 
     fn dispatch(&mut self, time: u64, seq: u64, event: Event) {
-        let req_ref = match event {
-            Event::CpuIssue { .. } => None,
-            Event::Inject { req }
-            | Event::Ordered { req, .. }
-            | Event::RequestArrive { req, .. }
-            | Event::HomeReady { req, .. }
-            | Event::OwnerReady { req, .. }
-            | Event::Complete { req } => Some(req),
-        };
+        self.log_dispatch(time, seq, event.kind());
         match event {
             Event::CpuIssue { node } => self.try_issue(node, time),
-            Event::Inject { req } => self.inject_request(req, time, seq),
-            Event::Ordered { req, attempt } => self.ordered(req, attempt, time),
-            Event::RequestArrive { req, node, retry } => {
-                self.request_arrive(req, node, retry, time, seq)
+            Event::Inject { req } => {
+                self.inject_request(req, time, seq);
+                self.release(req);
             }
-            Event::HomeReady { req, attempt } => self.home_ready(req, attempt, time),
-            Event::OwnerReady { req, owner } => self.owner_ready(req, owner, time),
-            Event::Complete { req } => self.complete(req, time, seq),
-        }
-        if let Some(req) = req_ref {
-            let p = &mut self.pending[req];
-            p.refs -= 1;
-            if p.refs == 0 && p.done {
-                self.free_slots.push(req);
+            Event::Ordered { req, attempt } => {
+                self.ordered(req, attempt, time);
+                self.release(req);
+            }
+            Event::RequestArrive { req, node, retry } => {
+                self.request_arrive(req, node, retry, time, seq);
+                self.release(req);
+            }
+            Event::HomeReady { req, attempt } => {
+                self.home_ready(req, attempt, time);
+                self.release(req);
+            }
+            Event::OwnerReady { req, owner } => {
+                self.owner_ready(req, owner, time);
+                self.release(req);
+            }
+            Event::Complete { req } => {
+                self.complete(req, time, seq);
+                self.release(req);
             }
         }
     }
@@ -380,7 +573,7 @@ impl System {
         let home = block.home(self.sys.num_nodes());
         let minimal = DestSet::single(requester).with(home);
         let predicted = match &self.sim.protocol {
-            ProtocolKind::Snooping => self.sys.broadcast_set(),
+            ProtocolKind::Snooping => self.sys.broadcast_set_w::<W>(),
             ProtocolKind::Directory => minimal,
             ProtocolKind::Multicast(_) | ProtocolKind::DirectoryPredicted(_) => {
                 // The prediction observes predictor state: apply every
@@ -407,7 +600,7 @@ impl System {
         &mut self,
         req: usize,
         src: NodeId,
-        dests: DestSet,
+        dests: DestSet<W>,
         class: MessageClass,
         now: u64,
         attempt: u8,
@@ -588,7 +781,7 @@ impl System {
 
     /// For snooping-style (direct) resolution: the owner cache or the
     /// home memory supplies the data.
-    fn schedule_response(&mut self, req: usize, info: &MissInfo, home: NodeId) {
+    fn schedule_response(&mut self, req: usize, info: &MissInfo<W>, home: NodeId) {
         match info.owner_before {
             Owner::Node(owner) => {
                 let t = self.arrival_at(req, owner) + self.target.l2_access_ns;
@@ -713,7 +906,7 @@ impl System {
                         .tracker
                         .classify(rec.requester, rec.request(), rec.block());
                     let dests = if next_attempt >= 3 {
-                        self.sys.broadcast_set().without(home)
+                        self.sys.broadcast_set_w::<W>().without(home)
                     } else {
                         fresh.sufficient_set().with(rec.requester).without(home)
                     };
@@ -756,7 +949,7 @@ impl System {
         }
         self.xbar.send_into(
             now,
-            &Message {
+            &Message::<W> {
                 src: responder,
                 dests: DestSet::single(requester),
                 class,
@@ -837,7 +1030,7 @@ impl System {
                     if victim_home != rec.requester {
                         self.xbar.send_into(
                             now,
-                            &Message {
+                            &Message::<W> {
                                 src: rec.requester,
                                 dests: DestSet::single(victim_home),
                                 class: MessageClass::Writeback,
@@ -891,14 +1084,14 @@ impl System {
 
     /// Applies the MOSI transition to the global tracker and mirrors it
     /// into the per-node caches.
-    fn apply_transition(&mut self, info: &MissInfo) {
+    fn apply_transition(&mut self, info: &MissInfo<W>) {
         let _ = self.tracker.access(info.requester, info.req, info.block);
         self.mirror_transition(info);
     }
 
     /// Mirrors an already-applied MOSI transition into the per-node
     /// caches (invalidations / owner demotion).
-    fn mirror_transition(&mut self, info: &MissInfo) {
+    fn mirror_transition(&mut self, info: &MissInfo<W>) {
         match info.req {
             ReqType::GetShared => {
                 if let Owner::Node(owner) = info.owner_before {
@@ -927,7 +1120,7 @@ impl System {
     /// performs no heap allocation. The recycled buffer may hold stale
     /// entries: `send_request` clears it before the first read
     /// (`arrival_at` is only reachable from events it schedules).
-    fn alloc_pending(&mut self, mut p: Pending) -> usize {
+    fn alloc_pending(&mut self, mut p: Pending<W>) -> usize {
         let n = self.sys.num_nodes();
         if let Some(slot) = self.free_slots.pop() {
             p.arrivals = std::mem::take(&mut self.pending[slot].arrivals);
@@ -955,7 +1148,7 @@ impl System {
     /// wrapper must preserve the inner predictor's behavior.
     pub fn instrument_predictors(
         &mut self,
-        mut wrap: impl FnMut(usize, Box<dyn DestSetPredictor>) -> Box<dyn DestSetPredictor>,
+        mut wrap: impl FnMut(usize, Box<dyn DestSetPredictor<W>>) -> Box<dyn DestSetPredictor<W>>,
     ) {
         let predictors = std::mem::take(&mut self.predictors);
         self.predictors = predictors
@@ -963,6 +1156,54 @@ impl System {
             .enumerate()
             .map(|(node, p)| wrap(node, p))
             .collect();
+    }
+}
+
+/// Runs one simulation, selecting the [`DestSet`] word width at
+/// runtime from `sim.width` (see [`crate::SetWidth`]): machines of at
+/// most 64 nodes dispatch to the monomorphized `System<1>` (single-word
+/// set operations throughout the tracker, crossbar, and predictors),
+/// larger machines to `System<4>`. Reports are byte-identical across
+/// widths — the width-equivalence property tests pin this.
+pub fn simulate(
+    sys: &SystemConfig,
+    target: TargetSystem,
+    spec: &WorkloadSpec,
+    sim: SimConfig,
+) -> SimReport {
+    match sim.width.words(sys.num_nodes()) {
+        1 => System::<1>::new(sys, target, spec, sim).run(),
+        _ => System::<4>::new(sys, target, spec, sim).run(),
+    }
+}
+
+/// [`simulate`] over a precomputed [`TracePartition`] (see
+/// [`System::with_partition`]).
+pub fn simulate_with_partition(
+    sys: &SystemConfig,
+    target: TargetSystem,
+    spec: &WorkloadSpec,
+    sim: SimConfig,
+    partition: TracePartition,
+) -> SimReport {
+    match sim.width.words(sys.num_nodes()) {
+        1 => System::<1>::with_partition(sys, target, spec, sim, partition).run(),
+        _ => System::<4>::with_partition(sys, target, spec, sim, partition).run(),
+    }
+}
+
+/// [`simulate_with_partition`], also returning the event queue's
+/// occupancy counters (the `hotpath-bench` `sim` row).
+pub fn simulate_with_queue_stats(
+    sys: &SystemConfig,
+    target: TargetSystem,
+    spec: &WorkloadSpec,
+    sim: SimConfig,
+    partition: TracePartition,
+) -> (SimReport, QueueCounters) {
+    match sim.width.words(sys.num_nodes()) {
+        1 => System::<1>::with_partition(sys, target, spec, sim, partition).run_with_queue_stats(),
+        _ => System::<4>::with_partition(sys, target, spec, sim, partition).run_with_queue_stats(),
     }
 }
 
@@ -1078,7 +1319,7 @@ mod tests {
     fn run(protocol: ProtocolKind) -> SimReport {
         let sys = SystemConfig::isca03();
         let sim = SimConfig::new(protocol).misses(100, 400).seed(11);
-        System::new(&sys, TargetSystem::isca03_default(), &spec(), sim).run()
+        System::<4>::new(&sys, TargetSystem::isca03_default(), &spec(), sim).run()
     }
 
     #[test]
@@ -1150,7 +1391,7 @@ mod tests {
                 .cpu(cpu)
                 .misses(50, 300)
                 .seed(3);
-            System::new(&sys, TargetSystem::isca03_default(), &spec(), sim).run()
+            System::<4>::new(&sys, TargetSystem::isca03_default(), &spec(), sim).run()
         };
         let simple = mk(CpuModel::Simple);
         let detailed = mk(CpuModel::Detailed { max_outstanding: 4 });
@@ -1168,7 +1409,7 @@ mod tests {
         let sim = SimConfig::new(ProtocolKind::Snooping)
             .misses(0, 100)
             .seed(5);
-        let r = System::new(&sys, TargetSystem::isca03_default(), &spec(), sim).run();
+        let r = System::<4>::new(&sys, TargetSystem::isca03_default(), &spec(), sim).run();
         assert_eq!(r.measured_misses, 100 * 16);
     }
 
@@ -1229,8 +1470,8 @@ mod tests {
         let partition = TracePartition::build(&spec, 11, sys.num_nodes(), 250);
         for protocol in [ProtocolKind::Snooping, ProtocolKind::Directory] {
             let fresh =
-                System::new(&sys, TargetSystem::isca03_default(), &spec, sim(protocol)).run();
-            let shared = System::with_partition(
+                System::<4>::new(&sys, TargetSystem::isca03_default(), &spec, sim(protocol)).run();
+            let shared = System::<4>::with_partition(
                 &sys,
                 TargetSystem::isca03_default(),
                 &spec,
@@ -1251,7 +1492,13 @@ mod tests {
         let sim = SimConfig::new(ProtocolKind::Snooping)
             .misses(50, 200)
             .seed(11);
-        let _ = System::with_partition(&sys, TargetSystem::isca03_default(), &spec, sim, partition);
+        let _ = System::<4>::with_partition(
+            &sys,
+            TargetSystem::isca03_default(),
+            &spec,
+            sim,
+            partition,
+        );
     }
 
     #[test]
@@ -1261,5 +1508,33 @@ mod tests {
         // Between the direct c2c (112) and well under 10x memory (1800):
         // queueing can add, but the system is generously provisioned.
         assert!((112.0..1000.0).contains(&avg), "avg latency {avg}");
+    }
+
+    #[test]
+    fn widths_and_dispatch_modes_agree() {
+        use crate::{simulate, DispatchMode, SetWidth};
+        let sys = SystemConfig::isca03();
+        let base = SimConfig::new(ProtocolKind::Multicast(
+            PredictorConfig::group().indexing(dsp_core::Indexing::Macroblock { bytes: 1024 }),
+        ))
+        .misses(20, 60)
+        .seed(11);
+        let reference = simulate(
+            &sys,
+            TargetSystem::isca03_default(),
+            &spec(),
+            base.clone().width(SetWidth::Wide),
+        );
+        for width in [SetWidth::Auto, SetWidth::Narrow] {
+            for dispatch in [DispatchMode::Batched, DispatchMode::PerEvent] {
+                let r = simulate(
+                    &sys,
+                    TargetSystem::isca03_default(),
+                    &spec(),
+                    base.clone().width(width).dispatch(dispatch),
+                );
+                assert_eq!(r, reference, "{width:?}/{dispatch:?} diverged");
+            }
+        }
     }
 }

@@ -60,14 +60,23 @@ impl Default for BufferedTrain {
 }
 
 /// The per-node training inboxes plus the reusable drain scratch.
-#[derive(Debug, Default)]
-pub(crate) struct TrainBuffers {
+#[derive(Debug)]
+pub(crate) struct TrainBuffers<const W: usize = 4> {
     inboxes: Vec<InlineRing<BufferedTrain, INBOX_INLINE>>,
     /// Reused batch buffer handed to `train_batch`.
-    scratch: Vec<TrainEvent>,
+    scratch: Vec<TrainEvent<W>>,
 }
 
-impl TrainBuffers {
+impl<const W: usize> Default for TrainBuffers<W> {
+    fn default() -> Self {
+        TrainBuffers {
+            inboxes: Vec::new(),
+            scratch: Vec::new(),
+        }
+    }
+}
+
+impl<const W: usize> TrainBuffers<W> {
     /// Inboxes for `n` nodes.
     pub(crate) fn new(n: usize) -> Self {
         TrainBuffers {
@@ -125,7 +134,7 @@ impl TrainBuffers {
         node: usize,
         limit_time: u64,
         limit_seq: u64,
-        predictor: &mut dyn DestSetPredictor,
+        predictor: &mut dyn DestSetPredictor<W>,
     ) {
         let inbox = &mut self.inboxes[node];
         while let Some(front) = inbox.front() {

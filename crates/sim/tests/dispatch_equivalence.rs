@@ -1,0 +1,156 @@
+//! Property tests pinning batched dispatch to the per-event baseline.
+//!
+//! Batched mode drains whole timing-wheel slots into a
+//! struct-of-arrays [`dsp_sim::EventBatch`] and dispatches kind-runs in
+//! tight loops; exactness is non-negotiable, so these tests replay the
+//! same configuration under both [`DispatchMode`]s and require the
+//! *complete* dispatch traces — every `(time, seq, kind)` triple in
+//! order — and the final reports to be identical, across protocols,
+//! predictor policies, system sizes from 4 to 256 nodes, both set
+//! widths, and both CPU models.
+
+use proptest::prelude::*;
+
+use dsp_core::PredictorConfig;
+use dsp_sim::{
+    CpuModel, DispatchMode, EventKind, ProtocolKind, SimConfig, SimReport, System, TargetSystem,
+};
+use dsp_trace::{Workload, WorkloadSpec};
+use dsp_types::SystemConfig;
+
+/// Runs one configuration at width `W` under `mode`, returning the
+/// report and the full `(time, seq, kind)` dispatch trace.
+fn run_logged<const W: usize>(
+    nodes: usize,
+    protocol: ProtocolKind,
+    cpu: CpuModel,
+    seed: u64,
+    measured: usize,
+    mode: DispatchMode,
+) -> (SimReport, Vec<(u64, u64, EventKind)>) {
+    let sys = SystemConfig::builder()
+        .num_nodes(nodes)
+        .build()
+        .expect("valid node count");
+    let spec = WorkloadSpec::preset(Workload::Apache, &sys).scaled(1.0 / 512.0);
+    let sim = SimConfig::new(protocol)
+        .cpu(cpu)
+        .misses(5, measured)
+        .seed(seed)
+        .dispatch(mode);
+    System::<W>::new(&sys, TargetSystem::isca03_default(), &spec, sim).run_with_dispatch_log()
+}
+
+/// Asserts batched and per-event dispatch produce byte-identical
+/// traces and reports for one configuration at width `W`.
+fn assert_modes_agree<const W: usize>(
+    nodes: usize,
+    protocol: ProtocolKind,
+    cpu: CpuModel,
+    seed: u64,
+    measured: usize,
+) {
+    let label = protocol.label();
+    let (batched_report, batched_log) =
+        run_logged::<W>(nodes, protocol, cpu, seed, measured, DispatchMode::Batched);
+    let (per_event_report, per_event_log) =
+        run_logged::<W>(nodes, protocol, cpu, seed, measured, DispatchMode::PerEvent);
+    if let Some(i) = (0..batched_log.len().min(per_event_log.len()))
+        .find(|&i| batched_log[i] != per_event_log[i])
+    {
+        panic!(
+            "{label}/{nodes} nodes/W={W}: dispatch order diverged at index {i}: \
+             batched {:?} vs per-event {:?}",
+            batched_log[i], per_event_log[i]
+        );
+    }
+    assert_eq!(
+        batched_log.len(),
+        per_event_log.len(),
+        "{label}/{nodes} nodes/W={W}: trace lengths diverged"
+    );
+    assert_eq!(
+        batched_report, per_event_report,
+        "{label}/{nodes} nodes/W={W}: reports diverged"
+    );
+}
+
+fn protocols() -> impl Strategy<Value = ProtocolKind> {
+    prop_oneof![
+        Just(ProtocolKind::Snooping),
+        Just(ProtocolKind::Directory),
+        Just(ProtocolKind::Multicast(PredictorConfig::group())),
+        Just(ProtocolKind::Multicast(PredictorConfig::owner_group())),
+        Just(ProtocolKind::Multicast(PredictorConfig::always_minimal())),
+        Just(ProtocolKind::Multicast(PredictorConfig::always_broadcast())),
+        Just(ProtocolKind::Multicast(PredictorConfig::sticky_spatial(1))),
+        Just(ProtocolKind::DirectoryPredicted(PredictorConfig::owner())),
+    ]
+}
+
+fn cpus() -> impl Strategy<Value = CpuModel> {
+    prop_oneof![
+        Just(CpuModel::Simple),
+        Just(CpuModel::Detailed { max_outstanding: 4 }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Narrow-width systems (4–64 nodes, `DestSet<1>`): batched and
+    /// per-event dispatch are trace-identical.
+    #[test]
+    fn narrow_width_modes_agree(
+        protocol in protocols(),
+        cpu in cpus(),
+        nodes in prop_oneof![Just(4usize), Just(16), Just(64)],
+        seed in 0u64..1_000,
+        measured in 10usize..40,
+    ) {
+        assert_modes_agree::<1>(nodes, protocol, cpu, seed, measured);
+    }
+
+    /// Wide-width systems (`DestSet<4>`, up to the 256-node scaling
+    /// study): batched and per-event dispatch are trace-identical.
+    #[test]
+    fn wide_width_modes_agree(
+        protocol in protocols(),
+        cpu in cpus(),
+        nodes in prop_oneof![Just(16usize), Just(256)],
+        seed in 0u64..1_000,
+        measured in 10usize..30,
+    ) {
+        assert_modes_agree::<4>(nodes, protocol, cpu, seed, measured);
+    }
+}
+
+/// Deterministic paper-scale spot check kept out of proptest so a
+/// regression names itself without shrinking: every protocol at the
+/// ISCA-03 16-node target, both widths.
+#[test]
+fn all_protocols_trace_identical_at_paper_scale() {
+    let protocols = [
+        ProtocolKind::Snooping,
+        ProtocolKind::Directory,
+        ProtocolKind::Multicast(PredictorConfig::group()),
+        ProtocolKind::Multicast(PredictorConfig::owner_group()),
+        ProtocolKind::DirectoryPredicted(PredictorConfig::owner()),
+    ];
+    for protocol in protocols {
+        assert_modes_agree::<1>(
+            16,
+            protocol,
+            CpuModel::Detailed { max_outstanding: 4 },
+            42,
+            60,
+        );
+        assert_modes_agree::<4>(
+            16,
+            protocol,
+            CpuModel::Detailed { max_outstanding: 4 },
+            42,
+            60,
+        );
+    }
+}

@@ -14,7 +14,7 @@ fn spec(w: Workload) -> WorkloadSpec {
 fn run(protocol: ProtocolKind, cpu: CpuModel, seed: u64) -> dsp_sim::SimReport {
     let sys = SystemConfig::isca03();
     let sim = SimConfig::new(protocol).cpu(cpu).misses(20, 150).seed(seed);
-    System::new(
+    System::<4>::new(
         &sys,
         TargetSystem::isca03_default(),
         &spec(Workload::Apache),

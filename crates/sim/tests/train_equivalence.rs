@@ -81,7 +81,7 @@ fn run_recorded(
     sim: SimConfig,
     mode: TrainingMode,
 ) -> (dsp_sim::SimReport, Vec<Vec<Call>>) {
-    let mut system = System::new(
+    let mut system = System::<4>::new(
         sys,
         TargetSystem::isca03_default(),
         spec,
@@ -236,7 +236,7 @@ fn predictor_free_protocols_are_identical() {
                 .misses(50, 200)
                 .seed(5)
                 .training(mode);
-            System::new(&sys, TargetSystem::isca03_default(), &spec, sim).run()
+            System::<4>::new(&sys, TargetSystem::isca03_default(), &spec, sim).run()
         };
         assert_eq!(mk(TrainingMode::Eager), mk(TrainingMode::Lazy));
     }

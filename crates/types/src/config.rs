@@ -71,9 +71,22 @@ impl SystemConfig {
         self.macroblock_bytes / self.block_bytes
     }
 
-    /// The maximal destination set for this system.
+    /// The maximal destination set for this system, at the default
+    /// (four-word) width.
     #[inline]
     pub fn broadcast_set(&self) -> crate::DestSet {
+        crate::DestSet::broadcast(self.num_nodes)
+    }
+
+    /// The maximal destination set for this system at an explicit word
+    /// width `W` — the width-generic form of
+    /// [`SystemConfig::broadcast_set`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system does not fit in `W * 64` nodes.
+    #[inline]
+    pub fn broadcast_set_w<const W: usize>(&self) -> crate::DestSet<W> {
         crate::DestSet::broadcast(self.num_nodes)
     }
 }

@@ -22,7 +22,7 @@
 //! let config = SystemConfig::isca03();
 //! assert_eq!(config.num_nodes(), 16);
 //!
-//! let mut set = DestSet::empty();
+//! let mut set: DestSet = DestSet::empty();
 //! set.insert(NodeId::new(3));
 //! set.insert(NodeId::new(7));
 //! assert_eq!(set.len(), 2);
@@ -47,7 +47,7 @@ mod ring;
 pub use access::{AccessKind, MessageClass, ReqType};
 pub use addr::{Address, BlockAddr, MacroblockAddr, Pc, BLOCK_BYTES, BLOCK_SHIFT};
 pub use config::{SystemConfig, SystemConfigBuilder};
-pub use dest_set::{DestSet, DestSetIter};
+pub use dest_set::{DestSet, DestSet256, DestSet64, DestSetIter};
 pub use error::ConfigError;
 pub use inline_vec::{InlineVec, InlineVecIter};
 pub use mosi::{LineState, Owner};

@@ -1,0 +1,111 @@
+//! Property tests pinning `DestSet<1>` to `DestSet<4>`: any set whose
+//! members fit in 64 nodes must behave identically at either width.
+//!
+//! The narrow width is a pure performance representation — one word
+//! instead of four — so every observable operation (membership, set
+//! algebra, iteration order, formatting, serde) must agree with the
+//! wide default once the widths are reconciled via [`DestSet::resize`].
+//! Raw serialized forms intentionally differ (a one-word vs four-word
+//! array), so serde agreement is asserted through resize round-trips.
+
+use proptest::prelude::*;
+
+use dsp_types::{DestSet, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Builds the same set at both widths from one member list.
+fn both(members: &[usize]) -> (DestSet<1>, DestSet<4>) {
+    let mut narrow = DestSet::<1>::empty();
+    let mut wide = DestSet::<4>::empty();
+    for &m in members {
+        narrow.insert(NodeId::new(m));
+        wide.insert(NodeId::new(m));
+    }
+    (narrow, wide)
+}
+
+fn members() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0usize..64, 0..48)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Cardinality, emptiness, membership, and the first element agree.
+    #[test]
+    fn observers_agree(ms in members()) {
+        let (narrow, wide) = both(&ms);
+        prop_assert_eq!(narrow.len(), wide.len());
+        prop_assert_eq!(narrow.is_empty(), wide.is_empty());
+        prop_assert_eq!(narrow.first(), wide.first());
+        for node in 0..64 {
+            prop_assert_eq!(
+                narrow.contains(NodeId::new(node)),
+                wide.contains(NodeId::new(node)),
+                "membership of node {} diverged", node
+            );
+        }
+    }
+
+    /// Iteration yields the same nodes in the same order.
+    #[test]
+    fn iteration_agrees(ms in members()) {
+        let (narrow, wide) = both(&ms);
+        let a: Vec<NodeId> = narrow.iter().collect();
+        let b: Vec<NodeId> = wide.iter().collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Set algebra commutes with widening: op at width 1, then resize,
+    /// equals resize, then op at width 4. Covers union, intersection,
+    /// difference, complement, and the superset predicate.
+    #[test]
+    fn algebra_commutes_with_resize(xs in members(), ys in members()) {
+        let (nx, wx) = both(&xs);
+        let (ny, wy) = both(&ys);
+        prop_assert_eq!((nx | ny).resize::<4>(), wx | wy);
+        prop_assert_eq!(nx.intersection(ny).resize::<4>(), wx.intersection(wy));
+        prop_assert_eq!((nx - ny).resize::<4>(), wx - wy);
+        prop_assert_eq!(nx.complement(64).resize::<4>(), wx.complement(64));
+        prop_assert_eq!(nx.is_superset(ny), wx.is_superset(wy));
+        prop_assert_eq!(nx.is_subset(ny), wx.is_subset(wy));
+    }
+
+    /// Widening then narrowing is the identity for 64-node sets, and
+    /// both directions preserve the low word exactly.
+    #[test]
+    fn resize_round_trips(ms in members()) {
+        let (narrow, wide) = both(&ms);
+        prop_assert_eq!(narrow.resize::<4>(), wide);
+        prop_assert_eq!(wide.resize::<1>(), narrow);
+        prop_assert_eq!(narrow.resize::<4>().resize::<1>(), narrow);
+        prop_assert_eq!(narrow.bits(), wide.bits());
+    }
+
+    /// Display and Debug render identically: formatting is
+    /// member-driven, so width never leaks into text output.
+    #[test]
+    fn formatting_agrees(ms in members()) {
+        let (narrow, wide) = both(&ms);
+        prop_assert_eq!(narrow.to_string(), wide.to_string());
+        prop_assert_eq!(format!("{narrow:?}"), format!("{wide:?}"));
+    }
+
+    /// Serde round-trips at each width, and the serialized forms agree
+    /// once widths are reconciled via resize (the raw forms differ by
+    /// construction: a one-word vs a four-word array).
+    #[test]
+    fn serde_agrees_via_resize(ms in members()) {
+        let (narrow, wide) = both(&ms);
+        prop_assert_eq!(
+            DestSet::<1>::from_value(&narrow.to_value()).unwrap(),
+            narrow
+        );
+        prop_assert_eq!(
+            DestSet::<4>::from_value(&wide.to_value()).unwrap(),
+            wide
+        );
+        prop_assert_eq!(narrow.resize::<4>().to_value(), wide.to_value());
+        prop_assert_eq!(wide.resize::<1>().to_value(), narrow.to_value());
+    }
+}

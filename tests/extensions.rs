@@ -122,7 +122,7 @@ fn simulator_and_model_agree_on_retry_bound() {
         .cpu(CpuModel::Detailed { max_outstanding: 4 })
         .misses(100, 800)
         .seed(41);
-    let report = System::new(&config, TargetSystem::isca03_default(), &spec, sim).run();
+    let report = System::<4>::new(&config, TargetSystem::isca03_default(), &spec, sim).run();
     assert_eq!(report.measured_misses, 800 * 16);
     assert!(
         report.retries <= 2 * report.measured_misses,

@@ -50,7 +50,7 @@ fn trace_and_timing_agree_on_retry_direction() {
         let sim = SimConfig::new(ProtocolKind::Multicast(cfg))
             .misses(100, 500)
             .seed(2);
-        System::new(&config, TargetSystem::isca03_default(), &s, sim).run()
+        System::<4>::new(&config, TargetSystem::isca03_default(), &s, sim).run()
     };
     let owner_sim = run(PredictorConfig::owner().indexing(Indexing::Macroblock { bytes: 1024 }));
     let bis_sim =
@@ -71,7 +71,7 @@ fn timing_latencies_track_protocol_structure() {
     let s = spec(Workload::BarnesHut, 1.0 / 128.0);
     let run = |protocol| {
         let sim = SimConfig::new(protocol).misses(100, 600).seed(4);
-        System::new(&config, TargetSystem::isca03_default(), &s, sim).run()
+        System::<4>::new(&config, TargetSystem::isca03_default(), &s, sim).run()
     };
     let snoop = run(ProtocolKind::Snooping);
     let dir = run(ProtocolKind::Directory);
@@ -98,7 +98,7 @@ fn broadcast_multicast_equals_snooping_traffic() {
     let s = spec(Workload::SpecJbb, 1.0 / 256.0);
     let run = |protocol| {
         let sim = SimConfig::new(protocol).misses(50, 400).seed(8);
-        System::new(&config, TargetSystem::isca03_default(), &s, sim).run()
+        System::<4>::new(&config, TargetSystem::isca03_default(), &s, sim).run()
     };
     let snoop = run(ProtocolKind::Snooping);
     let multicast = run(ProtocolKind::Multicast(PredictorConfig::always_broadcast()));
