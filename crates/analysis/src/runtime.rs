@@ -4,7 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use dsp_sim::{
     simulate_with_partition, CpuModel, DispatchMode, ProtocolKind, SetWidth, SimConfig, SimReport,
-    TargetSystem, TracePartition, TrainingMode,
+    TargetSystem, TopologySpec, ToxicSpec, TracePartition, TrainingMode,
 };
 use dsp_trace::WorkloadSpec;
 use dsp_types::SystemConfig;
@@ -58,6 +58,8 @@ pub struct RuntimeEvaluator {
     training: TrainingMode,
     width: SetWidth,
     dispatch: DispatchMode,
+    toxics: ToxicSpec,
+    topology: TopologySpec,
 }
 
 impl RuntimeEvaluator {
@@ -75,6 +77,8 @@ impl RuntimeEvaluator {
             training: TrainingMode::default(),
             width: SetWidth::default(),
             dispatch: DispatchMode::default(),
+            toxics: ToxicSpec::none(),
+            topology: TopologySpec::Crossbar,
         }
     }
 
@@ -146,6 +150,22 @@ impl RuntimeEvaluator {
         self
     }
 
+    /// Sets the interconnect fault-injection chain every simulated
+    /// protocol (baselines included) runs under. Empty by default, which
+    /// keeps the crossbar on its untouched fast path.
+    #[must_use]
+    pub fn toxics(mut self, toxics: ToxicSpec) -> Self {
+        self.toxics = toxics;
+        self
+    }
+
+    /// Selects the network shape (the paper's crossbar by default).
+    #[must_use]
+    pub fn topology(mut self, topology: TopologySpec) -> Self {
+        self.topology = topology;
+        self
+    }
+
     /// Builds the per-run trace partitions every protocol of this
     /// evaluator replays: one per perturbed-seed repetition.
     ///
@@ -185,7 +205,9 @@ impl RuntimeEvaluator {
                 .seed(self.seed + r as u64 * 7919)
                 .training(self.training)
                 .width(self.width)
-                .dispatch(self.dispatch);
+                .dispatch(self.dispatch)
+                .toxics(self.toxics.clone())
+                .topology(self.topology);
             let rep =
                 simulate_with_partition(&self.config, self.target, spec, sim, partition.clone());
             total.runtime_ns += rep.runtime_ns;

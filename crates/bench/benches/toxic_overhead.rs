@@ -1,0 +1,110 @@
+//! Cost of the fault-injection topology layer on the crossbar send
+//! path.
+//!
+//! Three microloops over the same mixed unicast / small-multicast /
+//! broadcast message stream:
+//!
+//! - `raw_crossbar` — the bare [`Crossbar`], the PR 6 baseline every
+//!   clean run ultimately executes;
+//! - `clean_topology` — a [`Topology`] with no toxics on the crossbar
+//!   shape: the production fast path, which must stay within noise of
+//!   the raw crossbar (it adds one branch and two ledger adds per
+//!   message);
+//! - `severe_chain` — the full four-toxic chain on the same crossbar,
+//!   the pay-for-what-you-use price of the modeled path.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use dsp_interconnect::{
+    Arrivals, Crossbar, InterconnectConfig, Message, Topology, TopologySpec, Toxic, ToxicSpec,
+};
+use dsp_types::{DestSet, MessageClass, NodeId, SystemConfig};
+
+const NODES: usize = 16;
+const SENDS: usize = 4096;
+
+/// The trace every variant replays: round-robin sources, a
+/// unicast/multicast/broadcast destination mix, all message classes.
+fn messages() -> Vec<(u64, Message<1>)> {
+    let sys = SystemConfig::isca03();
+    (0..SENDS)
+        .map(|i| {
+            let src = NodeId::new(i % NODES);
+            let dests = match i % 3 {
+                0 => DestSet::single(NodeId::new((i / 3) % NODES)),
+                1 => DestSet::from_bits(0b1011 << (i % 12)),
+                _ => sys.broadcast_set_w::<1>().without(src),
+            };
+            let class = MessageClass::ALL[i % MessageClass::COUNT];
+            (3 * i as u64, Message { src, dests, class })
+        })
+        .collect()
+}
+
+fn severe_chain() -> ToxicSpec {
+    ToxicSpec::none()
+        .with(Toxic::LatencyJitter { max_ns: 50 })
+        .with(Toxic::BandwidthDerate { percent: 50 })
+        .with(Toxic::CongestionBurst {
+            period_ns: 10_000,
+            burst_ns: 2_500,
+            slowdown: 8,
+        })
+        .with(Toxic::Outage {
+            period_ns: 50_000,
+            down_ns: 5_000,
+        })
+}
+
+fn bench_toxic_overhead(c: &mut Criterion) {
+    let msgs = messages();
+    let mut group = c.benchmark_group("toxic_overhead");
+    group.throughput(Throughput::Elements(SENDS as u64));
+
+    group.bench_function("raw_crossbar", |b| {
+        b.iter(|| {
+            let mut x = Crossbar::new(InterconnectConfig::isca03(), NODES);
+            let mut arrivals = Arrivals::new();
+            let mut acc = 0u64;
+            for (now, msg) in &msgs {
+                acc = acc.wrapping_add(x.send_into(*now, msg, &mut arrivals));
+                for (_, t) in &arrivals {
+                    acc = acc.wrapping_add(*t);
+                }
+            }
+            std::hint::black_box(acc)
+        })
+    });
+
+    let variants = [
+        ("clean_topology", ToxicSpec::none()),
+        ("severe_chain", severe_chain()),
+    ];
+    for (name, toxics) in variants {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut x = Topology::new(
+                    InterconnectConfig::isca03(),
+                    NODES,
+                    &TopologySpec::Crossbar,
+                    &toxics,
+                    0x70c5_1c5e,
+                );
+                let mut arrivals = Arrivals::new();
+                let mut acc = 0u64;
+                for (now, msg) in &msgs {
+                    acc = acc.wrapping_add(x.send_into(*now, msg, &mut arrivals));
+                    for (_, t) in &arrivals {
+                        acc = acc.wrapping_add(*t);
+                    }
+                }
+                x.assert_conserved();
+                std::hint::black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_toxic_overhead);
+criterion_main!(benches);

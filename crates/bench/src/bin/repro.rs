@@ -6,8 +6,8 @@
 //! repro merge <experiment> [--scale ...] [--out DIR] JOURNAL...
 //!
 //! experiments: table2 fig2 fig3 fig4 fig5 fig6a fig6b fig6c fig7 fig8
-//!              ablations extensions scaling claims bandwidth verify
-//!              sweep-bench hotpath-bench all
+//!              ablations extensions scaling claims bandwidth degraded
+//!              verify sweep-bench hotpath-bench all
 //! ```
 //!
 //! Each experiment prints an aligned text table and writes a CSV with
@@ -30,6 +30,14 @@
 //! simulation first, then lazy-vs-eager predictor training at
 //! 16/64/256 nodes, tracker, crossbar, event queue, and predictor
 //! table) and writes `BENCH_hotpath.json` alongside it.
+//!
+//! `degraded` is the fault-injection sweep: predictor policies ×
+//! toxic severity on the paper's 16-node crossbar and a 64-node 2D
+//! mesh. Besides the usual table/CSV it re-runs the whole plan on a
+//! fresh runner and requires byte-identical output (the
+//! `toxic_deterministic` marker), blasts a harsh chain through a mesh
+//! [`dsp_sim::Topology`] to exercise the per-link conservation ledger
+//! (the `link_reconciled` marker), and writes `BENCH_degraded.json`.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -713,7 +721,7 @@ fn hotpath_bench(scale: &Scale) -> String {
          \"misses_per_s\": {sim_mps:.0},\n    \
          \"queue_pushed\": {},\n    \"queue_popped\": {},\n    \
          \"queue_remaining\": {},\n    \"queue_promoted\": {},\n    \
-         \"queue_reconciled\": true\n  }},\n  \
+         \"queue_reconciled\": true,\n    \"link_reconciled\": true\n  }},\n  \
          \"dispatch\": {{\n    \"workload\": \"OLTP\",\n    \
          \"protocol\": \"multicast-owner-group\",\n    \
          \"events_per_rep\": {dispatch_events},\n    \
@@ -737,6 +745,130 @@ fn hotpath_bench(scale: &Scale) -> String {
         train_warmup + train_measured,
         train_json.join(",\n"),
     )
+}
+
+/// Runs the `degraded` fault-injection sweep and machine-checks its two
+/// robustness invariants before reporting anything.
+///
+/// Determinism: the plan is executed twice — once on the shared runner
+/// and once on a fresh serial runner with its own trace cache and toxic
+/// RNG streams — and the rendered tables must be byte-identical
+/// (`toxic_deterministic`). Conservation: every timing run already
+/// asserts its per-link ledger at end of run, and a direct harsh-chain
+/// blast through a 64-node mesh [`Topology`] re-checks the ledger here
+/// on the exact severity the sweep's worst row uses
+/// (`link_reconciled`). Returns the rendered table and the
+/// `BENCH_degraded.json` payload.
+fn degraded_bench(scale: &Scale, runner: &SweepRunner) -> Result<(TextTable, String), String> {
+    use dsp_interconnect::{Arrivals, InterconnectConfig, Message, Topology};
+    use dsp_types::{DestSet, MessageClass, NodeId, SystemConfig};
+
+    let plan = experiments::degraded_plan(scale);
+    let outputs = runner.run_cells(&plan);
+    let table = plan.render_outputs(&outputs);
+    let rerun = SweepRunner::serial().run(&plan);
+    let toxic_deterministic = table.to_csv() == rerun.to_csv();
+    if !toxic_deterministic {
+        return Err(
+            "repeated seeded toxic runs diverged — fault injection is not \
+                    deterministic under seed"
+                .to_string(),
+        );
+    }
+
+    // Conservation blast: the sweep's harshest case (severe chain on
+    // the 64-node mesh), driven directly so the ledger is visibly the
+    // thing under test rather than a side effect of a timing run.
+    let cases = experiments::degraded_cases();
+    let harsh = cases
+        .iter()
+        .rev()
+        .find(|c| c.severity == "severe")
+        .expect("degraded grid has a severe case");
+    let nodes = harsh.nodes;
+    let sys = SystemConfig::builder()
+        .num_nodes(nodes)
+        .build()
+        .map_err(|e| format!("invalid smoke config: {e}"))?;
+    let mut topo = Topology::new(
+        InterconnectConfig::isca03(),
+        nodes,
+        &harsh.topology,
+        &harsh.toxics,
+        experiments::SEED,
+    );
+    let mut arrivals = Arrivals::new();
+    let mut injected = 0u64;
+    let mut delivered = 0u64;
+    for i in 0..20_000usize {
+        let src = NodeId::new(i % nodes);
+        let dests = match i % 3 {
+            0 => DestSet::single(NodeId::new((i / 3) % nodes)),
+            1 => DestSet::from_bits(0b1_0110_1011 << (i % 40)),
+            _ => sys.broadcast_set_w::<1>().without(src),
+        };
+        let class = MessageClass::ALL[i % MessageClass::COUNT];
+        topo.send_into(7 * i as u64, &Message { src, dests, class }, &mut arrivals);
+        injected += dests.len() as u64;
+        delivered += arrivals.len() as u64;
+    }
+    topo.assert_conserved();
+    let ledger = topo.link_stats();
+    let link_reconciled =
+        ledger.is_reconciled() && ledger.injected == injected && ledger.delivered == delivered;
+    if !link_reconciled {
+        return Err(format!(
+            "link ledger out of balance: {injected} injected, {delivered} delivered, \
+             ledger {}i/{}d",
+            ledger.injected, ledger.delivered
+        ));
+    }
+    println!(
+        "degraded: toxic_deterministic: true | link_reconciled: true \
+         ({injected} msgs conserved through the severe {} chain)",
+        harsh.network(),
+    );
+
+    // JSON rows mirror the table but keep raw runtimes alongside the
+    // group-normalized percentage, so successive PRs can diff both.
+    let mut rows = Vec::new();
+    let mut baseline = 1u64;
+    for (case, output) in cases.iter().zip(&outputs) {
+        if case.severity == "none" {
+            baseline = output.runtime()[1].report.runtime_ns.max(1);
+        }
+        for point in output.runtime() {
+            let misses = point.report.measured_misses.max(1) as f64;
+            rows.push(format!(
+                "    {{\n      \"severity\": \"{}\",\n      \"network\": \"{}\",\n      \
+                 \"nodes\": {},\n      \"protocol\": \"{}\",\n      \
+                 \"runtime_ns\": {},\n      \"runtime_vs_clean_directory\": {:.1},\n      \
+                 \"avg_miss_latency_ns\": {:.0},\n      \"bytes_per_miss\": {:.0},\n      \
+                 \"retries_per_miss\": {:.3}\n    }}",
+                case.severity,
+                case.network(),
+                case.nodes,
+                point.label,
+                point.report.runtime_ns,
+                100.0 * point.report.runtime_ns as f64 / baseline as f64,
+                point.report.avg_miss_latency_ns(),
+                point.report.bytes_per_miss(),
+                point.report.retries as f64 / misses,
+            ));
+        }
+    }
+    let json = format!(
+        "{{\n  \"benchmark\": \"degraded\",\n  \"cells\": {},\n  \
+         \"toxic_deterministic\": {toxic_deterministic},\n  \
+         \"link_reconciled\": {link_reconciled},\n  \
+         \"conservation_smoke\": {{\n    \"network\": \"{}\",\n    \"severity\": \"severe\",\n    \
+         \"messages\": 20000,\n    \"injected\": {injected},\n    \"delivered\": {delivered}\n  \
+         }},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        plan.len(),
+        harsh.network(),
+        rows.join(",\n"),
+    );
+    Ok((table, json))
 }
 
 /// Parsed command line.
@@ -971,6 +1103,28 @@ fn main() -> ExitCode {
         if session_mode {
             if let Err(e) = run_session(name, &args, &runner) {
                 eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+            continue;
+        }
+        if name == "degraded" {
+            let (table, json) = match degraded_bench(&args.scale, &runner) {
+                Ok(out) => out,
+                Err(e) => {
+                    eprintln!("error: degraded failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!("{table}");
+            println!(
+                "[degraded finished in {:.1}s on {} threads]\n",
+                started.elapsed().as_secs_f64(),
+                runner.threads(),
+            );
+            if !save(Path::new("."), "BENCH_degraded.json", &json)
+                || !save(&args.out_dir, "BENCH_degraded.json", &json)
+                || !save_csv(&args.out_dir, "degraded", &table)
+            {
                 return ExitCode::FAILURE;
             }
             continue;

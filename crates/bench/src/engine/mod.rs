@@ -72,7 +72,8 @@ use dsp_analysis::{
 };
 use dsp_core::PredictorConfig;
 use dsp_sim::{
-    CpuModel, DispatchMode, ProtocolKind, SetWidth, TargetSystem, TracePartition, TrainingMode,
+    CpuModel, DispatchMode, ProtocolKind, SetWidth, TargetSystem, TopologySpec, ToxicSpec,
+    TracePartition, TrainingMode,
 };
 use dsp_trace::{TraceRecord, Workload, WorkloadSpec};
 use dsp_types::SystemConfig;
@@ -120,6 +121,12 @@ pub enum Cell {
         cpu: CpuModel,
         /// Optional target-machine override (latencies, bandwidth).
         target: Option<TargetSystem>,
+        /// Optional fault-injection override (falls back to the plan's
+        /// chain).
+        toxics: Option<ToxicSpec>,
+        /// Optional network-shape override (falls back to the plan's
+        /// topology).
+        topology: Option<TopologySpec>,
         /// Protocols simulated after the two baselines.
         protocols: Vec<ProtocolKind>,
     },
@@ -299,6 +306,14 @@ pub struct ExperimentPlan {
     /// by default; per-event is selectable so the golden suite can
     /// diff both loops through whole experiments).
     pub dispatch: DispatchMode,
+    /// Fault-injection chain for the plan's timing simulations (empty
+    /// by default; [`Cell::Runtime`] cells may override per cell). The
+    /// empty chain on the crossbar topology is byte-identical to the
+    /// pre-toxic engine, which the golden suite pins.
+    pub toxics: ToxicSpec,
+    /// Network shape for the plan's timing simulations (the paper's
+    /// crossbar by default; [`Cell::Runtime`] cells may override).
+    pub topology: TopologySpec,
     /// The cells, in output order.
     pub cells: Vec<Cell>,
     render: RenderFn,
@@ -314,6 +329,8 @@ impl std::fmt::Debug for ExperimentPlan {
             .field("training", &self.training)
             .field("width", &self.width)
             .field("dispatch", &self.dispatch)
+            .field("toxics", &self.toxics)
+            .field("topology", &self.topology)
             .field("cells", &self.cells.len())
             .finish()
     }
@@ -330,6 +347,8 @@ impl ExperimentPlan {
             training: TrainingMode::default(),
             width: SetWidth::default(),
             dispatch: DispatchMode::default(),
+            toxics: ToxicSpec::none(),
+            topology: TopologySpec::Crossbar,
             cells: Vec::new(),
             render: Box::new(|_, _, _| {}),
         }
@@ -359,6 +378,25 @@ impl ExperimentPlan {
     #[must_use]
     pub fn dispatch(mut self, dispatch: DispatchMode) -> Self {
         self.dispatch = dispatch;
+        self
+    }
+
+    /// Sets the fault-injection chain for the plan's timing
+    /// simulations. The empty chain must not change output —
+    /// `golden_outputs.rs` pins every experiment golden with it set
+    /// explicitly.
+    #[must_use]
+    pub fn toxics(mut self, toxics: ToxicSpec) -> Self {
+        self.toxics = toxics;
+        self
+    }
+
+    /// Selects the network shape for the plan's timing simulations.
+    /// The explicit crossbar must not change output —
+    /// `golden_outputs.rs` pins every experiment golden with it.
+    #[must_use]
+    pub fn topology(mut self, topology: TopologySpec) -> Self {
+        self.topology = topology;
         self
     }
 
@@ -599,6 +637,8 @@ pub(crate) fn execute_cell(
             workload,
             cpu,
             target,
+            toxics,
+            topology,
             protocols,
         } => {
             let spec = WorkloadSpec::preset(*workload, config).scaled(scale.footprint);
@@ -609,7 +649,9 @@ pub(crate) fn execute_cell(
                 .seed(plan.seed)
                 .training(plan.training)
                 .width(plan.width)
-                .dispatch(plan.dispatch);
+                .dispatch(plan.dispatch)
+                .toxics(toxics.clone().unwrap_or_else(|| plan.toxics.clone()))
+                .topology(topology.unwrap_or(plan.topology));
             if let Some(target) = target {
                 eval = eval.target(*target);
             }
@@ -846,6 +888,8 @@ mod tests {
                 workload: Workload::Oltp,
                 cpu: CpuModel::Simple,
                 target: (protocols.len() == 1).then(TargetSystem::isca03_default),
+                toxics: None,
+                topology: None,
                 protocols,
             });
         }

@@ -14,7 +14,7 @@
 
 use dsp_analysis::{fmt_f, TextTable, TradeoffPoint};
 use dsp_core::{Capacity, Indexing, PredictorConfig};
-use dsp_sim::{CpuModel, ProtocolKind, TargetSystem};
+use dsp_sim::{CpuModel, ProtocolKind, TargetSystem, TopologySpec, Toxic, ToxicSpec};
 use dsp_trace::Workload;
 use dsp_types::SystemConfig;
 
@@ -382,6 +382,8 @@ fn runtime_plan(
             workload,
             cpu,
             target: None,
+            toxics: None,
+            topology: None,
             protocols: protocols.clone(),
         });
     }
@@ -534,6 +536,8 @@ pub fn extensions_plan(scale: &Scale) -> ExperimentPlan {
             workload,
             cpu: CpuModel::Simple,
             target: None,
+            toxics: None,
+            topology: None,
             protocols: protocols.clone(),
         });
     }
@@ -598,6 +602,8 @@ pub fn scaling_plan(scale: &Scale) -> ExperimentPlan {
             workload: Workload::Oltp,
             cpu: CpuModel::Simple,
             target: None,
+            toxics: None,
+            topology: None,
             protocols: vec![ProtocolKind::Multicast(
                 PredictorConfig::owner_group().indexing(MB),
             )],
@@ -686,6 +692,8 @@ pub fn bandwidth_plan(scale: &Scale) -> ExperimentPlan {
         workload: Workload::Oltp,
         cpu: CpuModel::Simple,
         target: None,
+        toxics: None,
+        topology: None,
         protocols: Vec::new(),
     });
     for gbps in [1.0f64, 2.5, 5.0, 10.0] {
@@ -696,6 +704,8 @@ pub fn bandwidth_plan(scale: &Scale) -> ExperimentPlan {
             workload: Workload::Oltp,
             cpu: CpuModel::Simple,
             target: Some(target),
+            toxics: None,
+            topology: None,
             protocols: vec![ProtocolKind::Multicast(
                 PredictorConfig::owner_group().indexing(MB),
             )],
@@ -732,6 +742,168 @@ pub fn bandwidth_plan(scale: &Scale) -> ExperimentPlan {
 /// motivation for the authors' earlier bandwidth-adaptive snooping.
 pub fn bandwidth(scale: &Scale) -> TextTable {
     SweepRunner::new().run(&bandwidth_plan(scale))
+}
+
+/// A named toxic-severity preset for the `degraded` sweep.
+///
+/// Severities nest: each level keeps the previous level's fault models
+/// and tightens them, so the sweep reads as one monotone stress axis —
+/// `none` (the paper's ideal network), `mild` (jitter + 10% bandwidth
+/// loss), `moderate` (+ periodic congestion bursts), `severe`
+/// (+ transient link outages).
+///
+/// # Panics
+///
+/// Panics on an unknown severity name.
+pub fn toxic_severity(name: &str) -> ToxicSpec {
+    match name {
+        "none" => ToxicSpec::none(),
+        "mild" => ToxicSpec::none()
+            .with(Toxic::LatencyJitter { max_ns: 10 })
+            .with(Toxic::BandwidthDerate { percent: 90 }),
+        "moderate" => ToxicSpec::none()
+            .with(Toxic::LatencyJitter { max_ns: 25 })
+            .with(Toxic::BandwidthDerate { percent: 70 })
+            .with(Toxic::CongestionBurst {
+                period_ns: 20_000,
+                burst_ns: 2_000,
+                slowdown: 4,
+            }),
+        "severe" => ToxicSpec::none()
+            .with(Toxic::LatencyJitter { max_ns: 50 })
+            .with(Toxic::BandwidthDerate { percent: 50 })
+            .with(Toxic::CongestionBurst {
+                period_ns: 10_000,
+                burst_ns: 2_500,
+                slowdown: 8,
+            })
+            .with(Toxic::Outage {
+                period_ns: 50_000,
+                down_ns: 5_000,
+            }),
+        other => panic!("unknown toxic severity {other:?}"),
+    }
+}
+
+/// One (severity, network, node-count) case of the `degraded` sweep.
+#[derive(Clone, Debug)]
+pub struct DegradedCase {
+    /// Severity preset name (see [`toxic_severity`]).
+    pub severity: &'static str,
+    /// The fault chain for this case.
+    pub toxics: ToxicSpec,
+    /// Network shape.
+    pub topology: TopologySpec,
+    /// Node count.
+    pub nodes: usize,
+}
+
+impl DegradedCase {
+    /// Row label for the network column (`crossbar/16`,
+    /// `mesh8x8@5ns/64`).
+    pub fn network(&self) -> String {
+        format!("{}/{}", self.topology.label(self.nodes), self.nodes)
+    }
+}
+
+/// The `degraded` sweep grid: the paper's 16-node crossbar under every
+/// severity, plus a 64-node 8×8 mesh (15 ns injection channels, 5 ns
+/// per hop) clean and severely degraded. Each group leads with its
+/// `none` case, which anchors the group's runtime normalization.
+pub fn degraded_cases() -> Vec<DegradedCase> {
+    let mesh = TopologySpec::Mesh2d {
+        cols: 8,
+        link_ns: 15,
+        hop_ns: 5,
+    };
+    let mut cases = Vec::new();
+    for severity in ["none", "mild", "moderate", "severe"] {
+        cases.push(DegradedCase {
+            severity,
+            toxics: toxic_severity(severity),
+            topology: TopologySpec::Crossbar,
+            nodes: 16,
+        });
+    }
+    for severity in ["none", "severe"] {
+        cases.push(DegradedCase {
+            severity,
+            toxics: toxic_severity(severity),
+            topology: mesh,
+            nodes: 64,
+        });
+    }
+    cases
+}
+
+/// The degraded-interconnect sweep as an [`ExperimentPlan`]: predictor
+/// policies × toxic severity, per-cell toxic/topology overrides on the
+/// shared engine. Runtime is normalized to the same group's clean
+/// (`none`) directory run, so each column shows how much of the
+/// predictors' latency advantage survives network degradation.
+pub fn degraded_plan(scale: &Scale) -> ExperimentPlan {
+    let cases = degraded_cases();
+    let mut plan = ExperimentPlan::new(
+        "Degraded interconnect (OLTP): predictor policies × toxic severity",
+        &[
+            "severity",
+            "network",
+            "protocol",
+            "runtime",
+            "avg miss ns",
+            "traffic B/miss",
+            "retries/miss",
+        ],
+        scale,
+    );
+    for case in &cases {
+        let config = SystemConfig::builder()
+            .num_nodes(case.nodes)
+            .build()
+            .expect("valid node count");
+        plan.push(Cell::Runtime {
+            config,
+            workload: Workload::Oltp,
+            cpu: CpuModel::Simple,
+            target: None,
+            toxics: Some(case.toxics.clone()),
+            topology: Some(case.topology),
+            protocols: vec![
+                ProtocolKind::Multicast(PredictorConfig::owner_group().indexing(MB)),
+                ProtocolKind::Multicast(PredictorConfig::group().indexing(MB)),
+            ],
+        });
+    }
+    plan.render(move |_, outputs, table| {
+        let mut baseline = 1u64;
+        for (case, output) in degraded_cases().iter().zip(outputs) {
+            if case.severity == "none" {
+                // Each (network, nodes) group leads with its clean run;
+                // its directory anchors the group's normalization.
+                baseline = output.runtime()[1].report.runtime_ns.max(1);
+            }
+            for point in output.runtime() {
+                let misses = point.report.measured_misses.max(1) as f64;
+                table.row([
+                    case.severity.to_string(),
+                    case.network(),
+                    point.label.clone(),
+                    fmt_f(100.0 * point.report.runtime_ns as f64 / baseline as f64, 1),
+                    fmt_f(point.report.avg_miss_latency_ns(), 0),
+                    fmt_f(point.report.bytes_per_miss(), 0),
+                    fmt_f(point.report.retries as f64 / misses, 2),
+                ]);
+            }
+        }
+    })
+}
+
+/// Destination-set prediction under a contended, faulty network — the
+/// scenario the paper's ideal 50 ns crossbar cannot express. Every
+/// toxic is deterministic under seed, so these rows are as reproducible
+/// as the clean ones.
+pub fn degraded(scale: &Scale) -> TextTable {
+    SweepRunner::new().run(&degraded_plan(scale))
 }
 
 /// The model-checking sweep as an [`ExperimentPlan`].
@@ -835,6 +1007,8 @@ pub fn claims_plan(scale: &Scale) -> ExperimentPlan {
         workload: Workload::Oltp,
         cpu: CpuModel::Simple,
         target: None,
+        toxics: None,
+        topology: None,
         protocols: vec![ProtocolKind::Multicast(
             PredictorConfig::broadcast_if_shared().indexing(MB),
         )],
@@ -953,6 +1127,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "scaling",
     "claims",
     "bandwidth",
+    "degraded",
     "verify",
 ];
 
@@ -975,6 +1150,7 @@ pub fn plan_for(name: &str, scale: &Scale) -> Option<ExperimentPlan> {
         "scaling" => scaling_plan(scale),
         "claims" => claims_plan(scale),
         "bandwidth" => bandwidth_plan(scale),
+        "degraded" => degraded_plan(scale),
         "verify" => verify_plan(scale),
         _ => return None,
     })

@@ -5,18 +5,22 @@
 //! immediately before the scheduling-core rebuild (timing-wheel event
 //! queue, shared open-addressing table family, 256-bit `DestSet`), so
 //! these tests prove the refactors since — queue, tables, set widening,
-//! the trace-generator storage swap, and now the streaming session API
-//! with its serde round-trip through checkpoint journals — are
+//! the trace-generator storage swap, the streaming session API with
+//! its serde round-trip through checkpoint journals, and now the
+//! interconnect topology/fault-injection layer wrapped around the
+//! crossbar — are
 //! observationally invisible to every table and figure they touch: the
 //! trace-driven Table 2 and Figure 5 paths and the timing-simulated
 //! Figure 7/8 paths.
 //!
-//! Each artifact is checked five ways against the same golden bytes:
+//! Each artifact is checked several ways against the same golden bytes:
 //!
 //! 1. the batch path (`SweepRunner`, a single-shard in-memory session),
 //!    under both the lazy (default) and eager training-delivery modes,
-//!    and — for timing-sim plans — under per-event dispatch and the
-//!    explicit wide `DestSet<4>` monomorphization as well;
+//!    with an explicitly-empty toxic chain on the explicit crossbar
+//!    topology (the fault-injection layer's identity gate), and — for
+//!    timing-sim plans — under per-event dispatch and the explicit
+//!    wide `DestSet<4>` monomorphization as well;
 //! 2. a 2-shard run — two sessions journaling to JSONL, then
 //!    `merge_journals`;
 //! 3. a crash-then-resume run — a full journal truncated mid-file, a
@@ -35,7 +39,7 @@ use std::path::PathBuf;
 
 use dsp_bench::engine::{merge_journals, Cell, ShardSpec, SweepRunner, SweepSession};
 use dsp_bench::{experiments, Scale};
-use dsp_sim::{DispatchMode, SetWidth, TrainingMode};
+use dsp_sim::{DispatchMode, SetWidth, TopologySpec, ToxicSpec, TrainingMode};
 
 fn tmpdir(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("dsp-golden-{}-{name}", std::process::id()));
@@ -64,6 +68,23 @@ fn check(name: &str, golden: &str) {
         golden,
         "{name} batch output (lazy training) diverged from the pre-refactor golden"
     );
+    // The fault-injection layer's identity gate: an EXPLICIT empty
+    // toxic chain on the explicit crossbar topology must be
+    // indistinguishable from never having mentioned either — the
+    // no-toxic fast path delegates to the untouched crossbar, so the
+    // golden bytes cannot move. (Run 1 above already pins the
+    // defaults; this pins the spelled-out form.)
+    let clean_plan = experiments::plan_for(name, &scale)
+        .expect("known experiment")
+        .toxics(ToxicSpec::none())
+        .topology(TopologySpec::Crossbar);
+    assert_eq!(
+        SweepRunner::new().run(&clean_plan).to_csv(),
+        golden,
+        "{name} output with an explicit empty toxic chain on the explicit crossbar \
+         diverged from the golden"
+    );
+
     if plan.cells.iter().any(|c| matches!(c, Cell::Runtime { .. })) {
         let eager_plan = experiments::plan_for(name, &scale)
             .expect("known experiment")

@@ -4,6 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use dsp_types::{DestSet, InlineVec, MessageClass, NodeId, MAX_NODES};
 
+use crate::error::InterconnectError;
 use crate::stats::TrafficStats;
 
 /// Link and switch timing parameters.
@@ -24,6 +25,35 @@ impl InterconnectConfig {
             link_bytes_per_ns: 10.0,
             traversal_ns: 50,
         }
+    }
+
+    /// Sets the per-node link bandwidth in bytes/ns (builder style).
+    #[must_use]
+    pub fn bandwidth(mut self, bytes_per_ns: f64) -> Self {
+        self.link_bytes_per_ns = bytes_per_ns;
+        self
+    }
+
+    /// Sets the end-to-end traversal latency in ns (builder style).
+    #[must_use]
+    pub fn traversal(mut self, ns: u64) -> Self {
+        self.traversal_ns = ns;
+        self
+    }
+
+    /// Rejects parameters that would otherwise surface downstream as a
+    /// div-by-zero serialization delay or a degenerate zero-latency
+    /// network.
+    pub fn validate(&self) -> Result<(), InterconnectError> {
+        if !self.link_bytes_per_ns.is_finite() || self.link_bytes_per_ns <= 0.0 {
+            return Err(InterconnectError::NonPositiveBandwidth(
+                self.link_bytes_per_ns,
+            ));
+        }
+        if self.traversal_ns == 0 {
+            return Err(InterconnectError::ZeroTraversal);
+        }
+        Ok(())
     }
 }
 
@@ -76,31 +106,46 @@ pub struct Crossbar {
     config: InterconnectConfig,
     /// Serialization delay per message class, precomputed at
     /// construction so the send path never touches floating point.
-    ser_ns: [u64; MessageClass::COUNT],
-    src_free_at: Vec<u64>,
-    dst_free_at: Vec<u64>,
-    last_order_time: u64,
-    stats: TrafficStats,
+    pub(crate) ser_ns: [u64; MessageClass::COUNT],
+    pub(crate) src_free_at: Vec<u64>,
+    pub(crate) dst_free_at: Vec<u64>,
+    pub(crate) last_order_time: u64,
+    pub(crate) stats: TrafficStats,
 }
 
 impl Crossbar {
     /// Creates a crossbar for `num_nodes` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a config [`Crossbar::try_new`] rejects.
     pub fn new(config: InterconnectConfig, num_nodes: usize) -> Self {
-        assert!(num_nodes > 0, "need at least one node");
-        assert!(config.link_bytes_per_ns > 0.0, "bandwidth must be positive");
+        Crossbar::try_new(config, num_nodes).expect("invalid interconnect config")
+    }
+
+    /// Creates a crossbar for `num_nodes` nodes, rejecting zero nodes,
+    /// non-positive bandwidth, and zero traversal with a typed error.
+    pub fn try_new(
+        config: InterconnectConfig,
+        num_nodes: usize,
+    ) -> Result<Self, InterconnectError> {
+        if num_nodes == 0 {
+            return Err(InterconnectError::ZeroNodes);
+        }
+        config.validate()?;
         let mut ser_ns = [0u64; MessageClass::COUNT];
         for class in MessageClass::ALL {
             ser_ns[class.index()] =
                 ((class.bytes() as f64 / config.link_bytes_per_ns).ceil() as u64).max(1);
         }
-        Crossbar {
+        Ok(Crossbar {
             config,
             ser_ns,
             src_free_at: vec![0; num_nodes],
             dst_free_at: vec![0; num_nodes],
             last_order_time: 0,
             stats: TrafficStats::default(),
-        }
+        })
     }
 
     /// The configured timing parameters.
@@ -331,6 +376,31 @@ mod tests {
         assert_eq!(x.stats().total_messages(), 0);
         let d = x.send(0, &msg);
         assert!(d.order_time > 26, "link occupancy survived the stats reset");
+    }
+
+    #[test]
+    fn config_builders_and_validation() {
+        let cfg = InterconnectConfig::isca03().bandwidth(2.5).traversal(80);
+        assert_eq!(cfg.link_bytes_per_ns, 2.5);
+        assert_eq!(cfg.traversal_ns, 80);
+        assert!(cfg.validate().is_ok());
+        assert_eq!(
+            InterconnectConfig::isca03().bandwidth(0.0).validate(),
+            Err(InterconnectError::NonPositiveBandwidth(0.0))
+        );
+        assert!(InterconnectConfig::isca03()
+            .bandwidth(f64::NAN)
+            .validate()
+            .is_err());
+        assert_eq!(
+            InterconnectConfig::isca03().traversal(0).validate(),
+            Err(InterconnectError::ZeroTraversal)
+        );
+        assert_eq!(
+            Crossbar::try_new(InterconnectConfig::isca03(), 0).err(),
+            Some(InterconnectError::ZeroNodes)
+        );
+        assert!(Crossbar::try_new(InterconnectConfig::isca03(), 16).is_ok());
     }
 
     #[test]

@@ -1,0 +1,98 @@
+//! Typed validation errors for interconnect configuration.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why an [`InterconnectConfig`](crate::InterconnectConfig),
+/// [`ToxicSpec`](crate::ToxicSpec), or
+/// [`TopologySpec`](crate::TopologySpec) was rejected.
+///
+/// Construction-time validation turns what would otherwise surface as a
+/// div-by-zero, an infinite serialization delay, or a link that never
+/// recovers (a hang) into an explicit error.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum InterconnectError {
+    /// Link bandwidth must be positive and finite (bytes/ns).
+    NonPositiveBandwidth(f64),
+    /// Traversal latency must be nonzero.
+    ZeroTraversal,
+    /// A topology needs at least one node.
+    ZeroNodes,
+    /// Bandwidth derate percent must be in `1..=100`.
+    InvalidDeratePercent(u32),
+    /// A scheduled toxic (congestion burst, outage) needs a nonzero
+    /// period.
+    ZeroPeriod,
+    /// A scheduled window must fit strictly inside its period, or the
+    /// link never leaves the window (messages would stall forever).
+    WindowExceedsPeriod {
+        /// Burst or outage window length, ns.
+        window_ns: u64,
+        /// Schedule period, ns.
+        period_ns: u64,
+    },
+    /// Congestion slowdown factor must be in `1..=1000`.
+    InvalidSlowdown(u32),
+    /// Latency jitter bound must be at most one second (sanity cap).
+    JitterTooLarge(u64),
+    /// A 2D mesh needs at least one column.
+    ZeroMeshColumns,
+}
+
+impl fmt::Display for InterconnectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterconnectError::NonPositiveBandwidth(b) => {
+                write!(
+                    f,
+                    "link bandwidth must be positive and finite, got {b} B/ns"
+                )
+            }
+            InterconnectError::ZeroTraversal => {
+                write!(f, "traversal latency must be nonzero")
+            }
+            InterconnectError::ZeroNodes => write!(f, "need at least one node"),
+            InterconnectError::InvalidDeratePercent(p) => {
+                write!(f, "bandwidth derate percent must be in 1..=100, got {p}")
+            }
+            InterconnectError::ZeroPeriod => {
+                write!(f, "scheduled toxic period must be nonzero")
+            }
+            InterconnectError::WindowExceedsPeriod {
+                window_ns,
+                period_ns,
+            } => write!(
+                f,
+                "toxic window of {window_ns} ns must fit inside its {period_ns} ns period"
+            ),
+            InterconnectError::InvalidSlowdown(s) => {
+                write!(f, "congestion slowdown must be in 1..=1000, got {s}")
+            }
+            InterconnectError::JitterTooLarge(j) => {
+                write!(f, "jitter bound of {j} ns exceeds the 1 s sanity cap")
+            }
+            InterconnectError::ZeroMeshColumns => {
+                write!(f, "a 2D mesh needs at least one column")
+            }
+        }
+    }
+}
+
+impl Error for InterconnectError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_offending_value() {
+        let text = InterconnectError::NonPositiveBandwidth(0.0).to_string();
+        assert!(text.contains("0 B/ns"));
+        let text = InterconnectError::WindowExceedsPeriod {
+            window_ns: 7,
+            period_ns: 5,
+        }
+        .to_string();
+        assert!(text.contains('7') && text.contains('5'));
+    }
+}

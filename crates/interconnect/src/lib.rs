@@ -35,9 +35,15 @@
 #![warn(missing_debug_implementations)]
 
 mod crossbar;
+mod error;
 mod reference;
 mod stats;
+pub mod topology;
+pub mod toxic;
 
 pub use crossbar::{Arrivals, Crossbar, Delivery, InterconnectConfig, Message};
+pub use error::InterconnectError;
 pub use reference::ReferenceCrossbar;
-pub use stats::{ClassTraffic, TrafficStats};
+pub use stats::{ClassTraffic, LinkStats, TrafficStats};
+pub use topology::{Topology, TopologySpec};
+pub use toxic::{Toxic, ToxicChain, ToxicSpec};

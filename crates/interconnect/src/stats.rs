@@ -74,6 +74,60 @@ impl TrafficStats {
     }
 }
 
+/// Message-conservation ledger: deliveries *committed* when a message
+/// entered its source link versus deliveries *recorded* at destination
+/// links, in aggregate and per incoming link.
+///
+/// The two sides are counted at different points of the send path, so
+/// any toxic or topology that silently lost or duplicated a delivery
+/// would leave the ledger unbalanced. [`LinkStats::assert_reconciled`]
+/// is the end-of-run invariant behind the `link_reconciled` marker in
+/// the hotpath bench.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Total deliveries committed at injection time.
+    pub injected: u64,
+    /// Total arrivals recorded at destinations.
+    pub delivered: u64,
+    /// Deliveries committed per incoming link (empty on the untoxiced
+    /// fast path, which only keeps the aggregate counters).
+    pub per_link_injected: Vec<u64>,
+    /// Arrivals recorded per incoming link.
+    pub per_link_delivered: Vec<u64>,
+}
+
+impl LinkStats {
+    /// A ledger with per-link counters for `num_nodes` incoming links.
+    pub fn with_links(num_nodes: usize) -> Self {
+        LinkStats {
+            injected: 0,
+            delivered: 0,
+            per_link_injected: vec![0; num_nodes],
+            per_link_delivered: vec![0; num_nodes],
+        }
+    }
+
+    /// Whether every committed delivery was recorded, in aggregate and
+    /// on each link.
+    pub fn is_reconciled(&self) -> bool {
+        self.injected == self.delivered && self.per_link_injected == self.per_link_delivered
+    }
+
+    /// Asserts [`LinkStats::is_reconciled`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any delivery was lost or duplicated.
+    pub fn assert_reconciled(&self) {
+        assert!(
+            self.is_reconciled(),
+            "link ledger unbalanced: {} injected vs {} delivered",
+            self.injected,
+            self.delivered
+        );
+    }
+}
+
 impl fmt::Display for TrafficStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for class in MessageClass::ALL {
@@ -137,6 +191,22 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.class(MessageClass::Request).deliveries, 12);
         assert_eq!(a.class(MessageClass::Control).messages, 1);
+    }
+
+    #[test]
+    fn link_ledger_reconciles_only_when_balanced() {
+        let mut l = LinkStats::with_links(2);
+        l.injected += 3;
+        l.delivered += 3;
+        l.per_link_injected[1] += 3;
+        l.per_link_delivered[1] += 3;
+        assert!(l.is_reconciled());
+        l.assert_reconciled();
+        l.per_link_delivered[1] -= 1;
+        assert!(!l.is_reconciled(), "per-link drop must unbalance");
+        l.per_link_delivered[1] += 1;
+        l.delivered += 1;
+        assert!(!l.is_reconciled(), "aggregate duplicate must unbalance");
     }
 
     #[test]

@@ -1,0 +1,402 @@
+//! Composable, deterministic per-link fault injection ("toxics").
+//!
+//! Modeled on Toxiproxy-style proxies: a [`ToxicSpec`] is an ordered
+//! chain of independent fault models that every link applies to the
+//! traffic passing through it. The paper's crossbar is ideal — fixed
+//! latency, infinite buffering — so the toxics are how the harness
+//! stresses destination-set prediction under a network that jitters,
+//! saturates, or transiently degrades.
+//!
+//! Determinism contract: given the same chain, node count, and seed,
+//! a [`ToxicChain`] produces byte-identical timing on every run. Each
+//! link owns a private [`SmallRng`] stream — seeded from
+//! `mix64(mix64(seed) ^ link-index)`, never from the simulator's
+//! per-node gap-draw streams — so adding or removing a toxic cannot
+//! shift any other random sequence in the system. Scheduled toxics
+//! (congestion bursts, outages) use no randomness at all beyond a
+//! per-link phase offset fixed at construction; their windows are pure
+//! functions of the timestamp.
+//!
+//! Conservation contract: toxics delay and stretch, they never drop.
+//! A message caught in an outage window waits for the link to recover;
+//! the [`LinkStats`](crate::LinkStats) ledger proves end-to-end that
+//! every delivery committed at injection was eventually recorded.
+
+use rand::{Rng, SeedableRng, SmallRng};
+use serde::{Deserialize, Serialize};
+
+use dsp_types::hash::mix64;
+
+use crate::error::InterconnectError;
+
+/// Jitter bounds beyond one second are almost certainly a unit mistake.
+const MAX_JITTER_NS: u64 = 1_000_000_000;
+
+/// One fault model in a chain. All parameters are integers so the
+/// injected timing never depends on float rounding.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Toxic {
+    /// Adds a uniform draw from `0..=max_ns` to each traversal half
+    /// (source side and destination side draw from their own link
+    /// streams). Models switch arbitration and queueing noise.
+    LatencyJitter {
+        /// Inclusive upper bound of the per-hop jitter draw, ns.
+        max_ns: u64,
+    },
+    /// Derates every link to `percent`% of its configured bandwidth:
+    /// serialization delays stretch by `100 / percent`, rounded up.
+    BandwidthDerate {
+        /// Remaining bandwidth, percent of nominal (`1..=100`).
+        percent: u32,
+    },
+    /// Periodic congestion bursts: within the first `burst_ns` of each
+    /// `period_ns` window (per-link phase offset), serialization is
+    /// multiplied by `slowdown`. Models recurring cross-traffic that
+    /// collapses a link's effective bandwidth.
+    CongestionBurst {
+        /// Schedule period, ns.
+        period_ns: u64,
+        /// Burst length at the start of each period, ns.
+        burst_ns: u64,
+        /// Serialization multiplier while the burst is active.
+        slowdown: u32,
+    },
+    /// Periodic transient outage: within the first `down_ns` of each
+    /// `period_ns` window (per-link phase offset) the link is down, and
+    /// any message that would start there instead waits for recovery.
+    /// Delivery is delayed, never dropped.
+    Outage {
+        /// Schedule period, ns.
+        period_ns: u64,
+        /// Outage length at the start of each period, ns. Must be
+        /// strictly less than the period so the link always recovers.
+        down_ns: u64,
+    },
+}
+
+impl Toxic {
+    /// Validates this toxic's parameters.
+    pub fn validate(&self) -> Result<(), InterconnectError> {
+        match *self {
+            Toxic::LatencyJitter { max_ns } => {
+                if max_ns > MAX_JITTER_NS {
+                    return Err(InterconnectError::JitterTooLarge(max_ns));
+                }
+            }
+            Toxic::BandwidthDerate { percent } => {
+                if percent == 0 || percent > 100 {
+                    return Err(InterconnectError::InvalidDeratePercent(percent));
+                }
+            }
+            Toxic::CongestionBurst {
+                period_ns,
+                burst_ns,
+                slowdown,
+            } => {
+                if period_ns == 0 {
+                    return Err(InterconnectError::ZeroPeriod);
+                }
+                if burst_ns > period_ns {
+                    return Err(InterconnectError::WindowExceedsPeriod {
+                        window_ns: burst_ns,
+                        period_ns,
+                    });
+                }
+                if slowdown == 0 || slowdown > 1000 {
+                    return Err(InterconnectError::InvalidSlowdown(slowdown));
+                }
+            }
+            Toxic::Outage { period_ns, down_ns } => {
+                if period_ns == 0 {
+                    return Err(InterconnectError::ZeroPeriod);
+                }
+                if down_ns >= period_ns {
+                    return Err(InterconnectError::WindowExceedsPeriod {
+                        window_ns: down_ns,
+                        period_ns,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An ordered chain of [`Toxic`]s applied to every link. The default
+/// (empty) spec injects nothing and keeps the interconnect on its
+/// untouched fast path.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ToxicSpec {
+    toxics: Vec<Toxic>,
+}
+
+impl ToxicSpec {
+    /// The empty chain: no fault injection.
+    pub fn none() -> Self {
+        ToxicSpec::default()
+    }
+
+    /// Appends `toxic` to the chain (builder style).
+    #[must_use]
+    pub fn with(mut self, toxic: Toxic) -> Self {
+        self.toxics.push(toxic);
+        self
+    }
+
+    /// The chain, in application order.
+    pub fn toxics(&self) -> &[Toxic] {
+        &self.toxics
+    }
+
+    /// Whether the chain injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.toxics.is_empty()
+    }
+
+    /// Validates every toxic in the chain.
+    pub fn validate(&self) -> Result<(), InterconnectError> {
+        for toxic in &self.toxics {
+            toxic.validate()?;
+        }
+        Ok(())
+    }
+}
+
+/// Runtime state of a [`ToxicSpec`] instantiated over `2 * num_nodes`
+/// links (each node has one outgoing and one incoming link). Outgoing
+/// link of node `i` has index `i`; incoming has index `num_nodes + i`.
+#[derive(Clone, Debug)]
+pub struct ToxicChain {
+    toxics: Vec<Toxic>,
+    links: usize,
+    /// One jitter stream per link.
+    rngs: Vec<SmallRng>,
+    /// Per-(toxic, link) phase offset for scheduled toxics, fixed at
+    /// construction; zero for unscheduled toxics.
+    phases: Vec<u64>,
+}
+
+impl ToxicChain {
+    /// Instantiates `spec` over the links of a `num_nodes`-node
+    /// interconnect, deriving every per-link stream from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`ToxicSpec::validate`].
+    pub fn new(spec: &ToxicSpec, num_nodes: usize, seed: u64) -> Self {
+        spec.validate().expect("invalid toxic spec");
+        let links = num_nodes * 2;
+        let root = mix64(seed);
+        let rngs = if spec
+            .toxics
+            .iter()
+            .any(|t| matches!(t, Toxic::LatencyJitter { .. }))
+        {
+            (0..links)
+                .map(|link| SmallRng::seed_from_u64(mix64(root ^ (link as u64 + 1))))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let mut phases = vec![0u64; spec.toxics.len() * links];
+        for (i, toxic) in spec.toxics.iter().enumerate() {
+            let period = match *toxic {
+                Toxic::CongestionBurst { period_ns, .. } | Toxic::Outage { period_ns, .. } => {
+                    period_ns
+                }
+                _ => continue,
+            };
+            for link in 0..links {
+                phases[i * links + link] =
+                    mix64(root ^ (((i as u64 + 1) << 32) | link as u64)) % period;
+            }
+        }
+        ToxicChain {
+            toxics: spec.toxics.clone(),
+            links,
+            rngs,
+            phases,
+        }
+    }
+
+    /// Whether this chain injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.toxics.is_empty()
+    }
+
+    /// Position of time `t` within `link`'s phase-shifted window of
+    /// toxic `i`.
+    #[inline]
+    fn window_pos(&self, i: usize, link: usize, t: u64, period: u64) -> u64 {
+        (t + self.phases[i * self.links + link]) % period
+    }
+
+    /// Earliest time at or after `t` when `link` is up: a message that
+    /// would start inside an outage window instead starts when the
+    /// window ends. Applied per outage toxic, in chain order.
+    pub(crate) fn release(&self, link: usize, t: u64) -> u64 {
+        let mut t = t;
+        for (i, toxic) in self.toxics.iter().enumerate() {
+            if let Toxic::Outage { period_ns, down_ns } = *toxic {
+                let pos = self.window_pos(i, link, t, period_ns);
+                if pos < down_ns {
+                    t += down_ns - pos;
+                }
+            }
+        }
+        t
+    }
+
+    /// Serialization delay of a transfer starting at `t` on `link`,
+    /// after bandwidth derating and any active congestion burst.
+    pub(crate) fn scaled_ser(&self, link: usize, ser: u64, t: u64) -> u64 {
+        let mut s = ser;
+        for (i, toxic) in self.toxics.iter().enumerate() {
+            match *toxic {
+                Toxic::BandwidthDerate { percent } => {
+                    s = (s * 100).div_ceil(u64::from(percent));
+                }
+                Toxic::CongestionBurst {
+                    period_ns,
+                    burst_ns,
+                    slowdown,
+                } if self.window_pos(i, link, t, period_ns) < burst_ns => {
+                    s *= u64::from(slowdown);
+                }
+                _ => {}
+            }
+        }
+        s.max(1)
+    }
+
+    /// Draws this hop's total latency jitter from `link`'s stream (the
+    /// sum over all jitter toxics in the chain).
+    pub(crate) fn jitter(&mut self, link: usize) -> u64 {
+        let mut j = 0;
+        for toxic in &self.toxics {
+            if let Toxic::LatencyJitter { max_ns } = *toxic {
+                if max_ns > 0 {
+                    j += self.rngs[link].gen_range(0..max_ns + 1);
+                }
+            }
+        }
+        j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(spec: ToxicSpec) -> ToxicChain {
+        ToxicChain::new(&spec, 4, 0x5EED)
+    }
+
+    #[test]
+    fn empty_chain_is_identity() {
+        let mut c = chain(ToxicSpec::none());
+        assert!(c.is_empty());
+        assert_eq!(c.release(0, 123), 123);
+        assert_eq!(c.scaled_ser(0, 8, 123), 8);
+        assert_eq!(c.jitter(0), 0);
+    }
+
+    #[test]
+    fn derate_stretches_serialization() {
+        let c = chain(ToxicSpec::none().with(Toxic::BandwidthDerate { percent: 50 }));
+        assert_eq!(c.scaled_ser(0, 8, 0), 16);
+        // Rounds up: 3 ns at 90% -> ceil(300/90) = 4.
+        let c = chain(ToxicSpec::none().with(Toxic::BandwidthDerate { percent: 90 }));
+        assert_eq!(c.scaled_ser(0, 3, 0), 4);
+    }
+
+    #[test]
+    fn congestion_only_inside_burst_window() {
+        let spec = ToxicSpec::none().with(Toxic::CongestionBurst {
+            period_ns: 100,
+            burst_ns: 10,
+            slowdown: 4,
+        });
+        let c = chain(spec);
+        let phase = c.phases[0];
+        let in_burst = 100 - phase; // window_pos == 0
+        let out_of_burst = in_burst + 10;
+        assert_eq!(c.scaled_ser(0, 8, in_burst), 32);
+        assert_eq!(c.scaled_ser(0, 8, out_of_burst), 8);
+    }
+
+    #[test]
+    fn outage_delays_start_to_recovery() {
+        let spec = ToxicSpec::none().with(Toxic::Outage {
+            period_ns: 1000,
+            down_ns: 100,
+        });
+        let c = chain(spec);
+        let phase = c.phases[0];
+        let window_start = 1000 - phase;
+        // Mid-window start is pushed to the end of the window.
+        assert_eq!(c.release(0, window_start + 40), window_start + 100);
+        // Starts outside the window are untouched.
+        assert_eq!(c.release(0, window_start + 100), window_start + 100);
+    }
+
+    #[test]
+    fn per_link_phases_differ() {
+        let spec = ToxicSpec::none().with(Toxic::Outage {
+            period_ns: 10_000,
+            down_ns: 100,
+        });
+        let c = chain(spec);
+        assert!(
+            (1..c.links).any(|l| c.phases[l] != c.phases[0]),
+            "all links share one outage phase"
+        );
+    }
+
+    #[test]
+    fn jitter_streams_are_seeded_per_link() {
+        let spec = ToxicSpec::none().with(Toxic::LatencyJitter { max_ns: 1_000_000 });
+        let mut a = ToxicChain::new(&spec, 4, 7);
+        let mut b = ToxicChain::new(&spec, 4, 7);
+        assert_eq!(a.jitter(0), b.jitter(0), "same seed, same draw");
+        let mut c = ToxicChain::new(&spec, 4, 8);
+        let draws_a: Vec<u64> = (0..16).map(|_| a.jitter(1)).collect();
+        let draws_c: Vec<u64> = (0..16).map(|_| c.jitter(1)).collect();
+        assert_ne!(draws_a, draws_c, "different seeds, different streams");
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(Toxic::BandwidthDerate { percent: 0 }.validate().is_err());
+        assert!(Toxic::BandwidthDerate { percent: 101 }.validate().is_err());
+        assert!(Toxic::Outage {
+            period_ns: 100,
+            down_ns: 100
+        }
+        .validate()
+        .is_err());
+        assert!(Toxic::CongestionBurst {
+            period_ns: 0,
+            burst_ns: 0,
+            slowdown: 2
+        }
+        .validate()
+        .is_err());
+        assert!(Toxic::CongestionBurst {
+            period_ns: 100,
+            burst_ns: 10,
+            slowdown: 0
+        }
+        .validate()
+        .is_err());
+        assert!(Toxic::LatencyJitter {
+            max_ns: MAX_JITTER_NS + 1
+        }
+        .validate()
+        .is_err());
+        assert!(ToxicSpec::none()
+            .with(Toxic::BandwidthDerate { percent: 50 })
+            .validate()
+            .is_ok());
+    }
+}

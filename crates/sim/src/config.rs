@@ -4,7 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use dsp_cache::CacheConfig;
 use dsp_core::PredictorConfig;
-use dsp_interconnect::InterconnectConfig;
+use dsp_interconnect::{InterconnectConfig, TopologySpec, ToxicSpec};
 
 /// The simulated machine of paper Table 4: per-node latencies, link
 /// parameters, cache geometry, and processor speed.
@@ -249,6 +249,13 @@ pub struct SimConfig {
     /// entry points ([`crate::simulate`] and friends). `System::<W>`
     /// constructors ignore it — the turbofish already chose.
     pub width: SetWidth,
+    /// Interconnect fault-injection chain (empty by default, which
+    /// keeps the crossbar on its untouched fast path). Toxic streams
+    /// are seeded from [`SimConfig::seed`], independently of the trace
+    /// and gap-draw streams.
+    pub toxics: ToxicSpec,
+    /// Network shape (the paper's crossbar by default).
+    pub topology: TopologySpec,
 }
 
 impl SimConfig {
@@ -264,6 +271,8 @@ impl SimConfig {
             training: TrainingMode::default(),
             dispatch: DispatchMode::default(),
             width: SetWidth::default(),
+            toxics: ToxicSpec::none(),
+            topology: TopologySpec::Crossbar,
         }
     }
 
@@ -307,6 +316,20 @@ impl SimConfig {
     #[must_use]
     pub fn width(mut self, width: SetWidth) -> Self {
         self.width = width;
+        self
+    }
+
+    /// Sets the interconnect fault-injection chain.
+    #[must_use]
+    pub fn toxics(mut self, toxics: ToxicSpec) -> Self {
+        self.toxics = toxics;
+        self
+    }
+
+    /// Selects the network shape.
+    #[must_use]
+    pub fn topology(mut self, topology: TopologySpec) -> Self {
+        self.topology = topology;
         self
     }
 }

@@ -48,6 +48,7 @@ mod train;
 pub use config::{
     CpuModel, DispatchMode, ProtocolKind, SetWidth, SimConfig, TargetSystem, TrainingMode,
 };
+pub use dsp_interconnect::{Topology, TopologySpec, Toxic, ToxicSpec};
 pub use queue::{
     Event, EventBatch, EventKind, EventQueue, QueueCounters, ReferenceQueue, SlotDrain, WheelQueue,
 };

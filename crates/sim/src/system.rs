@@ -8,7 +8,7 @@ use rand::{Rng, SeedableRng};
 use dsp_cache::SetAssocCache;
 use dsp_coherence::{CoherenceTracker, MissInfo};
 use dsp_core::{DestSetPredictor, PredictQuery, TrainEvent};
-use dsp_interconnect::{Arrivals, Crossbar, Message};
+use dsp_interconnect::{Arrivals, Message, Topology};
 use dsp_trace::{TraceRecord, WorkloadSpec};
 use dsp_types::{DestSet, LineState, MessageClass, NodeId, Owner, ReqType, SystemConfig};
 
@@ -96,7 +96,7 @@ pub struct System<const W: usize = 4> {
     warmup_done_at: Vec<Option<u64>>,
     // Global.
     tracker: CoherenceTracker<W>,
-    xbar: Crossbar,
+    xbar: Topology,
     /// Scratch buffer for crossbar deliveries, reused across every send
     /// so the event loop performs no per-message allocation or copy.
     xbar_arrivals: Arrivals,
@@ -199,7 +199,16 @@ impl<const W: usize> System<W> {
                 sys,
                 (total_misses as usize / 4).min(1 << 15),
             ),
-            xbar: Crossbar::new(target.interconnect, n),
+            // Toxic streams derive from the run seed through a salt so
+            // they stay decoupled from the gap-draw streams: enabling a
+            // toxic never shifts any other random sequence.
+            xbar: Topology::new(
+                target.interconnect,
+                n,
+                &sim.topology,
+                &sim.toxics,
+                sim.seed ^ 0x70c5_1c5e_ed00_cafe,
+            ),
             xbar_arrivals: Arrivals::new(),
             queue: EventQueue::new(),
             train: TrainBuffers::new(n),
@@ -280,6 +289,9 @@ impl<const W: usize> System<W> {
             .max()
             .unwrap_or(0);
         self.report.runtime_ns = self.end_time.saturating_sub(warm_end);
+        // Message conservation: every delivery committed at injection
+        // was recorded at a destination — toxics delay, never drop.
+        self.xbar.assert_conserved();
     }
 
     /// The per-event loop: pop one entry, dispatch, repeat. Kept both
@@ -617,7 +629,7 @@ impl<const W: usize> System<W> {
             p.arrivals[node.index()] = Some(t);
         }
         let ser = self.xbar.serialization_ns(class);
-        p.self_arrival = order_time + self.target.interconnect.traversal_ns / 2 + ser;
+        p.self_arrival = order_time + self.xbar.dst_half_ns(src) + ser;
         self.push_req(req, order_time, Event::Ordered { req, attempt });
         if self.sim.protocol.uses_predictors() {
             let rec = self.pending[req].rec;
