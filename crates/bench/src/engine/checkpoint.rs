@@ -47,8 +47,7 @@ pub(crate) struct JournalHeader {
 }
 
 impl JournalHeader {
-    fn for_plan(plan: &ExperimentPlan, shard: ShardSpec) -> Self {
-        let s = &plan.scale;
+    fn for_plan(plan: &ExperimentPlan, shard: &ShardSpec) -> Self {
         JournalHeader {
             journal: MAGIC.to_string(),
             plan: plan.title.clone(),
@@ -56,21 +55,13 @@ impl JournalHeader {
             seed: plan.seed,
             // Exact footprint bits: two scales that differ in any run
             // parameter produce incompatible journals.
-            scale: format!(
-                "{:016x}/{}/{}/{}/{}/{}",
-                s.footprint.to_bits(),
-                s.trace_warmup,
-                s.trace_measured,
-                s.sim_warmup,
-                s.sim_measured,
-                s.sim_runs
-            ),
+            scale: plan.scale.identity(),
             shard: shard.to_string(),
         }
     }
 
     fn validate(&self, plan: &ExperimentPlan, path: &Path) -> Result<(), SessionError> {
-        let expect = JournalHeader::for_plan(plan, ShardSpec::full());
+        let expect = JournalHeader::for_plan(plan, &ShardSpec::full());
         let mismatch = |what: &str, got: &str, want: &str| {
             Err(SessionError::Journal {
                 path: path.to_path_buf(),
@@ -125,7 +116,7 @@ impl JournalWriter {
     pub fn create(
         path: &Path,
         plan: &ExperimentPlan,
-        shard: ShardSpec,
+        shard: &ShardSpec,
     ) -> Result<Self, SessionError> {
         if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
             std::fs::create_dir_all(parent).map_err(|e| SessionError::io(path, e))?;
@@ -295,18 +286,44 @@ pub(crate) fn read_journal(
 
 /// Folds shard journals back into one table.
 ///
-/// Every cell of `plan` must appear in at least one journal (cells may
-/// repeat across journals — e.g. a resumed shard re-merged with its
-/// pre-crash journal; outputs are deterministic so any copy is the same
-/// data and the last one read wins). The rendered table is
-/// byte-identical to running the plan serially in memory.
+/// Plan identity (title, cell count, seed, and the exact scale bits) is
+/// verified against *every* input journal — and since each header must
+/// equal the plan's, all journals are transitively verified against
+/// each other; a journal from a different experiment or run size fails
+/// the merge instead of silently folding into it. Cells may repeat
+/// across journals (e.g. a resumed shard re-merged with its pre-crash
+/// journal, or a lease completed by a worker presumed dead *and* by
+/// its stealer): outputs are deterministic, so repeats must carry
+/// byte-identical serialized data — a conflicting repeat means the
+/// journals came from incompatible runs and also fails the merge. The
+/// rendered table is byte-identical to running the plan serially in
+/// memory.
 pub fn merge_journals(plan: &ExperimentPlan, paths: &[PathBuf]) -> Result<TextTable, SessionError> {
     let ids = CellId::assign(&plan.cells);
-    let mut outputs: Vec<Option<CellOutput>> = (0..plan.cells.len()).map(|_| None).collect();
-    for path in paths {
+    let mut outputs: Vec<Option<(CellOutput, String, usize)>> =
+        (0..plan.cells.len()).map(|_| None).collect();
+    for (journal_idx, path) in paths.iter().enumerate() {
         let contents = read_journal(path, plan, &ids)?;
-        for (_, index, output) in contents.records {
-            outputs[index] = Some(output);
+        for (id, index, output) in contents.records {
+            let rendered = serde_json::to_string(&output).map_err(|e| SessionError::Journal {
+                path: path.clone(),
+                message: format!("cannot re-serialize cell {id}: {e}"),
+            })?;
+            match &outputs[index] {
+                Some((_, have, from)) if *have != rendered => {
+                    return Err(SessionError::Journal {
+                        path: path.clone(),
+                        message: format!(
+                            "cell {id} conflicts with {}: the two journals carry different \
+                             outputs for the same cell — they come from incompatible runs \
+                             (code versions?) and must not be folded together",
+                            paths[*from].display()
+                        ),
+                    });
+                }
+                Some(_) => {}
+                None => outputs[index] = Some((output, rendered, journal_idx)),
+            }
         }
     }
     let missing = outputs.iter().filter(|o| o.is_none()).count();
@@ -316,8 +333,60 @@ pub fn merge_journals(plan: &ExperimentPlan, paths: &[PathBuf]) -> Result<TextTa
             total: plan.cells.len(),
         });
     }
-    let outputs: Vec<CellOutput> = outputs.into_iter().map(|o| o.expect("checked")).collect();
+    let outputs: Vec<CellOutput> = outputs.into_iter().map(|o| o.expect("checked").0).collect();
     Ok(plan.render_outputs(&outputs))
+}
+
+/// Reads every completed cell from one journal, validated against
+/// `plan` — the coordinator's harvest path: when a worker's lease
+/// expires, the cells it durably journaled before dying are recovered
+/// here and only the rest are re-leased.
+///
+/// # Errors
+///
+/// Everything [`read_journal`] rejects: I/O failure, a header that does
+/// not match the plan, or a corrupt terminated record. A torn final
+/// line (crash mid-write) is tolerated and skipped.
+pub fn harvest_journal(
+    plan: &ExperimentPlan,
+    path: &Path,
+) -> Result<Vec<(CellId, usize, CellOutput)>, SessionError> {
+    let ids = CellId::assign(&plan.cells);
+    read_journal(path, plan, &ids).map(|contents| contents.records)
+}
+
+/// A cheap liveness probe of a (possibly live) journal file.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JournalTail {
+    /// File size in bytes (torn tail included).
+    pub bytes: u64,
+    /// Newline-terminated lines — the header plus one per durable cell.
+    pub lines: usize,
+}
+
+impl JournalTail {
+    /// Completed cell records (lines minus the header).
+    pub fn records(&self) -> usize {
+        self.lines.saturating_sub(1)
+    }
+}
+
+/// Probes a journal for liveness without validating or deserializing
+/// it: the coordinator tails every active lease's journal and treats
+/// growth (more bytes or more terminated lines) as a heartbeat, so a
+/// worker that is making durable progress is never expired just because
+/// its network messages are delayed.
+///
+/// # Errors
+///
+/// Propagates filesystem errors; a journal that does not exist yet is
+/// an error the caller treats as "no progress observed".
+pub fn tail_journal(path: &Path) -> std::io::Result<JournalTail> {
+    let text = std::fs::read(path)?;
+    Ok(JournalTail {
+        bytes: text.len() as u64,
+        lines: text.iter().filter(|&&b| b == b'\n').count(),
+    })
 }
 
 #[cfg(test)]
@@ -424,6 +493,71 @@ mod tests {
         renamed.title = "other".to_string();
         let err = merge_journals(&renamed, &[path]).unwrap_err();
         assert!(err.to_string().contains("plan title mismatch"), "{err}");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn merge_rejects_conflicting_duplicates() {
+        let scale = tiny();
+        let plan = plan(&scale);
+        let dir = tmp("conflict");
+        let a = dir.join("a.jsonl");
+        SweepSession::new(&plan)
+            .checkpoint(&a)
+            .run(&mut [])
+            .expect("session");
+        // Forge a second journal whose first cell carries the *second*
+        // cell's output: same plan identity, same cell id, different
+        // data — the shape of a stale journal from an older code
+        // version.
+        let text = std::fs::read_to_string(&a).expect("read");
+        let lines: Vec<&str> = text.lines().collect();
+        let r1: JournalRecord = serde_json::from_str(lines[1]).expect("rec1");
+        let r2: JournalRecord = serde_json::from_str(lines[2]).expect("rec2");
+        assert_ne!(
+            serde_json::to_string(&r1.output).unwrap(),
+            serde_json::to_string(&r2.output).unwrap(),
+            "test needs two cells with distinct outputs"
+        );
+        let forged = JournalRecord {
+            cell: r1.cell.clone(),
+            index: r1.index,
+            output: r2.output.clone(),
+        };
+        let b = dir.join("b.jsonl");
+        std::fs::write(
+            &b,
+            format!(
+                "{}\n{}\n",
+                lines[0],
+                serde_json::to_string(&forged).expect("forged")
+            ),
+        )
+        .expect("write");
+        let err = merge_journals(&plan, &[a.clone(), b]).unwrap_err();
+        assert!(err.to_string().contains("conflicts with"), "{err}");
+        // Identical duplicates stay mergeable: the same journal twice
+        // is a complete, conflict-free input set.
+        merge_journals(&plan, &[a.clone(), a]).expect("identical duplicates merge");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn harvest_and_tail_observe_journal_progress() {
+        let scale = tiny();
+        let plan = plan(&scale);
+        let dir = tmp("harvest");
+        let path = dir.join("j.jsonl");
+        assert!(tail_journal(&path).is_err(), "no journal yet");
+        SweepSession::new(&plan)
+            .checkpoint(&path)
+            .run(&mut [])
+            .expect("session");
+        let tail = tail_journal(&path).expect("tail");
+        assert_eq!(tail.lines, 3, "header + 2 cells");
+        assert_eq!(tail.records(), 2);
+        let harvested = harvest_journal(&plan, &path).expect("harvest");
+        assert_eq!(harvested.len(), 2);
         std::fs::remove_dir_all(dir).ok();
     }
 

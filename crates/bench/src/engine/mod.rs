@@ -56,9 +56,9 @@ pub mod session;
 pub mod shard;
 pub mod sink;
 
-pub use checkpoint::{merge_journals, JournalWriter};
+pub use checkpoint::{harvest_journal, merge_journals, tail_journal, JournalTail, JournalWriter};
 pub use session::{SessionError, SessionReport, SweepSession};
-pub use shard::{CellId, ShardSpec};
+pub use shard::{manifest_digest, CellId, ShardSpec};
 pub use sink::{CellRecord, CellSink, Collector, ProgressSink};
 
 use std::sync::atomic::{AtomicUsize, Ordering};

@@ -206,7 +206,7 @@ impl<'p> SweepSession<'p> {
 
     /// This session's shard.
     pub fn shard_spec(&self) -> ShardSpec {
-        self.shard
+        self.shard.clone()
     }
 
     /// Plan indices of the cells this shard owns, in plan order.
@@ -261,7 +261,7 @@ impl<'p> SweepSession<'p> {
         // Resume appends after cutting off any torn crash remnant.
         let mut journal = match &self.checkpoint {
             Some(path) if resuming => Some(JournalWriter::append_to(path, journal_valid_bytes)?),
-            Some(path) => Some(JournalWriter::create(path, self.plan, self.shard)?),
+            Some(path) => Some(JournalWriter::create(path, self.plan, &self.shard)?),
             None => None,
         };
         let mut all_sinks: Vec<&mut dyn CellSink> = Vec::with_capacity(sinks.len() + 1);
@@ -476,6 +476,36 @@ mod tests {
         let merged = super::super::merge_journals(&plan, &paths).expect("merge");
         assert_eq!(merged.to_csv(), serial.to_csv());
         assert_eq!(merged.to_string(), serial.to_string());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn explicit_cell_lease_journals_merge_byte_identical() {
+        let scale = tiny();
+        let plan = plan(&scale);
+        let serial = SweepRunner::serial().run(&plan);
+        let ids = super::super::CellId::assign(&plan.cells);
+        let dir = tmp("leases");
+        // Three uneven leases (the coordinator's shape), plan coverage
+        // split by explicit id sets rather than residues.
+        let leases = [
+            ShardSpec::cells(ids[..1].to_vec()),
+            ShardSpec::cells(ids[1..4].to_vec()),
+            ShardSpec::cells(ids[4..].to_vec()),
+        ];
+        let mut paths = Vec::new();
+        for (i, lease) in leases.iter().enumerate() {
+            let path = dir.join(format!("lease{i}.jsonl"));
+            let report = SweepSession::new(&plan)
+                .shard(lease.clone())
+                .checkpoint(&path)
+                .run(&mut [])
+                .expect("lease session");
+            assert_eq!(report.owned, report.executed);
+            paths.push(path);
+        }
+        let merged = super::super::merge_journals(&plan, &paths).expect("merge");
+        assert_eq!(merged.to_csv(), serial.to_csv());
         std::fs::remove_dir_all(dir).ok();
     }
 

@@ -7,8 +7,8 @@
 //! reduced scale.
 //!
 //! ```bash
-//! cargo run --release -p dsp-bench --bin repro -- all --scale standard
-//! cargo run --release -p dsp-bench --bin repro -- fig5 --scale paper
+//! cargo run --release -p dsp-fleet --bin repro -- all --scale standard
+//! cargo run --release -p dsp-fleet --bin repro -- fig5 --scale paper
 //! ```
 
 #![warn(missing_docs)]

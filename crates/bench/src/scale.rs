@@ -60,6 +60,25 @@ impl Scale {
         }
     }
 
+    /// The exact-bits identity string of this scale: every run
+    /// parameter, with the footprint as raw `f64` bits so two scales
+    /// that differ in *any* way — even by one ULP of footprint —
+    /// compare unequal. Checkpoint-journal headers and the fleet
+    /// protocol's plan-identity handshake both embed this string, so a
+    /// journal or a worker built against a different run size is
+    /// rejected instead of silently folded in.
+    pub fn identity(&self) -> String {
+        format!(
+            "{:016x}/{}/{}/{}/{}/{}",
+            self.footprint.to_bits(),
+            self.trace_warmup,
+            self.trace_measured,
+            self.sim_warmup,
+            self.sim_measured,
+            self.sim_runs
+        )
+    }
+
     /// Parses a scale name (`quick` / `standard` / `paper`).
     pub fn parse(name: &str) -> Option<Self> {
         match name {

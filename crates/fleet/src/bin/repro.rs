@@ -2,8 +2,14 @@
 //!
 //! ```bash
 //! repro <experiment> [--scale quick|standard|paper] [--out DIR] [--threads N]
-//!                    [--shard i/N] [--checkpoint FILE] [--resume]
+//!                    [--shard i/N | --cells HEX,HEX,...] [--checkpoint FILE] [--resume]
 //! repro merge <experiment> [--scale ...] [--out DIR] JOURNAL...
+//! repro plan <experiment> [--scale ...]
+//! repro fleet <experiment> [--scale ...] [--workers N] [--kill-one]
+//!                          [--dir DIR] [--lease-cells N] [--lease-timeout-ms MS] [--port P]
+//! repro worker --connect HOST:PORT [--name W] [--dir DIR] [--threads N]
+//! repro fleet-status --connect HOST:PORT [--start I] [--limit N]
+//! repro fleet-bench [--scale ...] [--out DIR]
 //!
 //! experiments: table2 fig2 fig3 fig4 fig5 fig6a fig6b fig6c fig7 fig8
 //!              ablations extensions scaling claims bandwidth degraded
@@ -38,20 +44,40 @@
 //! `toxic_deterministic` marker), blasts a harsh chain through a mesh
 //! [`dsp_sim::Topology`] to exercise the per-link conservation ledger
 //! (the `link_reconciled` marker), and writes `BENCH_degraded.json`.
+//!
+//! The fleet commands wrap [`dsp_fleet`]: `repro fleet` runs a
+//! coordinator plus N local single-threaded workers over one
+//! experiment and requires the merged table to be byte-identical to a
+//! serial run (the `fleet_identical` marker) with a reconciled lease
+//! ledger (`leases_reconciled`), even when `--kill-one` murders a
+//! worker mid-lease; `repro worker` joins any coordinator by address;
+//! `repro plan` prints the `CellId` manifest leases are accounted
+//! against; `repro fleet-status` polls a running coordinator; and
+//! `repro fleet-bench` times 1/2/4-worker fleets against a serial run,
+//! writing `BENCH_fleet.json`.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use dsp_analysis::TextTable;
-use dsp_bench::engine::{merge_journals, ProgressSink, ShardSpec, SweepRunner};
+use dsp_bench::engine::{
+    manifest_digest, merge_journals, CellId, ProgressSink, ShardSpec, SweepRunner,
+};
 use dsp_bench::{experiments, Scale};
+use dsp_fleet::{query_results, query_status, run_worker, Coordinator, FleetConfig, WorkerConfig};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: repro <experiment> [--scale quick|standard|paper] [--out DIR] [--threads N]\n\
-         \x20      [--shard i/N] [--checkpoint FILE] [--resume]\n\
+         \x20      [--shard i/N | --cells HEX,HEX,...] [--checkpoint FILE] [--resume]\n\
          \x20      repro merge <experiment> [--scale ...] [--out DIR] JOURNAL...\n\
+         \x20      repro plan <experiment> [--scale ...]\n\
+         \x20      repro fleet <experiment> [--scale ...] [--workers N] [--kill-one]\n\
+         \x20                  [--dir DIR] [--lease-cells N] [--lease-timeout-ms MS] [--port P]\n\
+         \x20      repro worker --connect HOST:PORT [--name W] [--dir DIR] [--threads N]\n\
+         \x20      repro fleet-status --connect HOST:PORT [--start I] [--limit N]\n\
+         \x20      repro fleet-bench [--scale ...] [--out DIR]\n\
          experiments: {} sweep-bench hotpath-bench all",
         experiments::ALL_EXPERIMENTS.join(" ")
     );
@@ -873,9 +899,11 @@ fn degraded_bench(scale: &Scale, runner: &SweepRunner) -> Result<(TextTable, Str
 
 /// Parsed command line.
 struct Args {
-    /// First positional: experiment name or `merge`.
+    /// First positional: experiment name or a subcommand (`merge`,
+    /// `plan`, `fleet`, `worker`, `fleet-status`, `fleet-bench`).
     experiment: String,
-    /// For `merge`: the experiment name (second positional).
+    /// For `merge`/`plan`/`fleet`: the experiment name (second
+    /// positional).
     merge_target: Option<String>,
     /// For `merge`: journal paths (remaining positionals).
     journals: Vec<PathBuf>,
@@ -886,6 +914,27 @@ struct Args {
     shard: Option<ShardSpec>,
     checkpoint: Option<PathBuf>,
     resume: bool,
+    /// For `worker`/`fleet-status`: coordinator address.
+    connect: Option<String>,
+    /// For `worker`: worker name.
+    worker_name: Option<String>,
+    /// For `worker`/`fleet`: the fleet directory (journals + log).
+    fleet_dir: Option<PathBuf>,
+    /// For `fleet`: local worker count.
+    workers: usize,
+    /// For `fleet`: kill one worker mid-lease to exercise
+    /// expiry/harvest/re-lease.
+    kill_one: bool,
+    /// For `fleet`: cells per lease (default scales with the plan).
+    lease_cells: Option<usize>,
+    /// For `fleet`: lease liveness timeout.
+    lease_timeout_ms: Option<u64>,
+    /// For `fleet`: coordinator port (0 = ephemeral).
+    port: u16,
+    /// For `fleet-status`: results page start.
+    start: usize,
+    /// For `fleet-status`: results page size.
+    limit: usize,
 }
 
 fn parse_args(args: &[String]) -> Result<Args, String> {
@@ -900,6 +949,16 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         shard: None,
         checkpoint: None,
         resume: false,
+        connect: None,
+        worker_name: None,
+        fleet_dir: None,
+        workers: 3,
+        kill_one: false,
+        lease_cells: None,
+        lease_timeout_ms: None,
+        port: 0,
+        start: 0,
+        limit: 32,
     };
     let mut positionals: Vec<String> = Vec::new();
     let mut i = 0;
@@ -931,12 +990,85 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                 parsed.shard =
                     Some(ShardSpec::parse(spec).ok_or(format!("bad shard spec '{spec}'"))?);
             }
+            "--cells" => {
+                i += 1;
+                let list = args
+                    .get(i)
+                    .ok_or("--cells needs a comma-separated hex id list (see `repro plan`)")?;
+                parsed.shard =
+                    Some(ShardSpec::parse_cells(list).ok_or(format!("bad cell list '{list}'"))?);
+            }
             "--checkpoint" => {
                 i += 1;
                 let path = args.get(i).ok_or("--checkpoint needs a file path")?;
                 parsed.checkpoint = Some(PathBuf::from(path));
             }
             "--resume" => parsed.resume = true,
+            "--connect" => {
+                i += 1;
+                let addr = args.get(i).ok_or("--connect needs host:port")?;
+                parsed.connect = Some(addr.clone());
+            }
+            "--name" => {
+                i += 1;
+                let name = args.get(i).ok_or("--name needs a worker name")?;
+                parsed.worker_name = Some(name.clone());
+            }
+            "--dir" | "--fleet-dir" => {
+                i += 1;
+                let dir = args.get(i).ok_or("--dir needs a directory")?;
+                parsed.fleet_dir = Some(PathBuf::from(dir));
+            }
+            "--workers" => {
+                i += 1;
+                // 0 is allowed: coordinator-only mode, serving workers
+                // started elsewhere with `repro worker --connect`.
+                parsed.workers = args
+                    .get(i)
+                    .and_then(|n| n.parse().ok())
+                    .ok_or("--workers needs a non-negative integer")?;
+            }
+            "--kill-one" => parsed.kill_one = true,
+            "--lease-cells" => {
+                i += 1;
+                parsed.lease_cells = Some(
+                    args.get(i)
+                        .and_then(|n| n.parse().ok())
+                        .filter(|n| *n > 0)
+                        .ok_or("--lease-cells needs a positive integer")?,
+                );
+            }
+            "--lease-timeout-ms" => {
+                i += 1;
+                parsed.lease_timeout_ms = Some(
+                    args.get(i)
+                        .and_then(|n| n.parse().ok())
+                        .filter(|n| *n > 0)
+                        .ok_or("--lease-timeout-ms needs a positive integer")?,
+                );
+            }
+            "--port" => {
+                i += 1;
+                parsed.port = args
+                    .get(i)
+                    .and_then(|n| n.parse().ok())
+                    .ok_or("--port needs a port number")?;
+            }
+            "--start" => {
+                i += 1;
+                parsed.start = args
+                    .get(i)
+                    .and_then(|n| n.parse().ok())
+                    .ok_or("--start needs an index")?;
+            }
+            "--limit" => {
+                i += 1;
+                parsed.limit = args
+                    .get(i)
+                    .and_then(|n| n.parse().ok())
+                    .filter(|n| *n > 0)
+                    .ok_or("--limit needs a positive integer")?;
+            }
             other if other.starts_with("--") => return Err(format!("unknown flag '{other}'")),
             positional => positionals.push(positional.to_string()),
         }
@@ -944,14 +1076,30 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
     }
     let mut positionals = positionals.into_iter();
     parsed.experiment = positionals.next().ok_or("missing experiment name")?;
-    if parsed.experiment == "merge" {
-        parsed.merge_target = Some(positionals.next().ok_or("merge needs an experiment name")?);
-        parsed.journals = positionals.map(PathBuf::from).collect();
-        if parsed.journals.is_empty() {
-            return Err("merge needs at least one journal file".to_string());
+    match parsed.experiment.as_str() {
+        "merge" => {
+            parsed.merge_target = Some(positionals.next().ok_or("merge needs an experiment name")?);
+            parsed.journals = positionals.map(PathBuf::from).collect();
+            if parsed.journals.is_empty() {
+                return Err("merge needs at least one journal file".to_string());
+            }
         }
-    } else if let Some(extra) = positionals.next() {
-        return Err(format!("unexpected argument '{extra}'"));
+        "plan" | "fleet" => {
+            let what = parsed.experiment.clone();
+            parsed.merge_target = Some(
+                positionals
+                    .next()
+                    .ok_or(format!("{what} needs an experiment name"))?,
+            );
+            if let Some(extra) = positionals.next() {
+                return Err(format!("unexpected argument '{extra}'"));
+            }
+        }
+        _ => {
+            if let Some(extra) = positionals.next() {
+                return Err(format!("unexpected argument '{extra}'"));
+            }
+        }
     }
     Ok(parsed)
 }
@@ -988,17 +1136,14 @@ fn run_merge(args: &Args) -> ExitCode {
 fn run_session(name: &str, args: &Args, runner: &SweepRunner) -> Result<(), String> {
     let plan =
         experiments::plan_for(name, &args.scale).ok_or(format!("unknown experiment '{name}'"))?;
-    let shard = args.shard.unwrap_or(ShardSpec::full());
+    let shard = args.shard.clone().unwrap_or_else(ShardSpec::full);
     let journal = args.checkpoint.clone().unwrap_or_else(|| {
-        args.out_dir.join(format!(
-            "{name}.shard{}of{}.jsonl",
-            shard.index() + 1,
-            shard.count()
-        ))
+        args.out_dir
+            .join(format!("{name}.{}.jsonl", shard.file_stem()))
     });
     let session = runner
         .session(&plan)
-        .shard(shard)
+        .shard(shard.clone())
         .checkpoint(&journal)
         .resume(args.resume);
     let started = Instant::now();
@@ -1027,6 +1172,330 @@ fn run_session(name: &str, args: &Args, runner: &SweepRunner) -> Result<(), Stri
     Ok(())
 }
 
+/// Runs `repro plan <experiment>`: the `CellId` manifest, one line per
+/// cell in plan order — the single source of truth fleet leases are
+/// accounted against, and the ids `--cells` accepts.
+fn run_plan(args: &Args) -> Result<(), String> {
+    let name = args.merge_target.as_deref().expect("plan target parsed");
+    let plan =
+        experiments::plan_for(name, &args.scale).ok_or(format!("unknown experiment '{name}'"))?;
+    let ids = CellId::assign(&plan.cells);
+    println!("# {} — {}", name, plan.title);
+    println!("# index  cell-id           summary");
+    for (index, (id, cell)) in ids.iter().zip(&plan.cells).enumerate() {
+        println!("{index:7}  {}  {}", id.to_hex(), cell.summary());
+    }
+    println!("cells: {}", ids.len());
+    println!("seed: {}", plan.seed);
+    println!("scale: {}", plan.scale.identity());
+    println!("manifest: {:016x}", manifest_digest(&ids));
+    Ok(())
+}
+
+/// Runs `repro worker --connect HOST:PORT`: joins a coordinator's
+/// fleet and works until told to shut down.
+fn run_worker_cmd(args: &Args) -> Result<(), String> {
+    let connect = args
+        .connect
+        .as_deref()
+        .ok_or("worker needs --connect HOST:PORT")?;
+    let name = args
+        .worker_name
+        .clone()
+        .unwrap_or_else(|| format!("w{}", std::process::id()));
+    let mut config = WorkerConfig::new(
+        &name,
+        connect,
+        args.fleet_dir
+            .clone()
+            .unwrap_or_else(|| args.out_dir.clone()),
+    );
+    config.threads = args.threads.unwrap_or(1);
+    let report = run_worker(&config)?;
+    println!(
+        "[worker {name}: {} leases completed, {} cells accepted, {} leases went stale]",
+        report.leases, report.cells, report.stale_leases
+    );
+    Ok(())
+}
+
+/// Runs `repro fleet-status --connect HOST:PORT`: one status snapshot
+/// plus a page of per-cell states from a running coordinator.
+fn run_fleet_status(args: &Args) -> Result<(), String> {
+    let connect = args
+        .connect
+        .as_deref()
+        .ok_or("fleet-status needs --connect HOST:PORT")?;
+    let status = query_status(connect)?;
+    println!(
+        "{}: {}/{} cells complete{}",
+        status.experiment,
+        status.completed_cells,
+        status.total_cells,
+        if status.complete { " (finished)" } else { "" },
+    );
+    let c = &status.counters;
+    println!(
+        "leases: {} granted, {} completed, {} expired | cells: {} granted, {} completed, \
+         {} stolen, {} harvested, {} stale reports",
+        c.leases_granted,
+        c.leases_completed,
+        c.leases_expired,
+        c.cells_granted,
+        c.cells_completed,
+        c.cells_stolen,
+        c.cells_harvested,
+        c.stale_reports,
+    );
+    for lease in &status.leases {
+        println!(
+            "  lease {} -> {}: {} outstanding, {} done",
+            lease.lease, lease.worker, lease.outstanding, lease.done
+        );
+    }
+    let page = query_results(connect, args.start, args.limit)?;
+    println!(
+        "cells {}..{} of {}:",
+        page.start,
+        page.start + page.cells.len(),
+        page.total
+    );
+    for cell in &page.cells {
+        match &cell.worker {
+            Some(worker) => println!(
+                "  {:5}  {}  {:8} {}",
+                cell.index, cell.cell, cell.state, worker
+            ),
+            None => println!("  {:5}  {}  {}", cell.index, cell.cell, cell.state),
+        }
+    }
+    Ok(())
+}
+
+/// Spawns one local `repro worker` child against `addr`.
+fn spawn_worker_child(
+    exe: &Path,
+    addr: &str,
+    name: &str,
+    dir: &Path,
+) -> Result<std::process::Child, String> {
+    use std::process::{Command, Stdio};
+    Command::new(exe)
+        .args([
+            "worker",
+            "--connect",
+            addr,
+            "--name",
+            name,
+            "--threads",
+            "1",
+            "--dir",
+        ])
+        .arg(dir)
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .map_err(|e| format!("cannot spawn worker {name}: {e}"))
+}
+
+/// One complete local fleet run: coordinator in-process, `workers`
+/// single-threaded `repro worker` children, optional mid-lease kill.
+/// Returns the final report, whether the merged table matched
+/// `reference_csv`, and which worker (if any) was killed.
+fn run_fleet_once(
+    name: &str,
+    args: &Args,
+    dir: &Path,
+    workers: usize,
+    kill_one: bool,
+    reference_csv: &str,
+) -> Result<(dsp_fleet::FleetReport, bool, Option<String>), String> {
+    let plan =
+        experiments::plan_for(name, &args.scale).ok_or(format!("unknown experiment '{name}'"))?;
+    let cells = plan.len();
+    let _ = std::fs::remove_dir_all(dir);
+    let mut config = FleetConfig::new(name, &args.scale_name, dir);
+    config.lease_cells = args
+        .lease_cells
+        .unwrap_or_else(|| (cells / (workers.max(1) * 2)).clamp(2, 16));
+    config.timeout_ms = args.lease_timeout_ms.unwrap_or(5_000);
+    config.port = args.port;
+    let coordinator =
+        Coordinator::start(plan, config).map_err(|e| format!("cannot start coordinator: {e}"))?;
+    let addr = coordinator.addr().to_string();
+    println!("[fleet: coordinator on {addr}, {workers} workers, {cells} cells]");
+
+    let exe = std::env::current_exe().map_err(|e| format!("cannot locate repro binary: {e}"))?;
+    let mut children = Vec::new();
+    for i in 1..=workers {
+        children.push(spawn_worker_child(&exe, &addr, &format!("w{i}"), dir)?);
+    }
+
+    // Kill a worker the moment it is mid-lease: at least one cell
+    // journaled (so harvest has something to recover) and at least one
+    // outstanding (so expiry has something to re-lease).
+    let mut killed = None;
+    if kill_one {
+        let deadline = Instant::now() + Duration::from_secs(300);
+        'hunt: while Instant::now() < deadline {
+            if let Ok(status) = query_status(&addr) {
+                if status.complete {
+                    println!("[fleet: sweep finished before a mid-lease kill window opened]");
+                    break;
+                }
+                for lease in &status.leases {
+                    let index: Option<usize> = lease
+                        .worker
+                        .strip_prefix('w')
+                        .and_then(|n| n.parse::<usize>().ok())
+                        .filter(|n| (1..=workers).contains(n));
+                    if lease.done >= 1 && lease.outstanding >= 1 {
+                        if let Some(index) = index {
+                            let _ = children[index - 1].kill();
+                            killed = Some(lease.worker.clone());
+                            println!(
+                                "[fleet: killed {} mid-lease ({} done, {} outstanding on \
+                                 lease {})]",
+                                lease.worker, lease.done, lease.outstanding, lease.lease
+                            );
+                            break 'hunt;
+                        }
+                    }
+                }
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+
+    let report = coordinator.wait(Duration::from_secs(600))?;
+    for (i, mut child) in children.into_iter().enumerate() {
+        let worker = format!("w{}", i + 1);
+        let status = child
+            .wait()
+            .map_err(|e| format!("worker {worker} failed: {e}"))?;
+        if !status.success() && killed.as_deref() != Some(worker.as_str()) {
+            return Err(format!("worker {worker} exited with {status}"));
+        }
+    }
+    coordinator.shutdown();
+    let identical = report.csv == reference_csv;
+    Ok((report, identical, killed))
+}
+
+/// Runs `repro fleet <experiment>`: serial reference first, then the
+/// fleet, then the byte-identity and ledger-reconciliation verdicts.
+fn run_fleet(args: &Args) -> Result<(), String> {
+    let name = args.merge_target.as_deref().expect("fleet target parsed");
+    let plan =
+        experiments::plan_for(name, &args.scale).ok_or(format!("unknown experiment '{name}'"))?;
+    let reference = SweepRunner::serial().run(&plan);
+    let dir = args
+        .fleet_dir
+        .clone()
+        .unwrap_or_else(|| args.out_dir.join(format!("fleet-{name}")));
+    let (report, identical, killed) = run_fleet_once(
+        name,
+        args,
+        &dir,
+        args.workers,
+        args.kill_one,
+        &reference.to_csv(),
+    )?;
+
+    println!("{}", report.rendered);
+    let c = &report.counters;
+    println!(
+        "[fleet: {} cells in {:.1}s | leases: {} granted, {} completed, {} expired | \
+         cells: {} granted, {} completed, {} stolen, {} harvested, {} stale reports{}]",
+        report.cells,
+        report.wall_s,
+        c.leases_granted,
+        c.leases_completed,
+        c.leases_expired,
+        c.cells_granted,
+        c.cells_completed,
+        c.cells_stolen,
+        c.cells_harvested,
+        c.stale_reports,
+        match &killed {
+            Some(worker) => format!(" | killed {worker} mid-lease"),
+            None => String::new(),
+        },
+    );
+    println!("leases_reconciled: {}", report.reconciled);
+    println!("fleet_identical: {identical}");
+    if !save(&args.out_dir, &format!("{name}.csv"), &report.csv) {
+        return Err("cannot save CSV".to_string());
+    }
+    if !report.reconciled {
+        return Err("lease ledger did not reconcile".to_string());
+    }
+    if !identical {
+        return Err("fleet output diverged from the serial reference".to_string());
+    }
+    Ok(())
+}
+
+/// Runs `repro fleet-bench`: fig5 serial vs 1/2/4-worker local fleets,
+/// all required byte-identical, written as `BENCH_fleet.json`.
+fn fleet_bench(args: &Args) -> Result<String, String> {
+    let name = "fig5";
+    let plan = experiments::fig5_plan(&args.scale);
+    let cells = plan.len();
+    let started = Instant::now();
+    let reference = SweepRunner::serial().run(&plan);
+    let serial_s = started.elapsed().as_secs_f64();
+    let reference_csv = reference.to_csv();
+
+    let base = std::env::temp_dir().join(format!("dsp-fleet-bench-{}", std::process::id()));
+    let mut rows = Vec::new();
+    for workers in [1usize, 2, 4] {
+        let dir = base.join(format!("{workers}w"));
+        let (report, identical, _) =
+            run_fleet_once(name, args, &dir, workers, false, &reference_csv)?;
+        if !identical {
+            return Err(format!(
+                "{workers}-worker fleet diverged from the serial table"
+            ));
+        }
+        if !report.reconciled {
+            return Err(format!("{workers}-worker fleet ledger did not reconcile"));
+        }
+        let c = &report.counters;
+        println!(
+            "fleet-bench: {workers} worker(s) | {cells} cells in {:.2}s (serial {serial_s:.2}s, \
+             speedup {:.2}x) | {} leases, {} cells stolen | identical: {identical}",
+            report.wall_s,
+            serial_s / report.wall_s.max(1e-9),
+            c.leases_granted,
+            c.cells_stolen,
+        );
+        rows.push(format!(
+            "    {{\n      \"workers\": {workers},\n      \"wall_s\": {:.4},\n      \
+             \"speedup\": {:.3},\n      \"leases_granted\": {},\n      \
+             \"leases_completed\": {},\n      \"leases_expired\": {},\n      \
+             \"cells_granted\": {},\n      \"cells_completed\": {},\n      \
+             \"cells_stolen\": {},\n      \"cells_harvested\": {},\n      \
+             \"byte_identical\": true,\n      \"leases_reconciled\": true\n    }}",
+            report.wall_s,
+            serial_s / report.wall_s.max(1e-9),
+            c.leases_granted,
+            c.leases_completed,
+            c.leases_expired,
+            c.cells_granted,
+            c.cells_completed,
+            c.cells_stolen,
+            c.cells_harvested,
+        ));
+    }
+    let _ = std::fs::remove_dir_all(&base);
+    Ok(format!(
+        "{{\n  \"benchmark\": \"fleet\",\n  \"plan\": \"{name}\",\n  \"cells\": {cells},\n  \
+         \"serial_wall_s\": {serial_s:.4},\n  \"fleets\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n"),
+    ))
+}
+
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let args = match parse_args(&raw) {
@@ -1045,6 +1514,62 @@ fn main() -> ExitCode {
     }
     if args.experiment == "merge" {
         return run_merge(&args);
+    }
+    match args.experiment.as_str() {
+        "plan" => {
+            return match run_plan(&args) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        "worker" => {
+            return match run_worker_cmd(&args) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        "fleet" => {
+            return match run_fleet(&args) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        "fleet-status" => {
+            return match run_fleet_status(&args) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        "fleet-bench" => {
+            return match fleet_bench(&args) {
+                Ok(json) => {
+                    if save(Path::new("."), "BENCH_fleet.json", &json)
+                        && save(&args.out_dir, "BENCH_fleet.json", &json)
+                    {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::FAILURE
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: fleet-bench failed: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        _ => {}
     }
     let names: Vec<&str> = if args.experiment == "all" {
         experiments::ALL_EXPERIMENTS.to_vec()

@@ -1,0 +1,402 @@
+//! The fleet worker: pull a lease, run its cells through
+//! `SweepSession`, stream each finished cell back, repeat.
+//!
+//! A worker is a thin shell around the existing sweep machinery. It
+//! rebuilds the coordinator's plan locally (from the experiment name
+//! and scale preset the coordinator advertises), verifies the full
+//! [`PlanIdentity`] — manifest digest, seed, exact scale bits — and
+//! then loops on leases: each grant becomes a
+//! `SweepSession` over an explicit [`ShardSpec::cells`] set with a
+//! checkpoint journal at the coordinator-assigned path, so every
+//! completed cell is durable locally *before* it is reported. If the
+//! worker dies mid-lease, the coordinator harvests that journal; if the
+//! coordinator dies, the journal still merges by hand.
+//!
+//! One `SweepRunner` lives across all of a worker's leases, so traces
+//! and timing-sim partitions generated for one lease are reused by the
+//! next — the same sharing `repro all` gets.
+
+use std::io::{self, ErrorKind};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use dsp_bench::engine::{CellId, CellRecord, CellSink, ExperimentPlan, ShardSpec, SweepRunner};
+use dsp_bench::{experiments, Scale};
+
+use crate::protocol::{self, MessageReader, PlanIdentity, Reply, Request, PROTOCOL_VERSION};
+use crate::stats::{ResultsPage, StatusReport};
+
+/// Worker tuning.
+#[derive(Clone, Debug)]
+pub struct WorkerConfig {
+    /// Worker name (unique within the fleet; appears in lease journals
+    /// and the coordinator log).
+    pub name: String,
+    /// Coordinator address, `host:port`.
+    pub connect: String,
+    /// Fleet directory where lease journals are written. Must be the
+    /// coordinator's directory when sharing a filesystem (journal
+    /// tailing and harvest depend on it).
+    pub dir: PathBuf,
+    /// Sweep threads per lease.
+    pub threads: usize,
+    /// How long to keep retrying the initial connect (the coordinator
+    /// may not be up yet when local fleets spawn workers first).
+    pub connect_timeout_ms: u64,
+}
+
+impl WorkerConfig {
+    /// Defaults for a local fleet worker.
+    pub fn new(name: &str, connect: &str, dir: impl Into<PathBuf>) -> Self {
+        WorkerConfig {
+            name: name.to_string(),
+            connect: connect.to_string(),
+            dir: dir.into(),
+            threads: 1,
+            connect_timeout_ms: 10_000,
+        }
+    }
+}
+
+/// What one worker did before the coordinator sent it home.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WorkerReport {
+    /// Leases run to completion.
+    pub leases: usize,
+    /// Cells executed and accepted.
+    pub cells: usize,
+    /// Leases abandoned after a `Stale` verdict (their remaining cells
+    /// were re-leased elsewhere).
+    pub stale_leases: usize,
+}
+
+/// Runs a worker against the standard experiment registry
+/// (`experiments::plan_for`).
+///
+/// # Errors
+///
+/// Connection failure, identity mismatch, protocol violations, or a
+/// sweep failure. The coordinator vanishing *after* contact is treated
+/// as a clean shutdown — the fleet is done or dead, and either way the
+/// worker's journals are already durable.
+pub fn run_worker(config: &WorkerConfig) -> Result<WorkerReport, String> {
+    run_worker_with(config, |experiment, scale| {
+        let scale = Scale::parse(scale)?;
+        experiments::plan_for(experiment, &scale)
+    })
+}
+
+/// [`run_worker`] with an injected plan registry, so tests can fleet
+/// tiny custom plans that the public experiment table doesn't know.
+pub fn run_worker_with(
+    config: &WorkerConfig,
+    lookup: impl Fn(&str, &str) -> Option<ExperimentPlan>,
+) -> Result<WorkerReport, String> {
+    let stream = connect_retry(&config.connect, config.connect_timeout_ms).map_err(|e| {
+        format!(
+            "worker {}: cannot reach {}: {e}",
+            config.name, config.connect
+        )
+    })?;
+    stream.set_nodelay(true).ok();
+    stream
+        .set_read_timeout(Some(Duration::from_millis(500)))
+        .map_err(|e| format!("worker {}: {e}", config.name))?;
+    let mut link = Link {
+        reader: MessageReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| format!("worker {}: {e}", config.name))?,
+        ),
+        writer: stream,
+    };
+
+    // Handshake: what is this fleet running?
+    let welcome = link
+        .exchange(&Request::Hello {
+            worker: config.name.clone(),
+            proto: PROTOCOL_VERSION,
+        })
+        .map_err(|e| format!("worker {}: handshake failed: {e}", config.name))?;
+    let Some(Reply::Welcome {
+        proto,
+        scale,
+        identity,
+    }) = welcome
+    else {
+        return Err(format!(
+            "worker {}: expected Welcome, got {welcome:?}",
+            config.name
+        ));
+    };
+    if proto != PROTOCOL_VERSION {
+        return Err(format!(
+            "worker {}: coordinator speaks protocol v{proto}, this binary v{PROTOCOL_VERSION}",
+            config.name
+        ));
+    }
+
+    // Rebuild the plan locally and verify it is the same plan.
+    let plan = lookup(&identity.experiment, &scale).ok_or_else(|| {
+        format!(
+            "worker {}: unknown experiment {:?} at scale {:?}",
+            config.name, identity.experiment, scale
+        )
+    })?;
+    let local = PlanIdentity::of(&identity.experiment, &plan);
+    if let Some(diff) = local.mismatch(&identity) {
+        return Err(format!(
+            "worker {}: plan identity mismatch ({diff}) — this binary would compute different \
+             cells than the coordinator expects; refusing to lease",
+            config.name
+        ));
+    }
+    let ids = CellId::assign(&plan.cells);
+
+    std::fs::create_dir_all(&config.dir).map_err(|e| {
+        format!(
+            "worker {}: cannot create {:?}: {e}",
+            config.name, config.dir
+        )
+    })?;
+    let runner = SweepRunner::with_threads(config.threads);
+    let mut report = WorkerReport::default();
+
+    loop {
+        let reply = match link.exchange(&Request::Lease {
+            worker: config.name.clone(),
+        }) {
+            Ok(Some(reply)) => reply,
+            // Coordinator gone after contact: treat as shutdown (see
+            // the function docs).
+            Ok(None) => return Ok(report),
+            Err(e) if coordinator_gone(&e) => return Ok(report),
+            Err(e) => return Err(format!("worker {}: lease request failed: {e}", config.name)),
+        };
+        match reply {
+            Reply::Grant {
+                lease,
+                cells,
+                journal,
+            } => {
+                let mut cell_ids = Vec::with_capacity(cells.len());
+                for text in &cells {
+                    let id = CellId::from_hex(text).ok_or_else(|| {
+                        format!("worker {}: malformed cell id {text:?}", config.name)
+                    })?;
+                    if !ids.contains(&id) {
+                        return Err(format!(
+                            "worker {}: granted cell {id} is not in the local plan",
+                            config.name
+                        ));
+                    }
+                    cell_ids.push(id);
+                }
+                let mut sink = ReportSink {
+                    link: &mut link,
+                    worker: &config.name,
+                    lease,
+                    ids: &ids,
+                    accepted: 0,
+                    stale: false,
+                    failure: None,
+                };
+                let session = runner
+                    .session(&plan)
+                    .shard(ShardSpec::cells(cell_ids))
+                    .checkpoint(config.dir.join(&journal));
+                session
+                    .run(&mut [&mut sink])
+                    .map_err(|e| format!("worker {}: lease {lease} failed: {e}", config.name))?;
+                let (accepted, stale, failure) = (sink.accepted, sink.stale, sink.failure);
+                if let Some(e) = failure {
+                    if coordinator_gone(&e) {
+                        return Ok(report);
+                    }
+                    return Err(format!("worker {}: reporting failed: {e}", config.name));
+                }
+                report.cells += accepted;
+                if stale {
+                    // The lease was expired or partly stolen while we
+                    // ran; whatever we journaled is durable, the rest
+                    // belongs to someone else now. Ask for fresh work.
+                    report.stale_leases += 1;
+                    continue;
+                }
+                match link.exchange(&Request::Complete {
+                    worker: config.name.clone(),
+                    lease,
+                }) {
+                    Ok(Some(Reply::Ack)) => report.leases += 1,
+                    Ok(Some(Reply::Stale { .. })) => report.stale_leases += 1,
+                    Ok(Some(other)) => {
+                        return Err(format!(
+                            "worker {}: expected Ack for lease {lease}, got {other:?}",
+                            config.name
+                        ));
+                    }
+                    Ok(None) => return Ok(report),
+                    Err(e) if coordinator_gone(&e) => return Ok(report),
+                    Err(e) => {
+                        return Err(format!("worker {}: complete failed: {e}", config.name));
+                    }
+                }
+            }
+            Reply::Wait { poll_ms } => {
+                std::thread::sleep(Duration::from_millis(poll_ms.clamp(10, 2_000)));
+            }
+            Reply::Shutdown => return Ok(report),
+            Reply::Error { message } => {
+                return Err(format!(
+                    "worker {}: coordinator error: {message}",
+                    config.name
+                ));
+            }
+            other => {
+                return Err(format!(
+                    "worker {}: unexpected lease reply: {other:?}",
+                    config.name
+                ));
+            }
+        }
+    }
+}
+
+/// Asks a running coordinator for its status snapshot.
+///
+/// # Errors
+///
+/// Connection or protocol failure, rendered for the CLI.
+pub fn query_status(connect: &str) -> Result<StatusReport, String> {
+    match observe(connect, &Request::Status)? {
+        Reply::Status(status) => Ok(status),
+        other => Err(format!("expected a status reply, got {other:?}")),
+    }
+}
+
+/// Asks a running coordinator for a page of per-cell completion states.
+///
+/// # Errors
+///
+/// Connection or protocol failure, rendered for the CLI.
+pub fn query_results(connect: &str, start: usize, limit: usize) -> Result<ResultsPage, String> {
+    match observe(connect, &Request::Results { start, limit })? {
+        Reply::Results(page) => Ok(page),
+        other => Err(format!("expected a results page, got {other:?}")),
+    }
+}
+
+/// One-shot observer exchange: connect, ask, hang up.
+fn observe(connect: &str, request: &Request) -> Result<Reply, String> {
+    let stream = TcpStream::connect(connect).map_err(|e| format!("cannot reach {connect}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_millis(5_000)))
+        .map_err(|e| e.to_string())?;
+    let mut link = Link {
+        reader: MessageReader::new(stream.try_clone().map_err(|e| e.to_string())?),
+        writer: stream,
+    };
+    link.exchange(request)
+        .map_err(|e| format!("query to {connect} failed: {e}"))?
+        .ok_or_else(|| format!("{connect} hung up without answering"))
+}
+
+/// A request/reply connection: one writer, one timeout-tolerant reader.
+struct Link {
+    reader: MessageReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Link {
+    /// Sends one request and blocks for its reply (`None` = clean EOF).
+    fn exchange(&mut self, request: &Request) -> io::Result<Option<Reply>> {
+        protocol::send(&mut self.writer, request)?;
+        loop {
+            match self.reader.recv::<Reply>() {
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    continue;
+                }
+                other => return other,
+            }
+        }
+    }
+}
+
+/// Whether an I/O error means "the coordinator went away" rather than
+/// "this worker is broken".
+fn coordinator_gone(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        ErrorKind::ConnectionReset
+            | ErrorKind::ConnectionAborted
+            | ErrorKind::BrokenPipe
+            | ErrorKind::UnexpectedEof
+            | ErrorKind::NotConnected
+    )
+}
+
+/// Retries `TcpStream::connect` until it succeeds or the budget runs
+/// out (local fleets may start workers before the coordinator binds).
+fn connect_retry(connect: &str, budget_ms: u64) -> io::Result<TcpStream> {
+    let started = Instant::now();
+    loop {
+        match TcpStream::connect(connect) {
+            Ok(stream) => return Ok(stream),
+            Err(e) if started.elapsed() >= Duration::from_millis(budget_ms) => return Err(e),
+            Err(_) => std::thread::sleep(Duration::from_millis(200)),
+        }
+    }
+}
+
+/// Streams each finished cell to the coordinator as the session
+/// produces it. The journal write happens first (inside the session),
+/// so a cell is durable before it is reported.
+struct ReportSink<'a> {
+    link: &'a mut Link,
+    worker: &'a str,
+    lease: u64,
+    /// Plan-order manifest, for index lookup.
+    ids: &'a [CellId],
+    accepted: usize,
+    /// Set on the first `Stale` verdict: stop reporting, the rest of
+    /// the lease belongs to someone else.
+    stale: bool,
+    failure: Option<io::Error>,
+}
+
+impl CellSink for ReportSink<'_> {
+    fn on_cell(&mut self, _plan: &ExperimentPlan, record: &CellRecord) {
+        if self.stale || self.failure.is_some() {
+            return;
+        }
+        let request = Request::CellDone {
+            worker: self.worker.to_string(),
+            lease: self.lease,
+            cell: record.id.to_hex(),
+            index: record.index,
+            output: Box::new(record.output.clone()),
+        };
+        debug_assert_eq!(self.ids.get(record.index), Some(&record.id));
+        match self.link.exchange(&request) {
+            Ok(Some(Reply::Ack)) => self.accepted += 1,
+            Ok(Some(Reply::Stale { .. })) => self.stale = true,
+            Ok(Some(Reply::Error { message })) => {
+                self.failure = Some(io::Error::new(ErrorKind::InvalidData, message));
+            }
+            Ok(Some(other)) => {
+                self.failure = Some(io::Error::new(
+                    ErrorKind::InvalidData,
+                    format!("unexpected reply to CellDone: {other:?}"),
+                ));
+            }
+            Ok(None) => {
+                self.failure = Some(io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "coordinator hung up",
+                ));
+            }
+            Err(e) => self.failure = Some(e),
+        }
+    }
+}

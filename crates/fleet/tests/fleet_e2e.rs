@@ -1,0 +1,317 @@
+//! End-to-end fleet tests over a tiny in-process plan: a coordinator
+//! plus in-process workers must produce a table byte-identical to a
+//! serial run — including when a worker dies mid-lease and its journal
+//! is harvested — with a lease ledger that reconciles exactly.
+
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use dsp_bench::engine::{
+    harvest_journal, Cell, CellId, CellOutput, ExperimentPlan, ShardSpec, SweepRunner, SweepSession,
+};
+use dsp_bench::Scale;
+use dsp_core::PredictorConfig;
+use dsp_fleet::protocol::send;
+use dsp_fleet::{
+    query_results, query_status, run_worker_with, Coordinator, FleetConfig, MessageReader, Reply,
+    Request, WorkerConfig, PROTOCOL_VERSION,
+};
+use dsp_trace::Workload;
+use dsp_types::SystemConfig;
+
+fn tiny_scale() -> Scale {
+    Scale {
+        footprint: 1.0 / 256.0,
+        trace_warmup: 200,
+        trace_measured: 1_000,
+        sim_warmup: 20,
+        sim_measured: 100,
+        sim_runs: 1,
+    }
+}
+
+/// A 6-cell plan small enough to fleet in-process: two workloads ×
+/// (baselines + two predictor points), rendered as one row per point.
+fn tiny_plan() -> ExperimentPlan {
+    let config = SystemConfig::isca03();
+    let mut plan = ExperimentPlan::new("e2e", &["workload", "label", "msgs"], &tiny_scale());
+    for workload in [Workload::Oltp, Workload::Apache] {
+        plan.push(Cell::Baselines { config, workload });
+        for predictor in [PredictorConfig::group(), PredictorConfig::owner()] {
+            plan.push(Cell::Tradeoff {
+                config,
+                workload,
+                predictor,
+            });
+        }
+    }
+    plan.render(|cells, outputs, table| {
+        for (cell, output) in cells.iter().zip(outputs) {
+            let workload = cell.workload().expect("trace cell").name().to_string();
+            match output {
+                CellOutput::Baselines {
+                    snooping,
+                    directory,
+                } => {
+                    for point in [snooping, directory] {
+                        table.row([
+                            workload.clone(),
+                            point.label.clone(),
+                            point.request_messages.to_string(),
+                        ]);
+                    }
+                }
+                CellOutput::Tradeoff(point) => table.row([
+                    workload,
+                    point.label.clone(),
+                    point.request_messages.to_string(),
+                ]),
+                other => panic!("unexpected output {other:?}"),
+            }
+        }
+    })
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dsp-fleet-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Spawns one in-process worker thread serving the tiny plan.
+fn spawn_worker(
+    name: &str,
+    addr: &str,
+    dir: &std::path::Path,
+) -> std::thread::JoinHandle<Result<dsp_fleet::worker::WorkerReport, String>> {
+    let config = WorkerConfig::new(name, addr, dir);
+    std::thread::spawn(move || {
+        run_worker_with(&config, |experiment, _| {
+            (experiment == "e2e").then(tiny_plan)
+        })
+    })
+}
+
+/// Blocks for one reply, riding out read timeouts.
+fn recv_reply(reader: &mut MessageReader<TcpStream>) -> Reply {
+    loop {
+        match reader.recv::<Reply>() {
+            Ok(Some(reply)) => return reply,
+            Ok(None) => panic!("coordinator hung up"),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) => panic!("recv failed: {e}"),
+        }
+    }
+}
+
+/// Happy path: two workers, byte-identical table, reconciled ledger,
+/// no expiries — and the coordinator keeps answering status/results
+/// queries after the sweep finishes.
+#[test]
+fn fleet_matches_serial_and_serves_results() {
+    let dir = fresh_dir("happy");
+    let serial = SweepRunner::serial().run(&tiny_plan()).to_csv();
+
+    let mut config = FleetConfig::new("e2e", "tiny", &dir);
+    config.lease_cells = 2;
+    config.poll_ms = 20;
+    config.timeout_ms = 60_000;
+    let coordinator = Coordinator::start(tiny_plan(), config).expect("coordinator starts");
+    let addr = coordinator.addr().to_string();
+
+    let workers: Vec<_> = (1..=2)
+        .map(|i| spawn_worker(&format!("w{i}"), &addr, &dir))
+        .collect();
+    let report = coordinator
+        .wait(Duration::from_secs(120))
+        .expect("fleet completes");
+
+    assert_eq!(report.csv, serial, "fleet table must be byte-identical");
+    assert!(
+        report.reconciled,
+        "ledger must reconcile: {:?}",
+        report.counters
+    );
+    assert_eq!(report.cells, 6);
+    assert_eq!(report.counters.leases_expired, 0);
+    assert_eq!(report.counters.cells_completed, 6);
+
+    // The service still answers observers after completion.
+    let status = query_status(&addr).expect("status");
+    assert!(status.complete);
+    assert_eq!(status.completed_cells, 6);
+    assert!(status.leases.is_empty(), "no lease survives completion");
+    let page = query_results(&addr, 0, 4).expect("first page");
+    assert_eq!(page.cells.len(), 4);
+    assert!(page
+        .cells
+        .iter()
+        .all(|c| c.state == "done" && c.worker.is_some()));
+    let tail = query_results(&addr, 4, 100).expect("tail page");
+    assert_eq!(tail.cells.len(), 2);
+    assert_eq!(tail.start, 4);
+
+    let mut worker_cells = 0;
+    for worker in workers {
+        worker_cells += worker.join().expect("join").expect("worker ok").cells;
+    }
+    // Work stealing may let two workers race the same cell (the loser's
+    // report folds away as a duplicate), so the tally is a floor.
+    assert!(worker_cells >= 6, "every cell was streamed by some worker");
+    coordinator.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Failure injection: a rogue client takes a lease, journals two cells,
+/// reports only one, and silently dies. The fleet must still finish —
+/// the journaled-but-unreported cell is harvested (not re-run under a
+/// new name), the rest are re-leased — and the merged table is still
+/// byte-identical to serial.
+#[test]
+fn killed_worker_is_harvested_and_reassigned() {
+    let dir = fresh_dir("kill");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let plan = tiny_plan();
+    let serial = SweepRunner::serial().run(&plan).to_csv();
+    let manifest = CellId::assign(&plan.cells);
+
+    let mut config = FleetConfig::new("e2e", "tiny", &dir);
+    config.lease_cells = 3;
+    config.poll_ms = 50;
+    config.timeout_ms = 1_500;
+    let coordinator = Coordinator::start(tiny_plan(), config).expect("coordinator starts");
+    let addr = coordinator.addr().to_string();
+
+    // The rogue: speak the protocol by hand so the death is surgical.
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    let mut reader = MessageReader::new(stream.try_clone().expect("clone"));
+    send(
+        &mut stream,
+        &Request::Hello {
+            worker: "rogue".into(),
+            proto: PROTOCOL_VERSION,
+        },
+    )
+    .expect("hello");
+    let Reply::Welcome { identity, .. } = recv_reply(&mut reader) else {
+        panic!("expected Welcome");
+    };
+    assert_eq!(identity.cells, 6);
+    send(
+        &mut stream,
+        &Request::Lease {
+            worker: "rogue".into(),
+        },
+    )
+    .expect("lease request");
+    let Reply::Grant {
+        lease,
+        cells,
+        journal,
+    } = recv_reply(&mut reader)
+    else {
+        panic!("expected Grant");
+    };
+    assert_eq!(cells.len(), 3);
+    let granted: Vec<CellId> = cells
+        .iter()
+        .map(|text| CellId::from_hex(text).expect("granted id"))
+        .collect();
+
+    // Journal the first two cells exactly as a real worker would...
+    let journal_path = dir.join(&journal);
+    SweepSession::new(&plan)
+        .shard(ShardSpec::cells(granted[..2].to_vec()))
+        .checkpoint(&journal_path)
+        .run(&mut [])
+        .expect("rogue session");
+    let records = harvest_journal(&plan, &journal_path).expect("read own journal");
+    assert_eq!(records.len(), 2);
+
+    // ...report only the first, then die without a word.
+    let (id, index, output) = records
+        .iter()
+        .find(|(id, _, _)| *id == granted[0])
+        .cloned()
+        .expect("first granted cell journaled");
+    assert_eq!(manifest[index], id);
+    send(
+        &mut stream,
+        &Request::CellDone {
+            worker: "rogue".into(),
+            lease,
+            cell: id.to_hex(),
+            index,
+            output: Box::new(output),
+        },
+    )
+    .expect("report");
+    assert!(matches!(recv_reply(&mut reader), Reply::Ack));
+    drop(reader);
+    drop(stream);
+
+    // Two honest workers finish the sweep around the corpse.
+    let workers: Vec<_> = (1..=2)
+        .map(|i| spawn_worker(&format!("w{i}"), &addr, &dir))
+        .collect();
+    let report = coordinator
+        .wait(Duration::from_secs(120))
+        .expect("fleet completes despite the dead lease");
+
+    assert_eq!(report.csv, serial, "fleet table must be byte-identical");
+    assert!(
+        report.reconciled,
+        "ledger must reconcile: {:?}",
+        report.counters
+    );
+    assert!(
+        report.counters.leases_expired >= 1,
+        "the rogue's lease must expire: {:?}",
+        report.counters
+    );
+    assert!(
+        report.counters.cells_harvested >= 1,
+        "the journaled-but-unreported cell must be harvested: {:?}",
+        report.counters
+    );
+    for worker in workers {
+        worker.join().expect("join").expect("worker ok");
+    }
+    coordinator.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A worker whose local plan disagrees with the coordinator's (here: a
+/// different seed, which cell ids alone cannot detect) must refuse to
+/// lease instead of corrupting the sweep.
+#[test]
+fn mismatched_plan_identity_is_refused() {
+    let dir = fresh_dir("mismatch");
+    let mut config = FleetConfig::new("e2e", "tiny", &dir);
+    config.poll_ms = 20;
+    let coordinator = Coordinator::start(tiny_plan(), config).expect("coordinator starts");
+    let addr = coordinator.addr().to_string();
+
+    let worker_config = WorkerConfig::new("skewed", &addr, &dir);
+    let err = run_worker_with(&worker_config, |_, _| {
+        let mut plan = tiny_plan();
+        plan.seed ^= 0xdead;
+        Some(plan)
+    })
+    .expect_err("a skewed plan must be refused");
+    assert!(
+        err.contains("identity mismatch"),
+        "error must name the mismatch: {err}"
+    );
+    coordinator.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
