@@ -347,12 +347,32 @@ pub fn merge_journals(plan: &ExperimentPlan, paths: &[PathBuf]) -> Result<TextTa
 /// Everything [`read_journal`] rejects: I/O failure, a header that does
 /// not match the plan, or a corrupt terminated record. A torn final
 /// line (crash mid-write) is tolerated and skipped.
-pub fn harvest_journal(
-    plan: &ExperimentPlan,
-    path: &Path,
-) -> Result<Vec<(CellId, usize, CellOutput)>, SessionError> {
+pub fn harvest_journal(plan: &ExperimentPlan, path: &Path) -> Result<HarvestedCells, SessionError> {
     let ids = CellId::assign(&plan.cells);
     read_journal(path, plan, &ids).map(|contents| contents.records)
+}
+
+/// Durable cell records recovered from a journal: `(id, plan index,
+/// output)` per cell, in journal order.
+pub type HarvestedCells = Vec<(CellId, usize, CellOutput)>;
+
+/// Like [`harvest_journal`], but also returns the intact byte length,
+/// for callers that will both re-adopt the durable records *and* reopen
+/// the file for appending — the fleet coordinator's crash recovery does
+/// this with its master journal: `scan_journal`, then
+/// [`JournalWriter::append_to`]`(path, valid_bytes)` resumes exactly
+/// where the durable prefix ends.
+///
+/// # Errors
+///
+/// Same as [`harvest_journal`]: I/O failure, a header from a different
+/// plan, or a corrupt terminated record.
+pub fn scan_journal(
+    plan: &ExperimentPlan,
+    path: &Path,
+) -> Result<(HarvestedCells, u64), SessionError> {
+    let ids = CellId::assign(&plan.cells);
+    read_journal(path, plan, &ids).map(|contents| (contents.records, contents.valid_bytes))
 }
 
 /// A cheap liveness probe of a (possibly live) journal file.

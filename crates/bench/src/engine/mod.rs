@@ -56,7 +56,9 @@ pub mod session;
 pub mod shard;
 pub mod sink;
 
-pub use checkpoint::{harvest_journal, merge_journals, tail_journal, JournalTail, JournalWriter};
+pub use checkpoint::{
+    harvest_journal, merge_journals, scan_journal, tail_journal, JournalTail, JournalWriter,
+};
 pub use session::{SessionError, SessionReport, SweepSession};
 pub use shard::{manifest_digest, CellId, ShardSpec};
 pub use sink::{CellRecord, CellSink, Collector, ProgressSink};

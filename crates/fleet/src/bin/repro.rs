@@ -7,7 +7,8 @@
 //! repro plan <experiment> [--scale ...]
 //! repro fleet <experiment> [--scale ...] [--workers N] [--kill-one]
 //!                          [--dir DIR] [--lease-cells N] [--lease-timeout-ms MS] [--port P]
-//! repro worker --connect HOST:PORT [--name W] [--dir DIR] [--threads N]
+//!                          [--token T] [--chaos SEED] [--crash-after N] [--recover]
+//! repro worker --connect HOST:PORT [--name W] [--dir DIR] [--threads N] [--token T]
 //! repro fleet-status --connect HOST:PORT [--start I] [--limit N]
 //! repro fleet-bench [--scale ...] [--out DIR]
 //!
@@ -53,8 +54,20 @@
 //! worker mid-lease; `repro worker` joins any coordinator by address;
 //! `repro plan` prints the `CellId` manifest leases are accounted
 //! against; `repro fleet-status` polls a running coordinator; and
-//! `repro fleet-bench` times 1/2/4-worker fleets against a serial run,
-//! writing `BENCH_fleet.json`.
+//! `repro fleet-bench` times 1/2/4-worker fleets (plus a 3-worker
+//! fleet under the chaos proxy) against a serial run, writing
+//! `BENCH_fleet.json`.
+//!
+//! The hardened control plane rides the same command: `--token T`
+//! closes the fleet to clients that cannot answer the shared-token
+//! challenge; `--chaos SEED` routes every worker through a seeded
+//! flaky-TCP proxy (delays, stalls, mid-message disconnects) and still
+//! demands `fleet_identical`; `--crash-after N` stops the coordinator
+//! cold once N cells are complete, leaving the write-ahead log and
+//! journals on disk; a second invocation with `--recover` (same
+//! experiment, scale, and `--dir`) rebuilds the ledger from the WAL,
+//! prints `recovered_from_wal: true`, and finishes the sweep —
+//! byte-identical to the serial reference.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -65,7 +78,10 @@ use dsp_bench::engine::{
     manifest_digest, merge_journals, CellId, ProgressSink, ShardSpec, SweepRunner,
 };
 use dsp_bench::{experiments, Scale};
-use dsp_fleet::{query_results, query_status, run_worker, Coordinator, FleetConfig, WorkerConfig};
+use dsp_fleet::{
+    query_results, query_status, run_worker, ChaosProxy, ChaosSpec, Coordinator, FleetConfig,
+    WorkerConfig,
+};
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -75,7 +91,9 @@ fn usage() -> ExitCode {
          \x20      repro plan <experiment> [--scale ...]\n\
          \x20      repro fleet <experiment> [--scale ...] [--workers N] [--kill-one]\n\
          \x20                  [--dir DIR] [--lease-cells N] [--lease-timeout-ms MS] [--port P]\n\
-         \x20      repro worker --connect HOST:PORT [--name W] [--dir DIR] [--threads N]\n\
+         \x20                  [--token T] [--chaos SEED] [--crash-after N] [--recover]\n\
+         \x20      repro worker --connect HOST:PORT [--name W] [--dir DIR] [--threads N] \
+         [--token T]\n\
          \x20      repro fleet-status --connect HOST:PORT [--start I] [--limit N]\n\
          \x20      repro fleet-bench [--scale ...] [--out DIR]\n\
          experiments: {} sweep-bench hotpath-bench all",
@@ -931,6 +949,16 @@ struct Args {
     lease_timeout_ms: Option<u64>,
     /// For `fleet`: coordinator port (0 = ephemeral).
     port: u16,
+    /// For `fleet`/`worker`: shared fleet token (empty = open fleet).
+    token: String,
+    /// For `fleet`: route workers through a seeded flaky-TCP proxy.
+    chaos: Option<u64>,
+    /// For `fleet`: simulate a coordinator crash after N completed
+    /// cells, leaving the WAL and journals for `--recover`.
+    crash_after: Option<usize>,
+    /// For `fleet`: rebuild the ledger from the WAL + journals in the
+    /// fleet directory and finish the sweep.
+    recover: bool,
     /// For `fleet-status`: results page start.
     start: usize,
     /// For `fleet-status`: results page size.
@@ -957,6 +985,10 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         lease_cells: None,
         lease_timeout_ms: None,
         port: 0,
+        token: String::new(),
+        chaos: None,
+        crash_after: None,
+        recover: false,
         start: 0,
         limit: 32,
     };
@@ -1054,6 +1086,28 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                     .and_then(|n| n.parse().ok())
                     .ok_or("--port needs a port number")?;
             }
+            "--token" => {
+                i += 1;
+                let token = args.get(i).ok_or("--token needs a value")?;
+                parsed.token = token.clone();
+            }
+            "--chaos" => {
+                i += 1;
+                parsed.chaos = Some(
+                    args.get(i)
+                        .and_then(|n| n.parse().ok())
+                        .ok_or("--chaos needs a u64 seed")?,
+                );
+            }
+            "--crash-after" => {
+                i += 1;
+                parsed.crash_after = Some(
+                    args.get(i)
+                        .and_then(|n| n.parse().ok())
+                        .ok_or("--crash-after needs a cell count")?,
+                );
+            }
+            "--recover" => parsed.recover = true,
             "--start" => {
                 i += 1;
                 parsed.start = args
@@ -1211,10 +1265,16 @@ fn run_worker_cmd(args: &Args) -> Result<(), String> {
             .unwrap_or_else(|| args.out_dir.clone()),
     );
     config.threads = args.threads.unwrap_or(1);
+    config.token = args.token.clone();
     let report = run_worker(&config)?;
     println!(
-        "[worker {name}: {} leases completed, {} cells accepted, {} leases went stale]",
-        report.leases, report.cells, report.stale_leases
+        "[worker {name}: {} leases completed, {} cells accepted, {} leases went stale, \
+         {} reconnects, {} connect attempts]",
+        report.leases,
+        report.cells,
+        report.stale_leases,
+        report.reconnects,
+        report.connect_attempts
     );
     Ok(())
 }
@@ -1278,9 +1338,11 @@ fn spawn_worker_child(
     addr: &str,
     name: &str,
     dir: &Path,
+    token: &str,
 ) -> Result<std::process::Child, String> {
     use std::process::{Command, Stdio};
-    Command::new(exe)
+    let mut command = Command::new(exe);
+    command
         .args([
             "worker",
             "--connect",
@@ -1291,45 +1353,102 @@ fn spawn_worker_child(
             "1",
             "--dir",
         ])
-        .arg(dir)
+        .arg(dir);
+    if !token.is_empty() {
+        command.args(["--token", token]);
+    }
+    command
         .stdout(Stdio::null())
         .stderr(Stdio::inherit())
         .spawn()
         .map_err(|e| format!("cannot spawn worker {name}: {e}"))
 }
 
-/// One complete local fleet run: coordinator in-process, `workers`
-/// single-threaded `repro worker` children, optional mid-lease kill.
-/// Returns the final report, whether the merged table matched
-/// `reference_csv`, and which worker (if any) was killed.
+/// What one local fleet run produced.
+struct FleetOutcome {
+    /// The final report — `None` when the run ended in a simulated
+    /// coordinator crash (`--crash-after`).
+    report: Option<dsp_fleet::FleetReport>,
+    /// Whether the merged table matched the serial reference.
+    identical: bool,
+    /// Which worker (if any) was killed mid-lease.
+    killed: Option<String>,
+    /// Chaos proxy totals `(connections, disconnects, delays)` when
+    /// the run went through one.
+    chaos: Option<(u64, u64, u64)>,
+}
+
+/// One complete local fleet run: coordinator in-process (fresh or
+/// `--recover`ed), `workers` single-threaded `repro worker` children —
+/// optionally routed through a seeded chaos proxy — plus optional
+/// mid-lease worker kill or simulated coordinator crash.
 fn run_fleet_once(
     name: &str,
     args: &Args,
     dir: &Path,
     workers: usize,
     kill_one: bool,
+    chaos_seed: Option<u64>,
     reference_csv: &str,
-) -> Result<(dsp_fleet::FleetReport, bool, Option<String>), String> {
+) -> Result<FleetOutcome, String> {
     let plan =
         experiments::plan_for(name, &args.scale).ok_or(format!("unknown experiment '{name}'"))?;
     let cells = plan.len();
-    let _ = std::fs::remove_dir_all(dir);
+    if !args.recover {
+        let _ = std::fs::remove_dir_all(dir);
+    }
     let mut config = FleetConfig::new(name, &args.scale_name, dir);
     config.lease_cells = args
         .lease_cells
         .unwrap_or_else(|| (cells / (workers.max(1) * 2)).clamp(2, 16));
     config.timeout_ms = args.lease_timeout_ms.unwrap_or(5_000);
     config.port = args.port;
-    let coordinator =
-        Coordinator::start(plan, config).map_err(|e| format!("cannot start coordinator: {e}"))?;
-    let addr = coordinator.addr().to_string();
-    println!("[fleet: coordinator on {addr}, {workers} workers, {cells} cells]");
+    config.token = args.token.clone();
+    let coordinator = if args.recover {
+        Coordinator::recover(plan, config)
+            .map_err(|e| format!("cannot recover coordinator from WAL: {e}"))?
+    } else {
+        Coordinator::start(plan, config).map_err(|e| format!("cannot start coordinator: {e}"))?
+    };
+    let addr = coordinator.addr();
+    let mut proxy = match chaos_seed {
+        Some(seed) => Some(
+            ChaosProxy::start(addr, ChaosSpec::from_seed(seed))
+                .map_err(|e| format!("cannot start chaos proxy: {e}"))?,
+        ),
+        None => None,
+    };
+    // Workers dial the proxy when chaos is on; status polls below go
+    // straight to the coordinator — the fault injection is for the
+    // fleet under test, not the test harness.
+    let worker_addr = proxy
+        .as_ref()
+        .map_or_else(|| addr.to_string(), |p| p.addr().to_string());
+    println!(
+        "[fleet: coordinator on {addr}{}{}, {workers} workers, {cells} cells]",
+        if args.recover {
+            " (recovered from WAL)"
+        } else {
+            ""
+        },
+        match chaos_seed {
+            Some(seed) => format!(", chaos proxy on {worker_addr} (seed {seed})"),
+            None => String::new(),
+        },
+    );
 
     let exe = std::env::current_exe().map_err(|e| format!("cannot locate repro binary: {e}"))?;
     let mut children = Vec::new();
     for i in 1..=workers {
-        children.push(spawn_worker_child(&exe, &addr, &format!("w{i}"), dir)?);
+        children.push(spawn_worker_child(
+            &exe,
+            &worker_addr,
+            &format!("w{i}"),
+            dir,
+            &args.token,
+        )?);
     }
+    let addr = addr.to_string();
 
     // Kill a worker the moment it is mid-lease: at least one cell
     // journaled (so harvest has something to recover) and at least one
@@ -1367,6 +1486,46 @@ fn run_fleet_once(
         }
     }
 
+    // Simulated coordinator crash: stop serving mid-sweep, leaving the
+    // WAL and every journal exactly as a real crash would. The
+    // directory is then ready for `repro fleet ... --recover`.
+    if let Some(limit) = args.crash_after {
+        let deadline = Instant::now() + Duration::from_secs(300);
+        loop {
+            if Instant::now() >= deadline {
+                return Err(format!(
+                    "--crash-after {limit}: the fleet never reached {limit} completed cells"
+                ));
+            }
+            match query_status(&addr) {
+                Ok(status) if status.complete => {
+                    println!("[fleet: sweep finished before the crash point; crashing anyway]");
+                    break;
+                }
+                Ok(status) if status.completed_cells >= limit => break,
+                _ => std::thread::sleep(Duration::from_millis(25)),
+            }
+        }
+        coordinator.shutdown();
+        for mut child in children {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        if let Some(proxy) = proxy.as_mut() {
+            proxy.shutdown();
+        }
+        println!(
+            "[fleet: coordinator crashed after >= {limit} cells; WAL and journals left in {}]",
+            dir.display()
+        );
+        return Ok(FleetOutcome {
+            report: None,
+            identical: false,
+            killed,
+            chaos: None,
+        });
+    }
+
     let report = coordinator.wait(Duration::from_secs(600))?;
     for (i, mut child) in children.into_iter().enumerate() {
         let worker = format!("w{}", i + 1);
@@ -1378,8 +1537,16 @@ fn run_fleet_once(
         }
     }
     coordinator.shutdown();
+    let chaos = proxy
+        .as_mut()
+        .map(|p| (p.connections(), p.disconnects(), p.delays()));
     let identical = report.csv == reference_csv;
-    Ok((report, identical, killed))
+    Ok(FleetOutcome {
+        report: Some(report),
+        identical,
+        killed,
+        chaos,
+    })
 }
 
 /// Runs `repro fleet <experiment>`: serial reference first, then the
@@ -1393,14 +1560,26 @@ fn run_fleet(args: &Args) -> Result<(), String> {
         .fleet_dir
         .clone()
         .unwrap_or_else(|| args.out_dir.join(format!("fleet-{name}")));
-    let (report, identical, killed) = run_fleet_once(
+    let outcome = run_fleet_once(
         name,
         args,
         &dir,
         args.workers,
         args.kill_one,
+        args.chaos,
         &reference.to_csv(),
     )?;
+    let Some(report) = outcome.report else {
+        // Simulated crash: the WAL and journals are the deliverable.
+        println!(
+            "[fleet: resume with `repro fleet {name} --scale {} --dir {} --recover`]",
+            args.scale_name,
+            dir.display()
+        );
+        println!("fleet_crashed: true");
+        return Ok(());
+    };
+    let (identical, killed) = (outcome.identical, outcome.killed);
 
     println!("{}", report.rendered);
     let c = &report.counters;
@@ -1422,6 +1601,27 @@ fn run_fleet(args: &Args) -> Result<(), String> {
             None => String::new(),
         },
     );
+    println!(
+        "[fleet: {} sessions resumed, {} leases re-adopted, {} WAL events replayed, \
+         {} cells recovered | lease size min {} max {} final {}]",
+        c.sessions_resumed,
+        c.leases_readopted,
+        c.wal_events_replayed,
+        c.cells_recovered,
+        report.lease_sizes.0,
+        report.lease_sizes.1,
+        report.lease_sizes.2,
+    );
+    if let Some((connections, disconnects, delays)) = outcome.chaos {
+        println!(
+            "[chaos: seed {}, {connections} connections, {disconnects} forced disconnects, \
+             {delays} injected delays]",
+            args.chaos.unwrap_or(0),
+        );
+    }
+    if args.recover {
+        println!("recovered_from_wal: true");
+    }
     println!("leases_reconciled: {}", report.reconciled);
     println!("fleet_identical: {identical}");
     if !save(&args.out_dir, &format!("{name}.csv"), &report.csv) {
@@ -1449,34 +1649,52 @@ fn fleet_bench(args: &Args) -> Result<String, String> {
 
     let base = std::env::temp_dir().join(format!("dsp-fleet-bench-{}", std::process::id()));
     let mut rows = Vec::new();
-    for workers in [1usize, 2, 4] {
-        let dir = base.join(format!("{workers}w"));
-        let (report, identical, _) =
-            run_fleet_once(name, args, &dir, workers, false, &reference_csv)?;
-        if !identical {
-            return Err(format!(
-                "{workers}-worker fleet diverged from the serial table"
-            ));
+    // 1/2/4 clean fleets for the scaling story, then a 3-worker fleet
+    // through the chaos proxy to price the hardening machinery.
+    let configs: [(usize, Option<u64>, &str); 4] = [
+        (1, None, "1w"),
+        (2, None, "2w"),
+        (4, None, "4w"),
+        (3, Some(7), "chaos"),
+    ];
+    for (workers, chaos_seed, subdir) in configs {
+        let dir = base.join(subdir);
+        let outcome = run_fleet_once(name, args, &dir, workers, false, chaos_seed, &reference_csv)?;
+        let report = outcome
+            .report
+            .ok_or_else(|| format!("{workers}-worker bench fleet did not finish"))?;
+        let label = match chaos_seed {
+            Some(seed) => format!("{workers} worker(s) under chaos seed {seed}"),
+            None => format!("{workers} worker(s)"),
+        };
+        if !outcome.identical {
+            return Err(format!("{label}: fleet diverged from the serial table"));
         }
         if !report.reconciled {
-            return Err(format!("{workers}-worker fleet ledger did not reconcile"));
+            return Err(format!("{label}: fleet ledger did not reconcile"));
         }
         let c = &report.counters;
         println!(
-            "fleet-bench: {workers} worker(s) | {cells} cells in {:.2}s (serial {serial_s:.2}s, \
-             speedup {:.2}x) | {} leases, {} cells stolen | identical: {identical}",
+            "fleet-bench: {label} | {cells} cells in {:.2}s (serial {serial_s:.2}s, \
+             speedup {:.2}x) | {} leases, {} cells stolen, {} sessions resumed | identical: {}",
             report.wall_s,
             serial_s / report.wall_s.max(1e-9),
             c.leases_granted,
             c.cells_stolen,
+            c.sessions_resumed,
+            outcome.identical,
         );
         rows.push(format!(
-            "    {{\n      \"workers\": {workers},\n      \"wall_s\": {:.4},\n      \
-             \"speedup\": {:.3},\n      \"leases_granted\": {},\n      \
+            "    {{\n      \"workers\": {workers},\n      \"chaos_seed\": {},\n      \
+             \"wall_s\": {:.4},\n      \"speedup\": {:.3},\n      \"leases_granted\": {},\n      \
              \"leases_completed\": {},\n      \"leases_expired\": {},\n      \
              \"cells_granted\": {},\n      \"cells_completed\": {},\n      \
              \"cells_stolen\": {},\n      \"cells_harvested\": {},\n      \
+             \"sessions_resumed\": {},\n      \"leases_readopted\": {},\n      \
+             \"wal_events_replayed\": {},\n      \"proxy_disconnects\": {},\n      \
+             \"lease_size\": {{\"min\": {}, \"max\": {}, \"final\": {}}},\n      \
              \"byte_identical\": true,\n      \"leases_reconciled\": true\n    }}",
+            chaos_seed.map_or("null".to_string(), |s| s.to_string()),
             report.wall_s,
             serial_s / report.wall_s.max(1e-9),
             c.leases_granted,
@@ -1486,6 +1704,13 @@ fn fleet_bench(args: &Args) -> Result<String, String> {
             c.cells_completed,
             c.cells_stolen,
             c.cells_harvested,
+            c.sessions_resumed,
+            c.leases_readopted,
+            c.wal_events_replayed,
+            outcome.chaos.map_or(0, |(_, d, _)| d),
+            report.lease_sizes.0,
+            report.lease_sizes.1,
+            report.lease_sizes.2,
         ));
     }
     let _ = std::fs::remove_dir_all(&base);

@@ -26,7 +26,7 @@
 //! binaries joined one fleet — fails the run loudly.
 
 use std::collections::HashMap;
-use std::fs::File;
+use std::fs::{File, OpenOptions};
 use std::io::{self, BufWriter, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -36,13 +36,17 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use dsp_bench::engine::{
-    harvest_journal, merge_journals, tail_journal, CellId, CellOutput, CellRecord, ExperimentPlan,
-    JournalWriter, ShardSpec,
+    harvest_journal, merge_journals, scan_journal, tail_journal, CellId, CellOutput, CellRecord,
+    ExperimentPlan, JournalWriter, ShardSpec,
 };
 
-use crate::lease::{CellReport, GrantOutcome, LeaseLedger};
-use crate::protocol::{self, MessageReader, PlanIdentity, Reply, Request, PROTOCOL_VERSION};
+use crate::auth::{fresh_nonce, mac64};
+use crate::lease::{CellReport, GrantOutcome, LeaseLedger, LeaseSizer};
+use crate::protocol::{
+    self, MessageReader, PlanIdentity, ProtocolError, Reply, Request, PROTOCOL_VERSION,
+};
 use crate::stats::{CellProgress, FleetCounters, ResultsPage, StatusReport};
+use crate::wal::{read_wal, WalEvent, WalWriter};
 
 /// Coordinator tuning.
 #[derive(Clone, Debug)]
@@ -51,11 +55,14 @@ pub struct FleetConfig {
     pub experiment: String,
     /// Scale preset name workers feed to `Scale::parse`.
     pub scale_name: String,
-    /// Fleet directory: master journal, lease journals, coordinator
-    /// log. Workers on the same machine journal here too.
+    /// Fleet directory: master journal, WAL, lease journals,
+    /// coordinator log. Workers on the same machine journal here too.
     pub dir: PathBuf,
-    /// Maximum cells per lease.
+    /// Maximum cells per lease (the adaptive sizer's clamp).
     pub lease_cells: usize,
+    /// Wall-clock budget one lease should represent; the adaptive sizer
+    /// divides this by the observed per-cell EWMA.
+    pub target_lease_ms: u64,
     /// Liveness timeout: a lease with no protocol message *and* no
     /// journal growth for this long is expired and its cells re-leased.
     pub timeout_ms: u64,
@@ -63,6 +70,10 @@ pub struct FleetConfig {
     pub poll_ms: u64,
     /// TCP port on 127.0.0.1; 0 picks an ephemeral port.
     pub port: u16,
+    /// Shared fleet token; clients must answer the handshake challenge
+    /// with `mac64(token, nonce)`. Empty string = open fleet (the
+    /// handshake still runs, the secret is just trivial).
+    pub token: String,
 }
 
 impl FleetConfig {
@@ -73,9 +84,11 @@ impl FleetConfig {
             scale_name: scale_name.to_string(),
             dir: dir.into(),
             lease_cells: 4,
+            target_lease_ms: 1_500,
             timeout_ms: 10_000,
             poll_ms: 50,
             port: 0,
+            token: String::new(),
         }
     }
 }
@@ -97,6 +110,16 @@ pub struct FleetReport {
     pub cells: usize,
     /// Wall-clock seconds from coordinator start to the final merge.
     pub wall_s: f64,
+    /// `(min, max, final)` lease sizes the adaptive sizer granted.
+    pub lease_sizes: (usize, usize, usize),
+}
+
+/// One authenticated worker session: survives TCP connections, so a
+/// reconnecting worker can prove continuity and keep its leases.
+struct Session {
+    worker: String,
+    /// Leases granted under this session (dead ids are skipped on use).
+    leases: Vec<u64>,
 }
 
 /// Mutable coordinator state, behind one mutex.
@@ -104,13 +127,21 @@ struct State {
     ledger: LeaseLedger,
     /// Master journal writer; taken (closed) at completion.
     master: Option<JournalWriter>,
+    /// Write-ahead log of ledger transitions, for crash recovery.
+    wal: Option<WalWriter>,
+    /// Adaptive lease sizing (EWMA of per-cell wall clock).
+    sizer: LeaseSizer,
+    /// Authenticated sessions by id.
+    sessions: HashMap<u64, Session>,
+    next_session: u64,
     /// Journal path per active lease, for tailing and harvest.
     lease_journals: HashMap<u64, PathBuf>,
     /// Every journal path ever assigned, for the final compaction.
     journals: Vec<PathBuf>,
     /// Accepted-result attribution by plan index.
     worker_of_cell: Vec<Option<String>>,
-    /// First unrecoverable failure (master-journal I/O, bad merge).
+    /// First unrecoverable failure (master-journal or WAL I/O, bad
+    /// merge).
     failure: Option<String>,
     /// Set exactly once, when the sweep finishes (or fails).
     report: Option<Result<FleetReport, String>>,
@@ -159,61 +190,259 @@ impl Coordinator {
     pub fn start(plan: ExperimentPlan, config: FleetConfig) -> io::Result<CoordinatorHandle> {
         std::fs::create_dir_all(&config.dir)?;
         let log_file = File::create(config.dir.join("coordinator.log"))?;
-        let master_path = config
-            .dir
-            .join(format!("{}.master.jsonl", config.experiment));
+        let master_path = master_path(&config);
         let master = JournalWriter::create(&master_path, &plan, &ShardSpec::full())
             .map_err(|e| io::Error::other(e.to_string()))?;
-        let listener = TcpListener::bind(("127.0.0.1", config.port))?;
-        listener.set_nonblocking(true)?;
-        let addr = listener.local_addr()?;
+        let identity = PlanIdentity::of(&config.experiment, &plan);
+        let wal = WalWriter::create(&wal_path(&config), &identity)?;
 
         let ids = CellId::assign(&plan.cells);
-        let identity = PlanIdentity::of(&config.experiment, &plan);
         let cells = plan.cells.len();
+        let state = State {
+            ledger: LeaseLedger::new(ids.clone()),
+            master: Some(master),
+            wal: Some(wal),
+            sizer: LeaseSizer::new(config.target_lease_ms, config.lease_cells),
+            sessions: HashMap::new(),
+            next_session: 1,
+            lease_journals: HashMap::new(),
+            journals: Vec::new(),
+            worker_of_cell: vec![None; cells],
+            failure: None,
+            report: None,
+        };
         let shared = Arc::new(Shared {
             identity,
             config,
             master_path,
             epoch: Instant::now(),
-            state: Mutex::new(State {
-                ledger: LeaseLedger::new(ids.clone()),
-                master: Some(master),
-                lease_journals: HashMap::new(),
-                journals: Vec::new(),
-                worker_of_cell: vec![None; cells],
-                failure: None,
-                report: None,
-            }),
+            state: Mutex::new(state),
             done: Condvar::new(),
             stop: AtomicBool::new(false),
             log: Mutex::new(BufWriter::new(log_file)),
             ids,
             plan,
         });
-        shared.log(&format!(
-            "coordinator up on {addr}: experiment {} ({} cells, manifest {}), scale {}, \
-             lease_cells {}, timeout {}ms",
-            shared.config.experiment,
-            cells,
-            shared.identity.manifest,
-            shared.config.scale_name,
-            shared.config.lease_cells,
-            shared.config.timeout_ms,
-        ));
-
-        let service = {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name("fleet-coordinator".to_string())
-                .spawn(move || service_loop(&shared, &listener))?
-        };
-        Ok(CoordinatorHandle {
-            addr,
-            shared,
-            service: Some(service),
-        })
+        serve(shared, "up")
     }
+
+    /// Rebuilds a crashed coordinator from its fleet directory and
+    /// resumes the sweep: replay the WAL into a fresh ledger (same
+    /// transitions, same lease ids, same churn counters), re-adopt the
+    /// master journal's durable outputs, harvest whatever the orphaned
+    /// leases journaled before the crash, expire them, and serve the
+    /// rest of the plan as usual. Sessions do not survive the crash:
+    /// an old worker that reconnects gets a fresh session, and its old
+    /// lease reports are answered `Stale` — which workers already treat
+    /// as routine.
+    ///
+    /// # Errors
+    ///
+    /// A missing/corrupt WAL or master journal, a WAL from a different
+    /// plan, or the same filesystem/bind failures as
+    /// [`start`](Self::start).
+    pub fn recover(plan: ExperimentPlan, config: FleetConfig) -> io::Result<CoordinatorHandle> {
+        let log_file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(config.dir.join("coordinator.log"))?;
+        let master_path = master_path(&config);
+        let identity = PlanIdentity::of(&config.experiment, &plan);
+        let ids = CellId::assign(&plan.cells);
+        let index_of: HashMap<CellId, usize> =
+            ids.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+        let invalid = |message: String| io::Error::new(ErrorKind::InvalidData, message);
+
+        // 1. Replay the WAL: the ledger goes through the exact
+        //    transitions the dead coordinator logged.
+        let contents = read_wal(&wal_path(&config), &identity)?;
+        let mut ledger = LeaseLedger::new(ids.clone());
+        let mut lease_journals = HashMap::new();
+        let mut journals: Vec<PathBuf> = Vec::new();
+        let mut worker_of_cell: Vec<Option<String>> = vec![None; ids.len()];
+        let mut lease_worker: HashMap<u64, String> = HashMap::new();
+        for event in &contents.events {
+            match event {
+                WalEvent::Granted {
+                    lease,
+                    worker,
+                    cells,
+                    journal,
+                } => {
+                    let cell_ids = cells
+                        .iter()
+                        .map(|hex| {
+                            CellId::from_hex(hex)
+                                .ok_or_else(|| invalid(format!("WAL has bad cell id {hex:?}")))
+                        })
+                        .collect::<io::Result<Vec<CellId>>>()?;
+                    ledger
+                        .replay_granted(*lease, worker, &cell_ids, 0)
+                        .map_err(invalid)?;
+                    lease_worker.insert(*lease, worker.clone());
+                    let path = config.dir.join(journal);
+                    lease_journals.insert(*lease, path.clone());
+                    if !journals.contains(&path) {
+                        journals.push(path);
+                    }
+                }
+                WalEvent::CellDone { lease, cell } => {
+                    let id = CellId::from_hex(cell)
+                        .ok_or_else(|| invalid(format!("WAL has bad cell id {cell:?}")))?;
+                    match ledger.complete_cell(*lease, id, 0) {
+                        CellReport::Accepted => {
+                            worker_of_cell[index_of[&id]] = lease_worker.get(lease).cloned();
+                        }
+                        other => {
+                            return Err(invalid(format!(
+                                "WAL replay: completion of {cell} under lease {lease} \
+                                 judged {other:?}"
+                            )));
+                        }
+                    }
+                }
+                WalEvent::LeaseDone { lease } => {
+                    ledger.complete_lease(*lease);
+                }
+                WalEvent::Expired { lease } => {
+                    ledger.expire(*lease);
+                }
+            }
+        }
+        ledger.counters.wal_events_replayed = contents.events.len() as u64;
+        let mut wal = WalWriter::append_to(&wal_path(&config), contents.valid_bytes)?;
+
+        // 2. Heal the crash window: a master record whose CellDone
+        //    never reached the WAL (the WAL is at most one transition
+        //    behind the master, but scan everything).
+        let (master_records, master_valid) =
+            scan_journal(&plan, &master_path).map_err(|e| invalid(e.to_string()))?;
+        let mut recovered = 0u64;
+        for (id, index, _output) in &master_records {
+            let (_, state_name, holder) = ledger
+                .cell_view(*index)
+                .ok_or_else(|| invalid(format!("master journal cell {id} out of range")))?;
+            if state_name == "done" {
+                continue; // the WAL already replayed this completion
+            }
+            let Some(holder) = holder else {
+                return Err(invalid(format!(
+                    "master journal has cell {id} but no lease holds it in the WAL"
+                )));
+            };
+            if ledger.complete_cell(holder, *id, 0) != CellReport::Accepted {
+                return Err(invalid(format!(
+                    "master journal cell {id} did not re-complete under lease {holder}"
+                )));
+            }
+            wal.append(&WalEvent::CellDone {
+                lease: holder,
+                cell: id.to_hex(),
+            })?;
+            worker_of_cell[*index] = lease_worker.get(&holder).cloned();
+            recovered += 1;
+        }
+        ledger.counters.cells_recovered = recovered;
+        let master = JournalWriter::append_to(&master_path, master_valid)
+            .map_err(|e| io::Error::other(e.to_string()))?;
+
+        let wal_replayed = ledger.counters.wal_events_replayed;
+        let orphans: Vec<u64> = ledger.lease_infos().iter().map(|l| l.lease).collect();
+        let cells = plan.cells.len();
+        let state = State {
+            ledger,
+            master: Some(master),
+            wal: Some(wal),
+            sizer: LeaseSizer::new(config.target_lease_ms, config.lease_cells),
+            sessions: HashMap::new(),
+            next_session: 1,
+            lease_journals,
+            journals,
+            worker_of_cell,
+            failure: None,
+            report: None,
+        };
+        let shared = Arc::new(Shared {
+            identity,
+            config,
+            master_path,
+            epoch: Instant::now(),
+            state: Mutex::new(state),
+            done: Condvar::new(),
+            stop: AtomicBool::new(false),
+            log: Mutex::new(BufWriter::new(log_file)),
+            ids,
+            plan,
+        });
+
+        // 3. The crashed incarnation's leases are orphans (their
+        //    workers died with it, or will be told Stale): harvest each
+        //    one's journal, then expire it, through the same path a
+        //    live coordinator uses for dead workers.
+        {
+            let mut state = shared.state.lock().expect("state lock poisoned");
+            let state = &mut *state;
+            for lease in &orphans {
+                harvest_and_expire(&shared, state, *lease, "orphaned by coordinator crash");
+            }
+            shared.log(&format!(
+                "recovered from WAL: {} events replayed, {} cells re-adopted from the master \
+                 journal, {} orphaned leases harvested+expired, {}/{} cells already done",
+                wal_replayed,
+                recovered,
+                orphans.len(),
+                state.ledger.completed(),
+                cells,
+            ));
+            maybe_finish(&shared, state);
+        }
+        serve(shared, "recovered and up")
+    }
+}
+
+fn master_path(config: &FleetConfig) -> PathBuf {
+    config
+        .dir
+        .join(format!("{}.master.jsonl", config.experiment))
+}
+
+fn wal_path(config: &FleetConfig) -> PathBuf {
+    config.dir.join(format!("{}.wal.jsonl", config.experiment))
+}
+
+/// Binds the listener and spawns the service thread for a fully-built
+/// `Shared` — the common tail of `start` and `recover`.
+fn serve(shared: Arc<Shared>, how: &str) -> io::Result<CoordinatorHandle> {
+    let listener = TcpListener::bind(("127.0.0.1", shared.config.port))?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    shared.log(&format!(
+        "coordinator {how} on {addr}: experiment {} ({} cells, manifest {}), scale {}, \
+         lease_cells {} (adaptive, target {}ms), timeout {}ms, auth {}",
+        shared.config.experiment,
+        shared.plan.cells.len(),
+        shared.identity.manifest,
+        shared.config.scale_name,
+        shared.config.lease_cells,
+        shared.config.target_lease_ms,
+        shared.config.timeout_ms,
+        if shared.config.token.is_empty() {
+            "open"
+        } else {
+            "token"
+        },
+    ));
+    let service = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("fleet-coordinator".to_string())
+            .spawn(move || service_loop(&shared, &listener))?
+    };
+    Ok(CoordinatorHandle {
+        addr,
+        shared,
+        service: Some(service),
+    })
 }
 
 /// A running coordinator.
@@ -329,40 +558,62 @@ fn maintain(shared: &Shared) {
     // Expire silent leases — harvesting the durable prefix of each
     // one's journal first, so work a dead worker finished is kept.
     for lease in state.ledger.stale_leases(now, shared.config.timeout_ms) {
-        let worker = state
-            .ledger
-            .lease(lease)
-            .map(|l| l.worker.clone())
-            .unwrap_or_default();
-        let mut harvested = 0usize;
-        if let Some(path) = state.lease_journals.get(&lease).cloned() {
-            if path.exists() {
-                match harvest_journal(&shared.plan, &path) {
-                    Ok(records) => {
-                        for (id, index, output) in records {
-                            if accept_cell(shared, state, lease, &worker, id, index, output, now)
-                                == CellReport::Accepted
-                            {
-                                state.ledger.counters.cells_harvested += 1;
-                                harvested += 1;
-                            }
-                        }
-                    }
-                    Err(e) => shared.log(&format!(
-                        "harvest of lease {lease} journal failed (results will be re-run): {e}"
-                    )),
-                }
-            }
-        }
-        let requeued = state.ledger.expire(lease);
-        shared.log(&format!(
-            "lease {lease} ({worker}) expired after {}ms silence: {harvested} cells harvested \
-             from its journal, {requeued} requeued",
-            shared.config.timeout_ms,
-        ));
+        let reason = format!("{}ms silence", shared.config.timeout_ms);
+        harvest_and_expire(shared, state, lease, &reason);
     }
 
     maybe_finish(shared, state);
+}
+
+/// Appends one ledger transition to the WAL; a write failure is the
+/// run's failure (the sweep would no longer be recoverable).
+fn wal_append(shared: &Shared, state: &mut State, event: &WalEvent) {
+    if let Some(wal) = state.wal.as_mut() {
+        if let Err(e) = wal.append(event) {
+            let message = format!("WAL write failed: {e}");
+            shared.log(&message);
+            state.failure.get_or_insert(message);
+        }
+    }
+}
+
+/// Kills one lease the way a live coordinator always does: harvest the
+/// durable prefix of its journal (crediting completed cells), then
+/// expire it (requeueing the rest), WAL-logging both steps. Used for
+/// liveness expiry and for the orphans found by crash recovery.
+fn harvest_and_expire(shared: &Shared, state: &mut State, lease: u64, reason: &str) {
+    let worker = state
+        .ledger
+        .lease(lease)
+        .map(|l| l.worker.clone())
+        .unwrap_or_default();
+    let mut harvested = 0usize;
+    if let Some(path) = state.lease_journals.get(&lease).cloned() {
+        if path.exists() {
+            match harvest_journal(&shared.plan, &path) {
+                Ok(records) => {
+                    let now = shared.now_ms();
+                    for (id, index, output) in records {
+                        if accept_cell(shared, state, lease, &worker, id, index, output, now)
+                            == CellReport::Accepted
+                        {
+                            state.ledger.counters.cells_harvested += 1;
+                            harvested += 1;
+                        }
+                    }
+                }
+                Err(e) => shared.log(&format!(
+                    "harvest of lease {lease} journal failed (results will be re-run): {e}"
+                )),
+            }
+        }
+    }
+    let requeued = state.ledger.expire(lease);
+    wal_append(shared, state, &WalEvent::Expired { lease });
+    shared.log(&format!(
+        "lease {lease} ({worker}) expired after {reason}: {harvested} cells harvested from its \
+         journal, {requeued} requeued",
+    ));
 }
 
 /// Routes one accepted completion into the ledger and, when it is the
@@ -394,6 +645,16 @@ fn accept_cell(
                 state.failure.get_or_insert(message);
             }
         }
+        // Master first, then WAL: a WAL completion always has a durable
+        // output behind it (recovery heals the converse window).
+        wal_append(
+            shared,
+            state,
+            &WalEvent::CellDone {
+                lease,
+                cell: id.to_hex(),
+            },
+        );
     }
     verdict
 }
@@ -409,7 +670,9 @@ fn maybe_finish(shared: &Shared, state: &mut State) {
     // shows ghost leases (the late Complete is answered Stale, which
     // the worker treats as routine).
     for info in state.ledger.lease_infos() {
-        state.ledger.complete_lease(info.lease);
+        if state.ledger.complete_lease(info.lease) {
+            wal_append(shared, state, &WalEvent::LeaseDone { lease: info.lease });
+        }
     }
     if let Some(master) = state.master.take() {
         if let Err(e) = master.finish() {
@@ -418,6 +681,9 @@ fn maybe_finish(shared: &Shared, state: &mut State) {
                 .get_or_insert(format!("master journal failed: {e}"));
         }
     }
+    // The WAL's job ends with the sweep; close it so the file is whole
+    // for the CI artifact upload.
+    state.wal = None;
     // Compact: the master plus every surviving lease journal. Lease
     // journals hold identical duplicates of master records (and that
     // is asserted — a conflicting duplicate fails the merge).
@@ -439,12 +705,14 @@ fn maybe_finish(shared: &Shared, state: &mut State) {
             reconciled,
             cells: state.ledger.total(),
             wall_s: shared.epoch.elapsed().as_secs_f64(),
+            lease_sizes: state.sizer.trajectory(),
         }),
     };
     shared.log(&format!(
         "sweep complete: {} cells | leases granted {} completed {} expired {} | cells granted {} \
-         completed {} stolen {} harvested {} stale-rejected {} | compacted {} journals | \
-         leases_reconciled: {reconciled}",
+         completed {} stolen {} harvested {} stale-rejected {} | sessions resumed {} leases \
+         re-adopted {} | wal replayed {} cells recovered {} | lease sizes {:?} | compacted {} \
+         journals | leases_reconciled: {reconciled}",
         state.ledger.total(),
         counters.leases_granted,
         counters.leases_completed,
@@ -454,6 +722,11 @@ fn maybe_finish(shared: &Shared, state: &mut State) {
         counters.cells_stolen,
         counters.cells_harvested,
         counters.stale_reports,
+        counters.sessions_resumed,
+        counters.leases_readopted,
+        counters.wal_events_replayed,
+        counters.cells_recovered,
+        state.sizer.trajectory(),
         paths.len(),
     ));
     if let Err(e) = &result {
@@ -463,7 +736,22 @@ fn maybe_finish(shared: &Shared, state: &mut State) {
     shared.done.notify_all();
 }
 
+/// Where a connection stands in the v2 handshake.
+enum ConnAuth {
+    /// Nothing received yet (or the handshake was restarted).
+    Fresh,
+    /// `Hello` accepted; waiting for the `Auth` answer to this nonce.
+    Challenged { worker: String, nonce: u64 },
+    /// Authenticated under this session; mutating requests allowed.
+    Ready { session: u64 },
+}
+
 /// One connection: requests in, replies out, until EOF or shutdown.
+///
+/// A malformed frame (bad JSON, torn line, non-UTF-8) is answered with
+/// a typed refusal when the socket still works, logged, and the
+/// connection dropped — never a panic; the fuzz test in `fleet_e2e`
+/// feeds this path random bytes.
 fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
@@ -472,6 +760,7 @@ fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
     };
     let mut reader = MessageReader::new(read_half);
     let mut writer = stream;
+    let mut auth = ConnAuth::Fresh;
     loop {
         if shared.stop.load(Ordering::Relaxed) {
             return;
@@ -482,41 +771,150 @@ fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
             Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
                 continue;
             }
+            Err(e) if e.kind() == ErrorKind::InvalidData => {
+                shared.log(&format!("malformed frame dropped: {e}"));
+                let _ = protocol::send(
+                    &mut writer,
+                    &Reply::Refused {
+                        error: ProtocolError::Malformed {
+                            detail: e.to_string(),
+                        },
+                    },
+                );
+                return;
+            }
             Err(e) => {
                 shared.log(&format!("connection dropped: {e}"));
                 return;
             }
         };
-        let reply = handle(shared, request);
+        let reply = handle(shared, request, &mut auth);
         if protocol::send(&mut writer, &reply).is_err() {
             return;
         }
     }
 }
 
+/// Refusal for a mutating request on a connection that never finished
+/// the handshake.
+fn unauthenticated(what: &str) -> Reply {
+    Reply::Refused {
+        error: ProtocolError::AuthFailure {
+            detail: format!("{what} requires an authenticated session (Hello then Auth first)"),
+        },
+    }
+}
+
 /// The request dispatcher.
-fn handle(shared: &Shared, request: Request) -> Reply {
+fn handle(shared: &Shared, request: Request, auth: &mut ConnAuth) -> Reply {
     let now = shared.now_ms();
     match request {
         Request::Hello { worker, proto } => {
             if proto != PROTOCOL_VERSION {
-                return Reply::Error {
-                    message: format!(
-                        "protocol version mismatch: worker {worker} speaks v{proto}, \
-                         coordinator speaks v{PROTOCOL_VERSION}"
-                    ),
+                shared.log(&format!(
+                    "refused {worker}: protocol v{proto} vs our v{PROTOCOL_VERSION}"
+                ));
+                return Reply::Refused {
+                    error: ProtocolError::VersionSkew {
+                        coordinator: PROTOCOL_VERSION,
+                        client: proto,
+                    },
                 };
             }
-            shared.log(&format!("worker {worker} connected"));
+            let nonce = fresh_nonce();
+            *auth = ConnAuth::Challenged { worker, nonce };
+            Reply::Challenge { nonce }
+        }
+        Request::Auth {
+            worker,
+            mac,
+            session,
+        } => {
+            let ConnAuth::Challenged {
+                worker: hello_worker,
+                nonce,
+            } = &*auth
+            else {
+                return Reply::Refused {
+                    error: ProtocolError::UnknownRequest {
+                        detail: "Auth without a pending challenge".to_string(),
+                    },
+                };
+            };
+            if *hello_worker != worker {
+                return Reply::Refused {
+                    error: ProtocolError::AuthFailure {
+                        detail: format!("Auth names {worker:?} but Hello named {hello_worker:?}"),
+                    },
+                };
+            }
+            if mac != mac64(&shared.config.token, *nonce) {
+                shared.log(&format!("refused {worker}: bad challenge response"));
+                *auth = ConnAuth::Fresh;
+                return Reply::Refused {
+                    error: ProtocolError::AuthFailure {
+                        detail: "challenge response does not verify (wrong fleet token?)"
+                            .to_string(),
+                    },
+                };
+            }
+            let mut state = shared.state.lock().expect("state lock poisoned");
+            let state = &mut *state;
+            let sid = match session {
+                // A reconnect presenting a session we know for this
+                // worker: re-adopt its live leases instead of letting
+                // them expire.
+                Some(prev)
+                    if state
+                        .sessions
+                        .get(&prev)
+                        .is_some_and(|s| s.worker == worker) =>
+                {
+                    let leases = state.sessions[&prev].leases.clone();
+                    let mut readopted = 0u64;
+                    for lease in leases {
+                        if state.ledger.heartbeat(lease, now) {
+                            readopted += 1;
+                        }
+                    }
+                    state.ledger.counters.sessions_resumed += 1;
+                    state.ledger.counters.leases_readopted += readopted;
+                    shared.log(&format!(
+                        "worker {worker} resumed session {prev}: {readopted} live leases \
+                         re-adopted"
+                    ));
+                    prev
+                }
+                _ => {
+                    let sid = state.next_session;
+                    state.next_session += 1;
+                    state.sessions.insert(
+                        sid,
+                        Session {
+                            worker: worker.clone(),
+                            leases: Vec::new(),
+                        },
+                    );
+                    shared.log(&format!("worker {worker} authenticated: session {sid}"));
+                    sid
+                }
+            };
+            *auth = ConnAuth::Ready { session: sid };
             Reply::Welcome {
                 proto: PROTOCOL_VERSION,
                 scale: shared.config.scale_name.clone(),
                 identity: shared.identity.clone(),
+                session: sid,
             }
         }
         Request::Lease { worker } => {
+            let ConnAuth::Ready { session } = *auth else {
+                return unauthenticated("Lease");
+            };
             let mut state = shared.state.lock().expect("state lock poisoned");
-            match state.ledger.grant(&worker, now, shared.config.lease_cells) {
+            let state = &mut *state;
+            let size = state.sizer.size(state.ledger.pending());
+            match state.ledger.grant(&worker, now, size) {
                 GrantOutcome::Granted {
                     lease,
                     cells,
@@ -527,8 +925,23 @@ fn handle(shared: &Shared, request: Request) -> Reply {
                     let path = shared.config.dir.join(&journal);
                     state.lease_journals.insert(lease, path.clone());
                     state.journals.push(path);
+                    if let Some(s) = state.sessions.get_mut(&session) {
+                        s.leases.push(lease);
+                    }
+                    // Durable before the reply: no lease may exist on
+                    // the wire that the WAL does not know.
+                    wal_append(
+                        shared,
+                        state,
+                        &WalEvent::Granted {
+                            lease,
+                            worker: worker.clone(),
+                            cells: cells.iter().map(|id| id.to_hex()).collect(),
+                            journal: journal.clone(),
+                        },
+                    );
                     shared.log(&format!(
-                        "lease {lease} -> {worker}: {} cells{} -> {journal}",
+                        "lease {lease} -> {worker} (session {session}): {} cells{} -> {journal}",
                         cells.len(),
                         if stolen {
                             " (stolen from a straggler)"
@@ -547,6 +960,9 @@ fn handle(shared: &Shared, request: Request) -> Reply {
             }
         }
         Request::Heartbeat { lease, .. } => {
+            if !matches!(*auth, ConnAuth::Ready { .. }) {
+                return unauthenticated("Heartbeat");
+            }
             let mut state = shared.state.lock().expect("state lock poisoned");
             if state.ledger.heartbeat(lease, now) {
                 Reply::Ack
@@ -561,18 +977,35 @@ fn handle(shared: &Shared, request: Request) -> Reply {
             index,
             output,
         } => {
+            if !matches!(*auth, ConnAuth::Ready { .. }) {
+                return unauthenticated("CellDone");
+            }
             let Some(id) = CellId::from_hex(&cell) else {
-                return Reply::Error {
-                    message: format!("malformed cell id {cell:?}"),
+                return Reply::Refused {
+                    error: ProtocolError::Malformed {
+                        detail: format!("malformed cell id {cell:?}"),
+                    },
                 };
             };
             if shared.ids.get(index) != Some(&id) {
-                return Reply::Error {
-                    message: format!("cell {id} is not at plan index {index}"),
+                return Reply::Refused {
+                    error: ProtocolError::Malformed {
+                        detail: format!("cell {id} is not at plan index {index}"),
+                    },
                 };
             }
             let mut state = shared.state.lock().expect("state lock poisoned");
+            // Per-cell wall clock for the adaptive sizer: measured from
+            // the lease's last accepted progress, wire reports only
+            // (harvest bursts arrive all at once and would poison the
+            // EWMA).
+            let progress_base = state.ledger.lease(lease).map(|l| l.last_progress);
             let verdict = accept_cell(shared, &mut state, lease, &worker, id, index, *output, now);
+            if verdict == CellReport::Accepted {
+                if let Some(base) = progress_base {
+                    state.sizer.observe(now.saturating_sub(base));
+                }
+            }
             maybe_finish(shared, &mut state);
             match verdict {
                 CellReport::Accepted | CellReport::Duplicate => Reply::Ack,
@@ -585,10 +1018,15 @@ fn handle(shared: &Shared, request: Request) -> Reply {
             }
         }
         Request::Complete { worker, lease } => {
+            if !matches!(*auth, ConnAuth::Ready { .. }) {
+                return unauthenticated("Complete");
+            }
             let mut state = shared.state.lock().expect("state lock poisoned");
-            if state.ledger.complete_lease(lease) {
+            let state_ref = &mut *state;
+            if state_ref.ledger.complete_lease(lease) {
+                wal_append(shared, state_ref, &WalEvent::LeaseDone { lease });
                 shared.log(&format!("lease {lease} ({worker}) complete"));
-                maybe_finish(shared, &mut state);
+                maybe_finish(shared, state_ref);
                 Reply::Ack
             } else {
                 Reply::Stale { lease }

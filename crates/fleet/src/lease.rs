@@ -54,6 +54,10 @@ pub struct Lease {
     pub done: usize,
     /// Last liveness evidence (protocol message or journal growth).
     pub last_alive: u64,
+    /// When the last cell was accepted under this lease (or the grant
+    /// time, before any completion) — the baseline the coordinator's
+    /// [`LeaseSizer`] measures per-cell wall clock against.
+    pub last_progress: u64,
     /// Last observed journal size, for growth detection.
     pub journal_tail: JournalTail,
 }
@@ -236,6 +240,7 @@ impl LeaseLedger {
                 cells: cells.clone(),
                 done: 0,
                 last_alive: now,
+                last_progress: now,
                 journal_tail: JournalTail::default(),
             },
         );
@@ -244,6 +249,69 @@ impl LeaseLedger {
             cells,
             stolen,
         }
+    }
+
+    /// Re-applies a grant recorded in the coordinator's WAL: the same
+    /// transition [`grant`](Self::grant) made originally, but with the
+    /// lease id and cell set forced to what the log says rather than
+    /// chosen by policy. Pending cells are drawn from the queue;
+    /// still-leased cells are taken from their current holder as a
+    /// steal — exactly the two sources a live grant has — so the churn
+    /// counters reconcile across the replay the same way they did
+    /// across the original run.
+    ///
+    /// # Errors
+    ///
+    /// A WAL that grants a completed or unknown cell is corrupt (the
+    /// live ledger can never do that); the error names the cell.
+    pub fn replay_granted(
+        &mut self,
+        lease: u64,
+        worker: &str,
+        cells: &[CellId],
+        now: u64,
+    ) -> Result<(), String> {
+        if self.active.contains_key(&lease) {
+            return Err(format!("WAL grants lease {lease} twice"));
+        }
+        for &cell in cells {
+            let Some(&idx) = self.index.get(&cell) else {
+                return Err(format!("WAL grants unknown cell {cell}"));
+            };
+            match self.state[idx] {
+                CellState::Pending => {
+                    self.pending.remove(&idx);
+                }
+                CellState::Leased(victim) => {
+                    let holder = self
+                        .active
+                        .get_mut(&victim)
+                        .ok_or_else(|| format!("cell {cell} leased to unknown lease {victim}"))?;
+                    holder.cells.retain(|c| *c != cell);
+                    self.counters.cells_stolen += 1;
+                }
+                CellState::Done => {
+                    return Err(format!("WAL grants completed cell {cell}"));
+                }
+            }
+            self.state[idx] = CellState::Leased(lease);
+        }
+        self.counters.leases_granted += 1;
+        self.counters.cells_granted += cells.len() as u64;
+        self.active.insert(
+            lease,
+            Lease {
+                id: lease,
+                worker: worker.to_string(),
+                cells: cells.to_vec(),
+                done: 0,
+                last_alive: now,
+                last_progress: now,
+                journal_tail: JournalTail::default(),
+            },
+        );
+        self.next_lease = self.next_lease.max(lease + 1);
+        Ok(())
     }
 
     /// Records protocol-level liveness. Returns `false` for an unknown
@@ -286,6 +354,7 @@ impl LeaseLedger {
                 self.state[idx] = CellState::Done;
                 let l = self.active.get_mut(&lease).expect("checked");
                 l.last_alive = now;
+                l.last_progress = now;
                 l.done += 1;
                 l.cells.retain(|c| *c != cell);
                 self.counters.cells_completed += 1;
@@ -342,6 +411,97 @@ impl LeaseLedger {
             self.pending.insert(idx);
         }
         requeued
+    }
+}
+
+/// Feedback-regulated lease sizing (the LMS-AR idea applied to the
+/// control plane): instead of a fixed `--lease-cells`, the grant size
+/// tracks an EWMA of observed per-cell wall clock so each lease aims
+/// at a constant *time* budget. Early grants are big (nothing observed
+/// yet → take the clamp); as the EWMA settles, size becomes
+/// `target_ms / ewma`; and near the tail a pending-fraction limit
+/// shrinks grants further so work stealing keeps fine grain for the
+/// stragglers.
+///
+/// All-integer and pure: the same sequence of `observe`/`size` calls
+/// produces the same sizes, so the policy is deterministic given the
+/// report stream (and the final table never depends on it at all —
+/// sizing only changes the interleaving, which the merge layer already
+/// proves irrelevant).
+#[derive(Debug)]
+pub struct LeaseSizer {
+    /// Wall-clock budget one lease should represent.
+    target_ms: u64,
+    /// Hard size clamp (the configured `--lease-cells`).
+    max_cells: usize,
+    /// EWMA of per-cell milliseconds; `None` until the first sample.
+    ewma_ms: Option<u64>,
+    /// Smallest size granted so far (trajectory, for BENCH rows).
+    min_size: usize,
+    /// Largest size granted so far.
+    max_size: usize,
+    /// Most recent size granted.
+    last_size: usize,
+}
+
+impl LeaseSizer {
+    /// A sizer aiming each lease at `target_ms` of work, never granting
+    /// more than `max_cells` cells.
+    pub fn new(target_ms: u64, max_cells: usize) -> Self {
+        LeaseSizer {
+            target_ms: target_ms.max(1),
+            max_cells: max_cells.max(1),
+            ewma_ms: None,
+            min_size: 0,
+            max_size: 0,
+            last_size: 0,
+        }
+    }
+
+    /// Feeds one observed per-cell duration into the EWMA
+    /// (`ewma ← (7·ewma + sample) / 8`, integer, sample floored at
+    /// 1 ms so a burst of sub-millisecond cells cannot divide by zero
+    /// later).
+    pub fn observe(&mut self, cell_ms: u64) {
+        let sample = cell_ms.max(1);
+        self.ewma_ms = Some(match self.ewma_ms {
+            None => sample,
+            Some(e) => (7 * e + sample) / 8,
+        });
+    }
+
+    /// The current per-cell estimate, if anything has been observed.
+    pub fn ewma_ms(&self) -> Option<u64> {
+        self.ewma_ms
+    }
+
+    /// Decides the next grant's size given `pending` cells still
+    /// queued, and records it in the trajectory.
+    pub fn size(&mut self, pending: usize) -> usize {
+        let by_time = match self.ewma_ms {
+            // Nothing observed: open big, the clamp is the policy.
+            None => self.max_cells,
+            Some(ewma) => (self.target_ms / ewma.max(1)).max(1) as usize,
+        };
+        // Tail limit: never hand one worker more than ~half of what is
+        // left, so the endgame stays stealable.
+        let by_tail = pending.div_ceil(2).max(1);
+        let size = by_time.min(by_tail).min(self.max_cells).max(1);
+        if self.last_size == 0 {
+            self.min_size = size;
+            self.max_size = size;
+        } else {
+            self.min_size = self.min_size.min(size);
+            self.max_size = self.max_size.max(size);
+        }
+        self.last_size = size;
+        size
+    }
+
+    /// `(min, max, final)` granted sizes, for the BENCH robustness row;
+    /// zeros when nothing was granted.
+    pub fn trajectory(&self) -> (usize, usize, usize) {
+        (self.min_size, self.max_size, self.last_size)
     }
 }
 
@@ -469,6 +629,64 @@ mod tests {
             1_700,
         );
         assert_eq!(ledger.stale_leases(2_000, 1_000), vec![l1]);
+    }
+
+    #[test]
+    fn replay_granted_reproduces_grants_and_steals() {
+        let cells = ids(6);
+        // Original run: one big grant, then a steal of its tail.
+        let mut live = LeaseLedger::new(cells.clone());
+        let (l1, c1, _) = granted(live.grant("w1", 0, 6));
+        let (l2, c2, stolen) = granted(live.grant("w2", 5, 4));
+        assert!(stolen);
+        // Replay the two Granted transitions into a fresh ledger.
+        let mut replayed = LeaseLedger::new(cells.clone());
+        replayed.replay_granted(l1, "w1", &c1, 0).expect("grant 1");
+        replayed.replay_granted(l2, "w2", &c2, 5).expect("grant 2");
+        assert_eq!(replayed.counters.cells_granted, live.counters.cells_granted);
+        assert_eq!(replayed.counters.cells_stolen, live.counters.cells_stolen);
+        assert_eq!(
+            replayed.lease(l1).expect("active").cells,
+            live.lease(l1).expect("active").cells
+        );
+        // New leases continue past the replayed ids.
+        let (l3, _, _) = granted({
+            for &c in &cells[..2] {
+                assert_eq!(replayed.complete_cell(l1, c, 9), CellReport::Accepted);
+            }
+            assert_eq!(replayed.expire(l2), 3);
+            replayed.grant("w3", 10, 8)
+        });
+        assert!(l3 > l2);
+        // A corrupt WAL (granting a done cell) is refused.
+        let err = replayed
+            .replay_granted(99, "w9", &cells[..1], 11)
+            .expect_err("done cell");
+        assert!(err.contains("completed cell"), "{err}");
+    }
+
+    #[test]
+    fn sizer_opens_big_then_tracks_the_ewma_and_the_tail() {
+        let mut sizer = LeaseSizer::new(400, 8);
+        // No observations yet: clamp wins (tail limit permitting).
+        assert_eq!(sizer.size(64), 8);
+        // 100 ms/cell settles the EWMA → 400/100 = 4 cells per lease.
+        for _ in 0..20 {
+            sizer.observe(100);
+        }
+        assert_eq!(sizer.size(64), 4);
+        // Cells slowed down to ~400 ms: one cell per lease.
+        for _ in 0..40 {
+            sizer.observe(400);
+        }
+        assert_eq!(sizer.size(64), 1);
+        // Near the tail the pending fraction dominates.
+        let mut tail_sizer = LeaseSizer::new(10_000, 8);
+        assert_eq!(tail_sizer.size(6), 3, "6 pending → ceil(6/2) = 3");
+        assert_eq!(tail_sizer.size(1), 1, "1 pending → ceil(1/2) = 1");
+        assert_eq!(tail_sizer.size(0), 1, "floor at one cell");
+        let (min, max, last) = sizer.trajectory();
+        assert_eq!((min, max, last), (1, 8, 1));
     }
 
     #[test]

@@ -27,6 +27,22 @@
 //! * [`stats`] — counters, status snapshots, and result pages shared by
 //!   the protocol and the `repro fleet` / `fleet-status` front-ends.
 //!
+//! The control plane is hardened to survive a hostile run of luck:
+//!
+//! * [`auth`] — shared-token challenge/response (std-only keyed hash
+//!   over a coordinator nonce) so unauthenticated or version-skewed
+//!   clients get a typed refusal instead of a lease.
+//! * sessions — every authenticated worker holds a `SessionId`; a
+//!   worker that loses TCP but kept its shard journal reconnects with
+//!   the same id and its live leases are *re-adopted*, not harvested.
+//! * [`wal`] — the coordinator write-ahead-logs every ledger transition
+//!   next to the master journal; `repro fleet --recover` replays it,
+//!   re-adopts the master journal, harvests orphaned shard journals,
+//!   and finishes the sweep with the ledger still reconciling.
+//! * [`chaos`] — a seeded flaky-TCP proxy (delays, stalls, mid-message
+//!   disconnects) the e2e tests and `repro fleet --chaos` push whole
+//!   sweeps through; the result must still be byte-identical to serial.
+//!
 //! # Determinism
 //!
 //! Cell outputs are pure functions of the plan, so any interleaving of
@@ -40,14 +56,19 @@
 //!
 //! [`CellId`]: dsp_bench::engine::CellId
 
+pub mod auth;
+pub mod chaos;
 pub mod coordinator;
 pub mod lease;
 pub mod protocol;
 pub mod stats;
+pub mod wal;
 pub mod worker;
 
+pub use chaos::{ChaosProxy, ChaosSpec};
 pub use coordinator::{Coordinator, CoordinatorHandle, FleetConfig, FleetReport};
-pub use lease::{CellReport, GrantOutcome, LeaseLedger};
-pub use protocol::{MessageReader, PlanIdentity, Reply, Request, PROTOCOL_VERSION};
+pub use lease::{CellReport, GrantOutcome, LeaseLedger, LeaseSizer};
+pub use protocol::{MessageReader, PlanIdentity, ProtocolError, Reply, Request, PROTOCOL_VERSION};
 pub use stats::{CellProgress, FleetCounters, LeaseInfo, ResultsPage, StatusReport};
+pub use wal::{read_wal, WalEvent, WalWriter};
 pub use worker::{query_results, query_status, run_worker, run_worker_with, WorkerConfig};

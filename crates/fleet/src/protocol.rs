@@ -7,13 +7,30 @@
 //! to the journals it produced.
 //!
 //! Connections are long-lived: a worker holds one connection for its
-//! whole life (hello → lease → stream cell completions → repeat);
-//! observers (`repro fleet-status`) connect, ask, and hang up. Reads on
-//! the coordinator side run with a short timeout so connection threads
-//! can notice shutdown; [`MessageReader`] buffers partial lines across
-//! those timeouts, so a message split across TCP segments is never
-//! torn.
+//! whole life (hello → challenge → auth → lease → stream cell
+//! completions → repeat); observers (`repro fleet-status`) connect,
+//! ask, and hang up. Reads on the coordinator side run with a short
+//! timeout so connection threads can notice shutdown; [`MessageReader`]
+//! buffers partial lines across those timeouts, so a message split
+//! across TCP segments is never torn.
+//!
+//! # Handshake (v2)
+//!
+//! ```text
+//! worker → Hello { worker, proto }
+//! coord  → Challenge { nonce }            (or Refused: VersionSkew)
+//! worker → Auth { worker, mac: mac64(token, nonce), session }
+//! coord  → Welcome { proto, scale, identity, session }
+//!                                         (or Refused: AuthFailure)
+//! ```
+//!
+//! `session` in `Auth` is `None` on a fresh connection; a worker
+//! reconnecting after a dropped TCP session echoes the `SessionId` it
+//! was welcomed with, and the coordinator re-adopts its live leases
+//! instead of expiring them. Observer requests (`Status` / `Results`)
+//! need no auth — they reveal progress, not control.
 
+use std::fmt;
 use std::io::{self, Read, Write};
 
 use serde::{Deserialize, Serialize};
@@ -23,7 +40,61 @@ use dsp_bench::engine::{manifest_digest, CellId, CellOutput, ExperimentPlan};
 use crate::stats::{ResultsPage, StatusReport};
 
 /// Protocol revision; bumped on any incompatible message change.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// v2 added the challenge/auth handshake and session ids.
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// Typed protocol violations — every way the coordinator can refuse a
+/// client, distinguishable by the client without parsing prose.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProtocolError {
+    /// A line that is not a well-formed message.
+    Malformed {
+        /// Decoder detail.
+        detail: String,
+    },
+    /// A well-formed message that is not valid in this connection
+    /// state (e.g. `Lease` before `Auth`).
+    UnknownRequest {
+        /// What was rejected and why.
+        detail: String,
+    },
+    /// The challenge response did not verify, or a mutating request
+    /// arrived on an unauthenticated connection.
+    AuthFailure {
+        /// Refusal detail (never echoes the expected MAC).
+        detail: String,
+    },
+    /// The client speaks a different protocol revision.
+    VersionSkew {
+        /// The coordinator's [`PROTOCOL_VERSION`].
+        coordinator: u32,
+        /// What the client announced.
+        client: u32,
+    },
+    /// Coordinator-side failure while serving the request.
+    Internal {
+        /// What went wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Malformed { detail } => write!(f, "malformed message: {detail}"),
+            ProtocolError::UnknownRequest { detail } => write!(f, "unknown request: {detail}"),
+            ProtocolError::AuthFailure { detail } => write!(f, "authentication failed: {detail}"),
+            ProtocolError::VersionSkew {
+                coordinator,
+                client,
+            } => write!(
+                f,
+                "protocol version skew: coordinator v{coordinator}, client v{client}"
+            ),
+            ProtocolError::Internal { detail } => write!(f, "coordinator error: {detail}"),
+        }
+    }
+}
 
 /// Everything that must match for a worker to lease against a
 /// coordinator's plan: the plan universe ([`manifest_digest`] over the
@@ -99,6 +170,17 @@ pub enum Request {
         /// The worker's [`PROTOCOL_VERSION`].
         proto: u32,
     },
+    /// Second message: the answer to [`Reply::Challenge`].
+    Auth {
+        /// Worker name (must match the `Hello`).
+        worker: String,
+        /// `auth::mac64(token, nonce)` over the challenged nonce.
+        mac: u64,
+        /// `None` on a fresh connection; the previously-welcomed
+        /// `SessionId` when reconnecting, so live leases are re-adopted
+        /// instead of expired.
+        session: Option<u64>,
+    },
     /// Ask for work.
     Lease {
         /// Requesting worker.
@@ -147,7 +229,14 @@ pub enum Request {
 /// Coordinator → client messages.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub enum Reply {
-    /// Answer to [`Request::Hello`]: what this fleet is running.
+    /// Answer to [`Request::Hello`] when the versions agree: prove you
+    /// know the fleet token.
+    Challenge {
+        /// Fresh per-connection nonce to MAC under the shared token.
+        nonce: u64,
+    },
+    /// Answer to a verified [`Request::Auth`]: what this fleet is
+    /// running.
     Welcome {
         /// The coordinator's [`PROTOCOL_VERSION`].
         proto: u32,
@@ -157,6 +246,9 @@ pub enum Reply {
         /// Full plan identity; the worker must verify it against the
         /// plan it builds locally before leasing.
         identity: PlanIdentity,
+        /// The connection's session id — echoed in `Auth.session` when
+        /// reconnecting to keep held leases alive.
+        session: u64,
     },
     /// Work: run exactly these cells, journal to `journal`.
     Grant {
@@ -190,10 +282,11 @@ pub enum Reply {
     Status(StatusReport),
     /// Answer to [`Request::Results`].
     Results(ResultsPage),
-    /// Protocol violation or internal failure.
-    Error {
-        /// What went wrong.
-        message: String,
+    /// Typed refusal: protocol violation, failed auth, version skew,
+    /// or internal failure.
+    Refused {
+        /// Why.
+        error: ProtocolError,
     },
 }
 
@@ -333,6 +426,70 @@ mod tests {
         let mut reader = MessageReader::new(OneByte(&wire));
         let got: Reply = reader.recv().expect("recv").expect("some");
         assert!(matches!(got, Reply::Wait { poll_ms: 250 }));
+    }
+
+    #[test]
+    fn handshake_messages_and_refusals_round_trip() {
+        let mut wire = Vec::new();
+        send(
+            &mut wire,
+            &Request::Auth {
+                worker: "w1".into(),
+                mac: 0xdead_beef,
+                session: Some(3),
+            },
+        )
+        .expect("send auth");
+        send(
+            &mut wire,
+            &Request::Hello {
+                worker: "w1".into(),
+                proto: 2,
+            },
+        )
+        .expect("send hello");
+        let mut reader = MessageReader::new(&wire[..]);
+        let got: Request = reader.recv().expect("recv").expect("some");
+        assert!(
+            matches!(
+                got,
+                Request::Auth {
+                    mac: 0xdead_beef,
+                    session: Some(3),
+                    ..
+                }
+            ),
+            "{got:?}"
+        );
+        let mut wire = Vec::new();
+        for reply in [
+            Reply::Challenge { nonce: 17 },
+            Reply::Refused {
+                error: ProtocolError::VersionSkew {
+                    coordinator: PROTOCOL_VERSION,
+                    client: 1,
+                },
+            },
+        ] {
+            send(&mut wire, &reply).expect("send");
+        }
+        let mut reader = MessageReader::new(&wire[..]);
+        let challenge: Reply = reader.recv().expect("recv").expect("some");
+        assert!(matches!(challenge, Reply::Challenge { nonce: 17 }));
+        let refused: Reply = reader.recv().expect("recv").expect("some");
+        match refused {
+            Reply::Refused { error } => {
+                assert_eq!(
+                    error,
+                    ProtocolError::VersionSkew {
+                        coordinator: PROTOCOL_VERSION,
+                        client: 1
+                    }
+                );
+                assert!(error.to_string().contains("version skew"), "{error}");
+            }
+            other => panic!("expected refusal, got {other:?}"),
+        }
     }
 
     #[test]

@@ -12,6 +12,22 @@
 //! worker dies mid-lease, the coordinator harvests that journal; if the
 //! coordinator dies, the journal still merges by hand.
 //!
+//! # Sessions and reconnects
+//!
+//! Connecting means the v2 handshake: `Hello` → `Challenge` →
+//! `Auth` (a keyed hash of the fleet token over the challenged nonce)
+//! → `Welcome`, which carries the worker's `SessionId`. Every connect —
+//! initial or reconnect — runs jittered exponential backoff under one
+//! wall-clock budget (`connect_timeout_ms`), with attempts surfaced in
+//! the worker log. When TCP dies mid-run, [`Fleet::exchange`]
+//! reconnects, re-authenticates *with the same `SessionId`*, and
+//! retransmits the request: the coordinator re-adopts the session's
+//! live leases, a retransmitted `CellDone` lands as a harmless
+//! `Duplicate`, and the `SweepSession` keeps running throughout — no
+//! journaled cell is ever re-run. Only when the budget is exhausted is
+//! the coordinator declared gone, and by then every finished cell is
+//! durable in the shard journal anyway.
+//!
 //! One `SweepRunner` lives across all of a worker's leases, so traces
 //! and timing-sim partitions generated for one lease are reused by the
 //! next — the same sharing `repro all` gets.
@@ -23,8 +39,12 @@ use std::time::{Duration, Instant};
 
 use dsp_bench::engine::{CellId, CellRecord, CellSink, ExperimentPlan, ShardSpec, SweepRunner};
 use dsp_bench::{experiments, Scale};
+use dsp_types::hash::mix64;
 
-use crate::protocol::{self, MessageReader, PlanIdentity, Reply, Request, PROTOCOL_VERSION};
+use crate::auth::mac64;
+use crate::protocol::{
+    self, MessageReader, PlanIdentity, ProtocolError, Reply, Request, PROTOCOL_VERSION,
+};
 use crate::stats::{ResultsPage, StatusReport};
 
 /// Worker tuning.
@@ -41,9 +61,12 @@ pub struct WorkerConfig {
     pub dir: PathBuf,
     /// Sweep threads per lease.
     pub threads: usize,
-    /// How long to keep retrying the initial connect (the coordinator
-    /// may not be up yet when local fleets spawn workers first).
+    /// Wall-clock budget for one connect-and-handshake, initial or
+    /// reconnect — backoff retries until it succeeds or this elapses.
     pub connect_timeout_ms: u64,
+    /// Shared fleet token for the handshake challenge; must match the
+    /// coordinator's.
+    pub token: String,
 }
 
 impl WorkerConfig {
@@ -55,6 +78,7 @@ impl WorkerConfig {
             dir: dir.into(),
             threads: 1,
             connect_timeout_ms: 10_000,
+            token: String::new(),
         }
     }
 }
@@ -69,6 +93,11 @@ pub struct WorkerReport {
     /// Leases abandoned after a `Stale` verdict (their remaining cells
     /// were re-leased elsewhere).
     pub stale_leases: usize,
+    /// Mid-run TCP sessions lost and re-established (same `SessionId`).
+    pub reconnects: usize,
+    /// Total `TcpStream::connect` attempts across initial connect and
+    /// every reconnect.
+    pub connect_attempts: usize,
 }
 
 /// Runs a worker against the standard experiment registry
@@ -76,10 +105,11 @@ pub struct WorkerReport {
 ///
 /// # Errors
 ///
-/// Connection failure, identity mismatch, protocol violations, or a
-/// sweep failure. The coordinator vanishing *after* contact is treated
-/// as a clean shutdown — the fleet is done or dead, and either way the
-/// worker's journals are already durable.
+/// Connection failure, refused auth or version, identity mismatch,
+/// protocol violations, or a sweep failure. The coordinator vanishing
+/// *after* contact — and staying gone past the reconnect budget — is
+/// treated as a clean shutdown: the fleet is done or dead, and either
+/// way the worker's journals are already durable.
 pub fn run_worker(config: &WorkerConfig) -> Result<WorkerReport, String> {
     run_worker_with(config, |experiment, scale| {
         let scale = Scale::parse(scale)?;
@@ -93,55 +123,19 @@ pub fn run_worker_with(
     config: &WorkerConfig,
     lookup: impl Fn(&str, &str) -> Option<ExperimentPlan>,
 ) -> Result<WorkerReport, String> {
-    let stream = connect_retry(&config.connect, config.connect_timeout_ms).map_err(|e| {
+    let mut fleet = Fleet::establish(config).map_err(|e| {
         format!(
-            "worker {}: cannot reach {}: {e}",
+            "worker {}: cannot join fleet at {}: {e}",
             config.name, config.connect
         )
     })?;
-    stream.set_nodelay(true).ok();
-    stream
-        .set_read_timeout(Some(Duration::from_millis(500)))
-        .map_err(|e| format!("worker {}: {e}", config.name))?;
-    let mut link = Link {
-        reader: MessageReader::new(
-            stream
-                .try_clone()
-                .map_err(|e| format!("worker {}: {e}", config.name))?,
-        ),
-        writer: stream,
-    };
-
-    // Handshake: what is this fleet running?
-    let welcome = link
-        .exchange(&Request::Hello {
-            worker: config.name.clone(),
-            proto: PROTOCOL_VERSION,
-        })
-        .map_err(|e| format!("worker {}: handshake failed: {e}", config.name))?;
-    let Some(Reply::Welcome {
-        proto,
-        scale,
-        identity,
-    }) = welcome
-    else {
-        return Err(format!(
-            "worker {}: expected Welcome, got {welcome:?}",
-            config.name
-        ));
-    };
-    if proto != PROTOCOL_VERSION {
-        return Err(format!(
-            "worker {}: coordinator speaks protocol v{proto}, this binary v{PROTOCOL_VERSION}",
-            config.name
-        ));
-    }
 
     // Rebuild the plan locally and verify it is the same plan.
-    let plan = lookup(&identity.experiment, &scale).ok_or_else(|| {
+    let identity = fleet.identity.clone();
+    let plan = lookup(&identity.experiment, &fleet.scale).ok_or_else(|| {
         format!(
             "worker {}: unknown experiment {:?} at scale {:?}",
-            config.name, identity.experiment, scale
+            config.name, identity.experiment, fleet.scale
         )
     })?;
     let local = PlanIdentity::of(&identity.experiment, &plan);
@@ -161,15 +155,29 @@ pub fn run_worker_with(
         )
     })?;
     let runner = SweepRunner::with_threads(config.threads);
-    let mut report = WorkerReport::default();
+    let mut report = lease_loop(config, &mut fleet, &plan, &ids, &runner)?;
+    report.reconnects = fleet.reconnects;
+    report.connect_attempts = fleet.connect_attempts;
+    Ok(report)
+}
 
+/// The worker's main loop: lease, run, report, repeat until `Shutdown`
+/// (or the coordinator stays gone past the reconnect budget).
+fn lease_loop(
+    config: &WorkerConfig,
+    fleet: &mut Fleet<'_>,
+    plan: &ExperimentPlan,
+    ids: &[CellId],
+    runner: &SweepRunner,
+) -> Result<WorkerReport, String> {
+    let mut report = WorkerReport::default();
     loop {
-        let reply = match link.exchange(&Request::Lease {
+        let reply = match fleet.exchange(&Request::Lease {
             worker: config.name.clone(),
         }) {
             Ok(Some(reply)) => reply,
-            // Coordinator gone after contact: treat as shutdown (see
-            // the function docs).
+            // Coordinator gone past the reconnect budget: treat as
+            // shutdown (see the run_worker docs).
             Ok(None) => return Ok(report),
             Err(e) if coordinator_gone(&e) => return Ok(report),
             Err(e) => return Err(format!("worker {}: lease request failed: {e}", config.name)),
@@ -194,16 +202,16 @@ pub fn run_worker_with(
                     cell_ids.push(id);
                 }
                 let mut sink = ReportSink {
-                    link: &mut link,
+                    fleet,
                     worker: &config.name,
                     lease,
-                    ids: &ids,
+                    ids,
                     accepted: 0,
                     stale: false,
                     failure: None,
                 };
                 let session = runner
-                    .session(&plan)
+                    .session(plan)
                     .shard(ShardSpec::cells(cell_ids))
                     .checkpoint(config.dir.join(&journal));
                 session
@@ -224,7 +232,7 @@ pub fn run_worker_with(
                     report.stale_leases += 1;
                     continue;
                 }
-                match link.exchange(&Request::Complete {
+                match fleet.exchange(&Request::Complete {
                     worker: config.name.clone(),
                     lease,
                 }) {
@@ -247,9 +255,9 @@ pub fn run_worker_with(
                 std::thread::sleep(Duration::from_millis(poll_ms.clamp(10, 2_000)));
             }
             Reply::Shutdown => return Ok(report),
-            Reply::Error { message } => {
+            Reply::Refused { error } => {
                 return Err(format!(
-                    "worker {}: coordinator error: {message}",
+                    "worker {}: coordinator refused: {error}",
                     config.name
                 ));
             }
@@ -263,7 +271,8 @@ pub fn run_worker_with(
     }
 }
 
-/// Asks a running coordinator for its status snapshot.
+/// Asks a running coordinator for its status snapshot. Observer
+/// requests need no handshake.
 ///
 /// # Errors
 ///
@@ -309,6 +318,15 @@ struct Link {
 }
 
 impl Link {
+    fn new(stream: TcpStream) -> io::Result<Self> {
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+        Ok(Link {
+            reader: MessageReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
     /// Sends one request and blocks for its reply (`None` = clean EOF).
     fn exchange(&mut self, request: &Request) -> io::Result<Option<Reply>> {
         protocol::send(&mut self.writer, request)?;
@@ -321,6 +339,194 @@ impl Link {
             }
         }
     }
+}
+
+/// The worker's authenticated, reconnecting view of the coordinator.
+struct Fleet<'a> {
+    config: &'a WorkerConfig,
+    link: Link,
+    /// The coordinator-issued session id; presented on reconnect so
+    /// live leases are re-adopted.
+    session: u64,
+    /// Scale preset the coordinator advertised.
+    scale: String,
+    /// Plan identity the coordinator advertised.
+    identity: PlanIdentity,
+    reconnects: usize,
+    connect_attempts: usize,
+}
+
+impl<'a> Fleet<'a> {
+    /// Initial connect + handshake, with backoff under the connect
+    /// budget (a torn handshake — e.g. through the chaos proxy — is
+    /// retried like a failed connect).
+    fn establish(config: &'a WorkerConfig) -> io::Result<Fleet<'a>> {
+        let started = Instant::now();
+        let mut attempts = 0usize;
+        loop {
+            let stream = connect_with_backoff(config, started, &mut attempts)?;
+            let mut link = Link::new(stream)?;
+            match handshake(&mut link, config, None) {
+                Ok((scale, identity, session)) => {
+                    if attempts > 1 {
+                        eprintln!(
+                            "worker {}: connected to {} after {attempts} attempts",
+                            config.name, config.connect
+                        );
+                    }
+                    return Ok(Fleet {
+                        config,
+                        link,
+                        session,
+                        scale,
+                        identity,
+                        reconnects: 0,
+                        connect_attempts: attempts,
+                    });
+                }
+                Err(e) if coordinator_gone(&e) && !budget_spent(config, started) => {
+                    eprintln!(
+                        "worker {}: handshake with {} torn ({e}); retrying",
+                        config.name, config.connect
+                    );
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Re-establishes a dropped TCP session under the same `SessionId`.
+    fn reconnect(&mut self) -> io::Result<()> {
+        let started = Instant::now();
+        loop {
+            let stream = connect_with_backoff(self.config, started, &mut self.connect_attempts)?;
+            let mut link = Link::new(stream)?;
+            match handshake(&mut link, self.config, Some(self.session)) {
+                Ok((_, _, session)) => {
+                    eprintln!(
+                        "worker {}: reconnected to {} (session {}{})",
+                        self.config.name,
+                        self.config.connect,
+                        session,
+                        if session == self.session {
+                            " resumed"
+                        } else {
+                            ", previous one unknown there"
+                        },
+                    );
+                    // A recovered coordinator may not know the old
+                    // session; adopt whatever it issued — old lease
+                    // reports will be answered Stale, which the sink
+                    // already treats as routine.
+                    self.session = session;
+                    self.link = link;
+                    self.reconnects += 1;
+                    return Ok(());
+                }
+                Err(e) if coordinator_gone(&e) && !budget_spent(self.config, started) => {
+                    eprintln!(
+                        "worker {}: re-handshake with {} torn ({e}); retrying",
+                        self.config.name, self.config.connect
+                    );
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// One request/reply, transparently surviving dropped connections:
+    /// on a torn session the worker reconnects (same `SessionId`) and
+    /// retransmits. Retransmission is safe for every request we send —
+    /// a repeated `CellDone` is judged `Duplicate`, a repeated
+    /// `Complete`/`Heartbeat` answers `Stale`, and a `Lease` whose
+    /// grant was lost in flight leaves an orphan lease that expiry
+    /// reclaims. Returns the original transport error once the
+    /// reconnect budget is spent.
+    fn exchange(&mut self, request: &Request) -> io::Result<Option<Reply>> {
+        loop {
+            let torn = match self.link.exchange(request) {
+                Ok(Some(reply)) => return Ok(Some(reply)),
+                // EOF mid-run is a torn session until proven otherwise
+                // — a live coordinator says `Shutdown` explicitly.
+                Ok(None) => io::Error::new(ErrorKind::UnexpectedEof, "connection closed mid-run"),
+                Err(e) if coordinator_gone(&e) => e,
+                Err(e) => return Err(e),
+            };
+            if self.reconnect().is_err() {
+                return Err(torn);
+            }
+        }
+    }
+}
+
+/// The v2 handshake on a fresh connection; `resume` is the previous
+/// `SessionId` when reconnecting. Returns `(scale, identity, session)`.
+fn handshake(
+    link: &mut Link,
+    config: &WorkerConfig,
+    resume: Option<u64>,
+) -> io::Result<(String, PlanIdentity, u64)> {
+    let hung_up = || {
+        io::Error::new(
+            ErrorKind::UnexpectedEof,
+            "coordinator hung up mid-handshake",
+        )
+    };
+    let reply = link
+        .exchange(&Request::Hello {
+            worker: config.name.clone(),
+            proto: PROTOCOL_VERSION,
+        })?
+        .ok_or_else(hung_up)?;
+    let nonce = match reply {
+        Reply::Challenge { nonce } => nonce,
+        Reply::Refused { error } => return Err(refused(&error)),
+        other => {
+            return Err(io::Error::new(
+                ErrorKind::InvalidData,
+                format!("expected Challenge, got {other:?}"),
+            ));
+        }
+    };
+    let reply = link
+        .exchange(&Request::Auth {
+            worker: config.name.clone(),
+            mac: mac64(&config.token, nonce),
+            session: resume,
+        })?
+        .ok_or_else(hung_up)?;
+    match reply {
+        Reply::Welcome {
+            proto,
+            scale,
+            identity,
+            session,
+        } => {
+            if proto != PROTOCOL_VERSION {
+                return Err(io::Error::new(
+                    ErrorKind::InvalidData,
+                    format!(
+                        "coordinator speaks protocol v{proto}, this binary v{PROTOCOL_VERSION}"
+                    ),
+                ));
+            }
+            Ok((scale, identity, session))
+        }
+        Reply::Refused { error } => Err(refused(&error)),
+        other => Err(io::Error::new(
+            ErrorKind::InvalidData,
+            format!("expected Welcome, got {other:?}"),
+        )),
+    }
+}
+
+/// A typed refusal is terminal — retrying with the same token and
+/// binary cannot succeed.
+fn refused(error: &ProtocolError) -> io::Error {
+    io::Error::new(
+        ErrorKind::PermissionDenied,
+        format!("coordinator refused: {error}"),
+    )
 }
 
 /// Whether an I/O error means "the coordinator went away" rather than
@@ -336,28 +542,60 @@ fn coordinator_gone(e: &io::Error) -> bool {
     )
 }
 
-/// Retries `TcpStream::connect` until it succeeds or the budget runs
-/// out (local fleets may start workers before the coordinator binds).
-fn connect_retry(connect: &str, budget_ms: u64) -> io::Result<TcpStream> {
-    let started = Instant::now();
+fn budget_spent(config: &WorkerConfig, started: Instant) -> bool {
+    started.elapsed() >= Duration::from_millis(config.connect_timeout_ms)
+}
+
+/// One `TcpStream::connect` with jittered exponential backoff under the
+/// budget that began at `started`; `attempts` accumulates across calls
+/// for the worker report. Each failed attempt is surfaced in the worker
+/// log.
+fn connect_with_backoff(
+    config: &WorkerConfig,
+    started: Instant,
+    attempts: &mut usize,
+) -> io::Result<TcpStream> {
+    // Per-worker jitter stream, so a fleet of workers knocked off by
+    // one coordinator restart does not reconnect in lockstep.
+    let seed = config
+        .name
+        .bytes()
+        .fold(0x66_6c_65_65_74u64, |h, b| mix64(h ^ u64::from(b)));
+    let mut round = 0u32;
     loop {
-        match TcpStream::connect(connect) {
+        *attempts += 1;
+        let error = match TcpStream::connect(&config.connect) {
             Ok(stream) => return Ok(stream),
-            Err(e) if started.elapsed() >= Duration::from_millis(budget_ms) => return Err(e),
-            Err(_) => std::thread::sleep(Duration::from_millis(200)),
+            Err(e) => e,
+        };
+        round += 1;
+        // 50ms << round, capped at 2s, then halved-plus-jitter so two
+        // workers at the same round still spread out.
+        let base = 50u64.saturating_mul(1 << round.min(6)).min(2_000);
+        let jitter = mix64(seed ^ u64::from(round)) % (base / 2 + 1);
+        let delay = Duration::from_millis(base / 2 + jitter);
+        if started.elapsed() + delay >= Duration::from_millis(config.connect_timeout_ms) {
+            return Err(error);
         }
+        eprintln!(
+            "worker {}: connect attempt {} to {} failed ({error}); retrying in {delay:?}",
+            config.name, *attempts, config.connect
+        );
+        std::thread::sleep(delay);
     }
 }
 
 /// Streams each finished cell to the coordinator as the session
 /// produces it. The journal write happens first (inside the session),
-/// so a cell is durable before it is reported.
-struct ReportSink<'a> {
-    link: &'a mut Link,
-    worker: &'a str,
+/// so a cell is durable before it is reported — and because reporting
+/// goes through [`Fleet::exchange`], a dropped TCP session mid-lease
+/// reconnects and resumes without the sweep ever noticing.
+struct ReportSink<'a, 'b> {
+    fleet: &'b mut Fleet<'a>,
+    worker: &'b str,
     lease: u64,
     /// Plan-order manifest, for index lookup.
-    ids: &'a [CellId],
+    ids: &'b [CellId],
     accepted: usize,
     /// Set on the first `Stale` verdict: stop reporting, the rest of
     /// the lease belongs to someone else.
@@ -365,7 +603,7 @@ struct ReportSink<'a> {
     failure: Option<io::Error>,
 }
 
-impl CellSink for ReportSink<'_> {
+impl CellSink for ReportSink<'_, '_> {
     fn on_cell(&mut self, _plan: &ExperimentPlan, record: &CellRecord) {
         if self.stale || self.failure.is_some() {
             return;
@@ -378,11 +616,11 @@ impl CellSink for ReportSink<'_> {
             output: Box::new(record.output.clone()),
         };
         debug_assert_eq!(self.ids.get(record.index), Some(&record.id));
-        match self.link.exchange(&request) {
+        match self.fleet.exchange(&request) {
             Ok(Some(Reply::Ack)) => self.accepted += 1,
             Ok(Some(Reply::Stale { .. })) => self.stale = true,
-            Ok(Some(Reply::Error { message })) => {
-                self.failure = Some(io::Error::new(ErrorKind::InvalidData, message));
+            Ok(Some(Reply::Refused { error })) => {
+                self.failure = Some(io::Error::new(ErrorKind::InvalidData, error.to_string()));
             }
             Ok(Some(other)) => {
                 self.failure = Some(io::Error::new(

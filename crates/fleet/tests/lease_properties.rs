@@ -2,13 +2,33 @@
 //! interleavings of grants, completions, stale reports, heartbeats,
 //! and expiries, the ledger never double-completes a cell, never loses
 //! one, and always terminates with every cell completed exactly once
-//! and the churn counters reconciled.
+//! and the churn counters reconciled — including when the ledger is
+//! rebuilt by replaying a WAL-shaped transition stream cut at an
+//! arbitrary crash point, with reconnecting workers re-adopting their
+//! replayed leases.
 
 use std::collections::HashSet;
 
 use dsp_bench::engine::CellId;
 use dsp_fleet::{CellReport, GrantOutcome, LeaseLedger};
 use proptest::prelude::*;
+
+/// The ledger transitions the coordinator write-ahead-logs, in the
+/// shape recovery replays them.
+#[derive(Clone, Debug)]
+enum Ev {
+    Granted {
+        lease: u64,
+        worker: String,
+        cells: Vec<CellId>,
+    },
+    CellDone {
+        lease: u64,
+        cell: CellId,
+    },
+    LeaseDone(u64),
+    Expired(u64),
+}
 
 fn ids(n: usize) -> Vec<CellId> {
     (0..n)
@@ -135,6 +155,171 @@ proptest! {
             ledger.counters.reconciled(total as u64),
             "unreconciled counters: {:?}",
             ledger.counters
+        );
+    }
+
+    /// Coordinator crash recovery, as a property: a random schedule
+    /// runs against a live ledger while every transition is recorded
+    /// as a WAL event; the "coordinator" then crashes at an arbitrary
+    /// prefix of that stream, and a fresh ledger is rebuilt by
+    /// replaying the prefix (exactly as `Coordinator::recover` does).
+    /// Reconnecting workers re-adopt a random subset of the replayed
+    /// leases and finish them; the rest are drained through
+    /// steal/expiry. The replayed ledger must accept every replayed
+    /// transition, never double-accept a cell, and always end complete
+    /// and reconciled.
+    #[test]
+    fn wal_replay_at_any_crash_point_reconciles(
+        total in 1usize..20,
+        ops in proptest::collection::vec((0usize..5, 0usize..8, 1usize..5), 0usize..90),
+        cut in 0.0f64..1.0,
+        resume_leases in proptest::collection::vec(any::<bool>(), 8),
+    ) {
+        let cells = ids(total);
+        let mut ledger = LeaseLedger::new(cells.clone());
+        let mut events: Vec<Ev> = Vec::new();
+        let mut now: u64 = 0;
+        for (op, pick, size) in ops {
+            now += 7;
+            match op {
+                0 => {
+                    if let GrantOutcome::Granted { lease, cells, .. } =
+                        ledger.grant(&format!("w{pick}"), now, size)
+                    {
+                        events.push(Ev::Granted {
+                            lease,
+                            worker: format!("w{pick}"),
+                            cells,
+                        });
+                    }
+                }
+                1 => {
+                    let leases = ledger.lease_infos();
+                    if !leases.is_empty() {
+                        let lease = leases[pick % leases.len()].lease;
+                        let next = ledger.lease(lease).and_then(|l| l.cells.first().copied());
+                        match next {
+                            Some(cell) => {
+                                let verdict = ledger.complete_cell(lease, cell, now);
+                                prop_assert_eq!(verdict, CellReport::Accepted);
+                                events.push(Ev::CellDone { lease, cell });
+                            }
+                            None => {
+                                if ledger.complete_lease(lease) {
+                                    events.push(Ev::LeaseDone(lease));
+                                }
+                            }
+                        }
+                    }
+                }
+                2 => {
+                    let _ = ledger.heartbeat(pick as u64, now);
+                }
+                3 => {
+                    let leases = ledger.lease_infos();
+                    if !leases.is_empty() {
+                        let lease = leases[pick % leases.len()].lease;
+                        ledger.expire(lease);
+                        events.push(Ev::Expired(lease));
+                    }
+                }
+                _ => {
+                    // A stray duplicate report; not a ledger transition,
+                    // so nothing is logged.
+                    if let Some(&cell) = cells.first() {
+                        let _ = ledger.complete_cell(pick as u64 + 1_000, cell, now);
+                    }
+                }
+            }
+        }
+
+        // Crash: only a prefix of the WAL survives. (The real WAL is
+        // flushed per event, so any cut point is a torn-tail cut.)
+        let keep = ((events.len() as f64) * cut) as usize;
+        let prefix = &events[..keep.min(events.len())];
+
+        // Recovery: replay the prefix into a fresh ledger.
+        let mut replayed = LeaseLedger::new(cells.clone());
+        let mut accepted: HashSet<CellId> = HashSet::new();
+        let mut now: u64 = 0;
+        for event in prefix {
+            now += 3;
+            match event {
+                Ev::Granted { lease, worker, cells } => {
+                    prop_assert!(
+                        replayed.replay_granted(*lease, worker, cells, now).is_ok(),
+                        "replaying a logged grant must succeed"
+                    );
+                }
+                Ev::CellDone { lease, cell } => {
+                    let verdict = replayed.complete_cell(*lease, *cell, now);
+                    prop_assert_eq!(verdict, CellReport::Accepted);
+                    prop_assert!(accepted.insert(*cell), "cell accepted twice in replay");
+                }
+                Ev::LeaseDone(lease) => {
+                    prop_assert!(replayed.complete_lease(*lease));
+                }
+                Ev::Expired(lease) => {
+                    replayed.expire(*lease);
+                }
+            }
+            prop_assert_eq!(
+                replayed.pending() + replayed.outstanding() + replayed.completed(),
+                total
+            );
+            prop_assert_eq!(replayed.completed(), accepted.len());
+        }
+
+        // Reconnecting workers re-adopt a random subset of the replayed
+        // leases and finish them exactly as a resumed session would.
+        for (i, info) in replayed.lease_infos().into_iter().enumerate() {
+            if !resume_leases[i % resume_leases.len()] {
+                continue;
+            }
+            now += 5;
+            prop_assert!(replayed.heartbeat(info.lease, now), "re-adopted lease is live");
+            let outstanding = replayed
+                .lease(info.lease)
+                .map(|l| l.cells.clone())
+                .unwrap_or_default();
+            for cell in outstanding {
+                let verdict = replayed.complete_cell(info.lease, cell, now);
+                prop_assert_eq!(verdict, CellReport::Accepted);
+                prop_assert!(accepted.insert(cell), "cell accepted twice after re-adopt");
+            }
+            prop_assert!(replayed.complete_lease(info.lease));
+        }
+
+        // Drain the rest: fresh grants, with expiry recovering any
+        // lease whose worker never came back.
+        let mut guard = 0;
+        loop {
+            guard += 1;
+            prop_assert!(guard < 10_000, "recovery drain did not terminate");
+            now += 11;
+            match replayed.grant("drain", now, 3) {
+                GrantOutcome::Finished => break,
+                GrantOutcome::Wait => {
+                    let leases = replayed.lease_infos();
+                    prop_assert!(!leases.is_empty(), "Wait with no active leases");
+                    replayed.expire(leases[0].lease);
+                }
+                GrantOutcome::Granted { lease, cells: granted, .. } => {
+                    for cell in granted {
+                        let verdict = replayed.complete_cell(lease, cell, now);
+                        prop_assert_eq!(verdict, CellReport::Accepted);
+                        prop_assert!(accepted.insert(cell), "cell accepted twice in drain");
+                    }
+                    prop_assert!(replayed.complete_lease(lease));
+                }
+            }
+        }
+        prop_assert!(replayed.is_complete());
+        prop_assert_eq!(accepted.len(), total);
+        prop_assert!(
+            replayed.counters.reconciled(total as u64),
+            "unreconciled counters after replay: {:?}",
+            replayed.counters
         );
     }
 }
